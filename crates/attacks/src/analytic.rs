@@ -1,0 +1,111 @@
+//! Closed-form attack-slowdown models of Appendix B (Equations 6–10).
+//!
+//! Under an attack that combines Rowhammer and Row-Press (the parameterized pattern of
+//! Figure 17), the only performance cost of ImPress-P for memory-controller trackers is
+//! the mitigative refreshes they trigger. Appendix B derives the slowdown analytically:
+//!
+//! * **Graphene** mitigates once every `T/2` counted activations; each mitigation costs
+//!   4 victim activations, so the slowdown is `8/T` regardless of the Row-Press
+//!   parameter K (Equations 6–9, Figure 18).
+//! * **PARA** mitigates each loop iteration with probability `min(1, p·(K+1))`, so the
+//!   slowdown is `4·min(1, p·(K+1))/(K+1)` (Equation 10, Figure 19), which equals `4p`
+//!   until the probability saturates and then decays.
+
+/// Slowdown (as a fraction, e.g. 0.002 = 0.2%) of ImPress-P with Graphene under the
+/// combined attack pattern with Row-Press parameter `k` (Equation 9).
+///
+/// The result is independent of `k`: ImPress-P converts Row-Press into an equivalent
+/// amount of Rowhammer, so the mitigation cost per unit of attack time is constant.
+pub fn graphene_attack_slowdown(trh: u64, k: u64) -> f64 {
+    let _ = k;
+    8.0 / trh as f64
+}
+
+/// Slowdown (as a fraction) of ImPress-P with PARA under the combined attack pattern
+/// with Row-Press parameter `k` (Equation 10), given PARA's per-activation probability
+/// `p`.
+pub fn para_attack_slowdown_with_p(p: f64, k: u64) -> f64 {
+    let iterations = (k + 1) as f64;
+    4.0 * (p * iterations).min(1.0) / iterations
+}
+
+/// Slowdown of ImPress-P with PARA for a Rowhammer threshold `trh`, using the
+/// Appendix-B probability (p = 1/84 at TRH = 4000, scaling as 1/TRH).
+pub fn para_attack_slowdown(trh: u64, k: u64) -> f64 {
+    para_attack_slowdown_with_p(impress_trackers::analysis::para_probability_appendix_b(trh), k)
+}
+
+/// The K value beyond which PARA's mitigation probability saturates at 1 and the
+/// slowdown starts to decrease (`K ≥ 1/p − 1`).
+pub fn para_saturation_k(p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    (1.0 / p - 1.0).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphene_slowdown_matches_figure18() {
+        // Appendix B: 0.2% / 0.4% / 0.8% for T = 4000 / 2000 / 1000.
+        assert!((graphene_attack_slowdown(4_000, 0) - 0.002).abs() < 1e-12);
+        assert!((graphene_attack_slowdown(2_000, 10) - 0.004).abs() < 1e-12);
+        assert!((graphene_attack_slowdown(1_000, 100) - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graphene_slowdown_is_independent_of_k() {
+        let base = graphene_attack_slowdown(4_000, 0);
+        for k in [1u64, 10, 50, 100] {
+            assert_eq!(graphene_attack_slowdown(4_000, k), base);
+        }
+    }
+
+    #[test]
+    fn para_slowdown_matches_figure19_at_k0() {
+        // Appendix B: at p = 1/84 the Rowhammer mitigation overhead of PARA is 4.76%.
+        let s = para_attack_slowdown(4_000, 0);
+        assert!((s - 4.0 / 84.0).abs() < 1e-9);
+        assert!((s - 0.0476).abs() < 1e-3);
+    }
+
+    #[test]
+    fn para_slowdown_plateaus_then_decays() {
+        let p = 1.0 / 84.0;
+        let k_sat = para_saturation_k(p);
+        assert_eq!(k_sat, 83);
+        // Before saturation the slowdown is flat at 4p.
+        assert!((para_attack_slowdown_with_p(p, 10) - 4.0 * p).abs() < 1e-12);
+        assert!((para_attack_slowdown_with_p(p, 82) - 4.0 * p).abs() < 1e-12);
+        // After saturation it decays as 4/(K+1).
+        let s100 = para_attack_slowdown_with_p(p, 100);
+        assert!((s100 - 4.0 / 101.0).abs() < 1e-12);
+        assert!(s100 < 4.0 * p);
+    }
+
+    #[test]
+    fn rowhammer_is_the_most_potent_attack_for_para() {
+        // Appendix B: "Rowhammer is still the most potent attack" — the slowdown the
+        // attacker suffers never *increases* with K.
+        let p = 1.0 / 84.0;
+        let mut prev = para_attack_slowdown_with_p(p, 0);
+        for k in 1..=200u64 {
+            let s = para_attack_slowdown_with_p(p, k);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn lower_thresholds_increase_para_overhead() {
+        assert!(para_attack_slowdown(1_000, 0) > para_attack_slowdown(2_000, 0));
+        assert!(para_attack_slowdown(2_000, 0) > para_attack_slowdown(4_000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn saturation_rejects_invalid_probability() {
+        let _ = para_saturation_k(0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Attack-pattern generators and attack-time performance models for the ImPress
+//! reproduction.
+//!
+//! The paper exercises its defenses with three families of patterns:
+//!
+//! * **Rowhammer** — repeated minimum-length activations of an aggressor row (§II-C).
+//! * **Row-Press** — the aggressor row is kept open as long as the DDR specification
+//!   allows before being closed and re-opened (§II-D, Figure 2).
+//! * **The parameterized combined pattern** of Appendix B (Figure 17): each round is an
+//!   activation followed by `K` extra `tRC` of open time, with `K = 0` degenerating to
+//!   Rowhammer and large `K` to long Row-Press.
+//!
+//! [`patterns`] builds these as iterators of [`impress_core::AggressorAccess`] that can
+//! be fed straight into [`impress_core::SecurityHarness`]. [`analytic`] contains the
+//! closed-form slowdown models of Appendix B (Equations 6–10), and [`runner`] replays
+//! the combined pattern against a mitigation engine to measure the slowdown that the
+//! analytic model predicts (Figures 18 and 19).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod patterns;
+pub mod runner;
+
+pub use analytic::{graphene_attack_slowdown, para_attack_slowdown};
+pub use patterns::{AttackPattern, CombinedPattern, EvasionPattern, RowPressPattern, RowhammerPattern};
+pub use runner::{AttackPerformanceReport, AttackRunner};

@@ -1,0 +1,266 @@
+//! Attack-pattern generators (Rowhammer, Row-Press, combined, evasion).
+
+use impress_core::AggressorAccess;
+use impress_dram::address::RowId;
+use impress_dram::timing::{Cycle, DramTimings};
+
+/// A generator of aggressor access sequences.
+///
+/// Patterns are infinite in principle (the attacker repeats until a bit flips or the
+/// refresh window ends); [`AttackPattern::accesses`] returns the first `n` rounds.
+pub trait AttackPattern: std::fmt::Debug {
+    /// The access performed in round `i`.
+    fn round(&self, i: u64) -> AggressorAccess;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> String;
+
+    /// The first `n` rounds of the pattern.
+    fn accesses(&self, n: u64) -> Vec<AggressorAccess> {
+        (0..n).map(|i| self.round(i)).collect()
+    }
+
+    /// An iterator over the first `n` rounds (avoids materialising huge patterns).
+    fn iter(&self, n: u64) -> PatternIter<'_>
+    where
+        Self: Sized,
+    {
+        PatternIter {
+            pattern: self,
+            next: 0,
+            end: n,
+        }
+    }
+}
+
+/// Iterator over a pattern's rounds, produced by [`AttackPattern::iter`].
+#[derive(Debug)]
+pub struct PatternIter<'a> {
+    pattern: &'a dyn AttackPattern,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for PatternIter<'_> {
+    type Item = AggressorAccess;
+
+    fn next(&mut self) -> Option<AggressorAccess> {
+        if self.next >= self.end {
+            return None;
+        }
+        let access = self.pattern.round(self.next);
+        self.next += 1;
+        Some(access)
+    }
+}
+
+/// Classic single-sided Rowhammer: minimum-length activations of one aggressor row.
+#[derive(Debug, Clone, Copy)]
+pub struct RowhammerPattern {
+    /// The aggressor row.
+    pub aggressor: RowId,
+}
+
+impl RowhammerPattern {
+    /// Creates a Rowhammer pattern on `aggressor`.
+    pub fn new(aggressor: RowId) -> Self {
+        Self { aggressor }
+    }
+}
+
+impl AttackPattern for RowhammerPattern {
+    fn round(&self, _i: u64) -> AggressorAccess {
+        AggressorAccess::hammer(self.aggressor)
+    }
+
+    fn name(&self) -> String {
+        format!("Rowhammer(row {})", self.aggressor)
+    }
+}
+
+/// Row-Press: the aggressor row is held open for `t_on` cycles every round (Figure 2).
+#[derive(Debug, Clone, Copy)]
+pub struct RowPressPattern {
+    /// The aggressor row.
+    pub aggressor: RowId,
+    /// Open time per round, in cycles.
+    pub t_on: Cycle,
+}
+
+impl RowPressPattern {
+    /// Creates a Row-Press pattern holding `aggressor` open for `t_on` cycles.
+    pub fn new(aggressor: RowId, t_on: Cycle) -> Self {
+        Self { aggressor, t_on }
+    }
+
+    /// The strongest pattern the DDR specification allows: the row stays open until the
+    /// last postponed refresh forces it closed ((1 + max postponed) × tREFI).
+    pub fn maximal(aggressor: RowId, timings: &DramTimings) -> Self {
+        Self {
+            aggressor,
+            t_on: (1 + timings.max_postponed_ref as u64) * timings.t_refi,
+        }
+    }
+}
+
+impl AttackPattern for RowPressPattern {
+    fn round(&self, _i: u64) -> AggressorAccess {
+        AggressorAccess::press(self.aggressor, self.t_on)
+    }
+
+    fn name(&self) -> String {
+        format!("Row-Press(row {}, tON {} cycles)", self.aggressor, self.t_on)
+    }
+}
+
+/// The parameterized combined pattern of Appendix B (Figure 17): every round keeps the
+/// row open for `tRAS + K·tRC`, so the round time is `(K + 1)·tRC`.
+#[derive(Debug, Clone, Copy)]
+pub struct CombinedPattern {
+    /// The aggressor row.
+    pub aggressor: RowId,
+    /// The Row-Press parameter K (0 = Rowhammer, 72 ≈ a full tREFI in DDR5).
+    pub k: u64,
+    /// Open time per round (derived from K and the timings).
+    t_on: Cycle,
+}
+
+impl CombinedPattern {
+    /// Creates the combined pattern with parameter `k`.
+    pub fn new(aggressor: RowId, k: u64, timings: &DramTimings) -> Self {
+        Self {
+            aggressor,
+            k,
+            t_on: timings.t_ras + k * timings.t_rc,
+        }
+    }
+
+    /// Duration of one round of this pattern: `(K + 1) × tRC` (Appendix B).
+    pub fn round_time(&self, timings: &DramTimings) -> Cycle {
+        (self.k + 1) * timings.t_rc
+    }
+}
+
+impl AttackPattern for CombinedPattern {
+    fn round(&self, _i: u64) -> AggressorAccess {
+        AggressorAccess::press(self.aggressor, self.t_on)
+    }
+
+    fn name(&self) -> String {
+        format!("Combined(row {}, K = {})", self.aggressor, self.k)
+    }
+}
+
+/// The ImPress-N evasion pattern of Figure 10: the aggressor is opened just before a
+/// window boundary (so the ORA misses it) and kept open for `tRC + tRAS`, with a decoy
+/// activation closing it before it would be sampled twice.
+///
+/// Against ImPress-N this pattern leaks `(1 + α)` units of charge per tracked
+/// activation, reducing the tolerated threshold to `TRH/(1 + α)` (Equation 5). Against
+/// ImPress-P it gains nothing (the full open time is converted into EACT).
+#[derive(Debug, Clone, Copy)]
+pub struct EvasionPattern {
+    /// The aggressor row.
+    pub aggressor: RowId,
+    /// A decoy row in the same bank used to force the precharge.
+    pub decoy: RowId,
+    t_on: Cycle,
+}
+
+impl EvasionPattern {
+    /// Creates the evasion pattern; `decoy` must differ from `aggressor` and should be
+    /// far enough away not to share victims.
+    pub fn new(aggressor: RowId, decoy: RowId, timings: &DramTimings) -> Self {
+        assert_ne!(aggressor, decoy, "decoy must differ from the aggressor");
+        Self {
+            aggressor,
+            decoy,
+            t_on: timings.t_rc + timings.t_ras,
+        }
+    }
+
+    /// Charge leaked per round on the aggressor's victims (in RH units) under the CLM
+    /// with parameter `alpha`.
+    pub fn charge_per_round(&self, alpha: f64) -> f64 {
+        1.0 + alpha
+    }
+}
+
+impl AttackPattern for EvasionPattern {
+    fn round(&self, i: u64) -> AggressorAccess {
+        // Alternate the long aggressor access with a minimum-length decoy access (the
+        // decoy both closes the aggressor row and hides the pattern's regularity).
+        if i % 2 == 0 {
+            AggressorAccess::press(self.aggressor, self.t_on)
+        } else {
+            AggressorAccess::hammer(self.decoy)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ImPress-N evasion(row {}, decoy {})", self.aggressor, self.decoy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timings() -> DramTimings {
+        DramTimings::ddr5()
+    }
+
+    #[test]
+    fn rowhammer_rounds_are_minimum_length() {
+        let p = RowhammerPattern::new(5);
+        assert_eq!(p.round(0), AggressorAccess::hammer(5));
+        assert_eq!(p.accesses(10).len(), 10);
+        assert!(p.name().contains("Rowhammer"));
+    }
+
+    #[test]
+    fn combined_pattern_degenerates_to_rowhammer_at_k0() {
+        let t = timings();
+        let p = CombinedPattern::new(7, 0, &t);
+        assert_eq!(p.round(0).t_on, t.t_ras);
+        assert_eq!(p.round_time(&t), t.t_rc);
+    }
+
+    #[test]
+    fn combined_pattern_round_time_scales_with_k() {
+        let t = timings();
+        let p = CombinedPattern::new(7, 72, &t);
+        assert_eq!(p.round_time(&t), 73 * t.t_rc);
+        assert_eq!(p.round(3).t_on, t.t_ras + 72 * t.t_rc);
+    }
+
+    #[test]
+    fn maximal_rowpress_uses_postponement_limit() {
+        let t = timings();
+        let p = RowPressPattern::maximal(9, &t);
+        assert_eq!(p.t_on, 5 * t.t_refi);
+    }
+
+    #[test]
+    fn evasion_alternates_aggressor_and_decoy() {
+        let t = timings();
+        let p = EvasionPattern::new(10, 500, &t);
+        assert_eq!(p.round(0).row, 10);
+        assert_eq!(p.round(1).row, 500);
+        assert_eq!(p.round(0).t_on, t.t_rc + t.t_ras);
+        assert!((p.charge_per_round(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decoy")]
+    fn evasion_rejects_same_row() {
+        let _ = EvasionPattern::new(10, 10, &timings());
+    }
+
+    #[test]
+    fn iter_matches_accesses() {
+        let p = RowPressPattern::new(3, 1000);
+        let via_iter: Vec<_> = p.iter(5).collect();
+        assert_eq!(via_iter, p.accesses(5));
+    }
+}

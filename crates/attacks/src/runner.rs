@@ -1,0 +1,214 @@
+//! Replays attack patterns against a mitigation engine and measures the attacker-visible
+//! slowdown (the simulated counterpart of the analytic models in [`crate::analytic`]).
+
+use impress_core::config::ProtectionConfig;
+use impress_core::engine::BankMitigationEngine;
+use impress_dram::bank::ClosedRow;
+use impress_dram::timing::{Cycle, DramTimings};
+
+use crate::patterns::AttackPattern;
+
+/// Outcome of replaying an attack pattern against a protected bank, from the attacker's
+/// performance point of view (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPerformanceReport {
+    /// Number of attack rounds replayed.
+    pub rounds: u64,
+    /// Time the rounds would take with no mitigation, in cycles.
+    pub baseline_cycles: Cycle,
+    /// Extra cycles spent on mitigative refreshes triggered by the attack.
+    pub mitigation_cycles: Cycle,
+    /// Number of mitigations triggered.
+    pub mitigations: u64,
+}
+
+impl AttackPerformanceReport {
+    /// The attacker-visible slowdown: mitigation time relative to the unmitigated
+    /// attack time (Appendix B's "Slowdown").
+    pub fn slowdown(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            0.0
+        } else {
+            self.mitigation_cycles as f64 / self.baseline_cycles as f64
+        }
+    }
+}
+
+/// Replays attack patterns against a single protected bank, accounting only for the
+/// memory-side mitigation cost (in-DRAM mitigations happen under REF/RFM and do not
+/// slow the attacker down, as noted in Appendix B).
+#[derive(Debug)]
+pub struct AttackRunner {
+    engine: BankMitigationEngine,
+    timings: DramTimings,
+    /// Cycles added per mitigation: blast radius 2 → 4 victim refreshes of tRC each.
+    mitigation_cost: Cycle,
+}
+
+impl AttackRunner {
+    /// Creates a runner for the given protection configuration.
+    pub fn new(config: &ProtectionConfig, timings: &DramTimings) -> Self {
+        Self {
+            engine: BankMitigationEngine::new(config, timings),
+            timings: timings.clone(),
+            mitigation_cost: 4 * timings.t_rc,
+        }
+    }
+
+    /// Replays `rounds` rounds of `pattern` and reports the attacker-visible slowdown.
+    pub fn run(&mut self, pattern: &dyn AttackPattern, rounds: u64) -> AttackPerformanceReport {
+        let mut now: Cycle = 0;
+        let mut baseline: Cycle = 0;
+        let mut mitigation_cycles: Cycle = 0;
+        let mut mitigations = 0u64;
+
+        for i in 0..rounds {
+            let access = pattern.round(i);
+            let t_on = access.t_on.max(self.timings.t_ras);
+            let round_time = t_on + self.timings.t_pre;
+            baseline += round_time;
+
+            let handle = |requests: Vec<impress_trackers::MitigationRequest>,
+                              now: &mut Cycle,
+                              mitigation_cycles: &mut Cycle,
+                              mitigations: &mut u64| {
+                for _ in requests {
+                    *now += self.mitigation_cost;
+                    *mitigation_cycles += self.mitigation_cost;
+                    *mitigations += 1;
+                }
+            };
+
+            let opened_at = now;
+            let reqs = self.engine.on_activate(access.row, opened_at);
+            handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+
+            let closed_at = opened_at + t_on;
+            let closed = ClosedRow {
+                row: access.row,
+                open_cycles: t_on,
+                opened_at,
+                closed_at,
+            };
+            now = closed_at + self.timings.t_pre;
+            let reqs = self.engine.on_close(&closed);
+            handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+        }
+
+        AttackPerformanceReport {
+            rounds,
+            baseline_cycles: baseline,
+            mitigation_cycles,
+            mitigations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{graphene_attack_slowdown, para_attack_slowdown_with_p};
+    use crate::patterns::CombinedPattern;
+    use impress_core::config::{DefenseKind, TrackerChoice};
+    use impress_trackers::analysis::para_probability_appendix_b;
+
+    fn timings() -> DramTimings {
+        DramTimings::ddr5()
+    }
+
+    #[test]
+    fn graphene_measured_slowdown_matches_equation9() {
+        let t = timings();
+        for trh in [1_000u64, 4_000] {
+            let cfg = ProtectionConfig {
+                rowhammer_threshold: trh,
+                ..ProtectionConfig::paper_default(
+                    TrackerChoice::Graphene,
+                    DefenseKind::impress_p_default(),
+                )
+            };
+            let mut runner = AttackRunner::new(&cfg, &t);
+            let pattern = CombinedPattern::new(300, 8, &t);
+            let report = runner.run(&pattern, 60_000);
+            let analytic = graphene_attack_slowdown(trh, 8);
+            // Graphene's internal threshold is TRH/3 rather than the TRH/2 idealised in
+            // Appendix B, so the measured mitigation rate is within ~2x of Equation 9
+            // and, crucially, stays sub-1% and independent of K.
+            assert!(
+                report.slowdown() < 3.0 * analytic && report.slowdown() > 0.2 * analytic,
+                "measured {} vs analytic {}",
+                report.slowdown(),
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn graphene_slowdown_is_flat_in_k() {
+        let t = timings();
+        let cfg = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        );
+        let slowdowns: Vec<f64> = [0u64, 16, 64]
+            .iter()
+            .map(|&k| {
+                let mut runner = AttackRunner::new(&cfg, &t);
+                let pattern = CombinedPattern::new(300, k, &t);
+                runner.run(&pattern, 30_000).slowdown()
+            })
+            .collect();
+        let max = slowdowns.iter().cloned().fold(f64::MIN, f64::max);
+        let min = slowdowns.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.002, "slowdowns vary too much: {slowdowns:?}");
+    }
+
+    #[test]
+    fn para_measured_slowdown_matches_equation10() {
+        let t = timings();
+        let trh = 4_000u64;
+        let p = para_probability_appendix_b(trh);
+        for k in [0u64, 40, 100] {
+            let cfg = ProtectionConfig {
+                rowhammer_threshold: trh,
+                seed: 77,
+                ..ProtectionConfig::paper_default(
+                    TrackerChoice::Para,
+                    DefenseKind::impress_p_default(),
+                )
+            };
+            // Use the Appendix-B probability for an apples-to-apples comparison.
+            let mut runner = AttackRunner::new(&cfg, &t);
+            let pattern = CombinedPattern::new(300, k, &t);
+            let report = runner.run(&pattern, 40_000);
+            // PARA's default probability (1/184) differs from Appendix B's (1/84);
+            // rescale the analytic expectation accordingly.
+            let default_p = impress_trackers::analysis::para_probability(trh);
+            let analytic = para_attack_slowdown_with_p(default_p, k);
+            let _ = p;
+            assert!(
+                (report.slowdown() - analytic).abs() < 0.35 * analytic + 0.002,
+                "K={k}: measured {} vs analytic {}",
+                report.slowdown(),
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn rowpress_does_not_outrun_rowhammer_for_para() {
+        // The attacker gains nothing (in mitigation overhead avoided) by adding
+        // Row-Press when ImPress-P is deployed.
+        let t = timings();
+        let cfg = ProtectionConfig::paper_default(
+            TrackerChoice::Para,
+            DefenseKind::impress_p_default(),
+        );
+        let slowdown_at = |k: u64| {
+            let mut runner = AttackRunner::new(&cfg, &t);
+            let pattern = CombinedPattern::new(300, k, &t);
+            runner.run(&pattern, 40_000).slowdown()
+        };
+        assert!(slowdown_at(200) <= slowdown_at(0) + 0.01);
+    }
+}

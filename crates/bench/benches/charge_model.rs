@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks: Unified Charge-Loss Model and EACT conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impress_core::{Alpha, ChargeLossModel};
+use impress_dram::DramTimings;
+use impress_trackers::Eact;
+use std::hint::black_box;
+
+fn bench_charge_model(c: &mut Criterion) {
+    let timings = DramTimings::ddr5();
+    let clm = ChargeLossModel::new(Alpha::LongDuration, &timings);
+
+    c.bench_function("clm_charge_loss", |b| {
+        let mut t = 96u64;
+        b.iter(|| {
+            t = (t + 97) % 200_000;
+            black_box(clm.charge_loss(black_box(t)))
+        });
+    });
+
+    c.bench_function("clm_pattern_1000_accesses", |b| {
+        let pattern: Vec<u64> = (0..1000u64).map(|i| 96 + (i * 131) % 50_000).collect();
+        b.iter(|| black_box(clm.pattern_charge_loss(pattern.iter().copied())));
+    });
+
+    c.bench_function("eact_from_open_time", |b| {
+        let mut t = 96u64;
+        b.iter(|| {
+            t = (t + 61) % 100_000;
+            black_box(Eact::from_open_time(black_box(t), 32, 128, 7))
+        });
+    });
+}
+
+criterion_group!(benches, bench_charge_model);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: memory-controller access throughput with and without
+//! ImPress-P protection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_dram::PhysicalAddress;
+use impress_memctrl::{ControllerConfig, MemoryController};
+use std::hint::black_box;
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_access");
+    let configs = [
+        ("unprotected", ControllerConfig::baseline()),
+        (
+            "graphene_impress_p",
+            ControllerConfig::baseline().with_protection(ProtectionConfig::paper_default(
+                TrackerChoice::Graphene,
+                DefenseKind::impress_p_default(),
+            )),
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let mut mc = MemoryController::new(config.clone());
+            let capacity = config.organization.capacity_bytes();
+            let mut now = 0u64;
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = (addr + 64) % capacity;
+                let out = mc
+                    .access_physical(PhysicalAddress::new(addr), false, now)
+                    .unwrap();
+                now = out.completed_at;
+                black_box(out.outcome)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

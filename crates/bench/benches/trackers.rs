@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: per-activation cost of each Rowhammer tracker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_trackers::{Eact, Graphene, Mint, Mithril, Para, Prac, RowTracker};
+use std::hint::black_box;
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_record");
+    let mut trackers: Vec<(&str, Box<dyn RowTracker>)> = vec![
+        ("graphene", Box::new(Graphene::for_threshold(4_000))),
+        ("para", Box::new(Para::for_threshold(4_000))),
+        ("mithril", Box::new(Mithril::for_threshold(4_000))),
+        ("mint", Box::new(Mint::paper_default())),
+        ("prac", Box::new(Prac::for_threshold(4_000, 7, 1 << 16))),
+    ];
+    for (name, tracker) in &mut trackers {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), name, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let row = (i % 4096) as u32;
+                black_box(tracker.record(row, Eact::from_f64(1.5, 7), i * 128))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trackers);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 3: performance impact of limiting the row-open time (tMRO) on SPEC and
+//! STREAM workloads (no Rowhammer tracker; pure page-policy effect).
+
+use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_core::rowpress_data::TMRO_SWEEP_NS;
+use impress_dram::timing::ns_to_cycles;
+use impress_sim::{Configuration, ExperimentRunner};
+
+fn main() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let baseline = Configuration::unprotected();
+
+    println!("Figure 3: Normalized performance vs tMRO (no tracker)");
+    println!("tMRO\tworkload\tnorm_performance");
+    for &tmro_ns in &TMRO_SWEEP_NS {
+        let label = format!("tMRO={tmro_ns}ns");
+        let config = Configuration::with_tmro(label.clone(), ns_to_cycles(tmro_ns));
+        let mut results = Vec::new();
+        for workload in figure_workloads() {
+            let r = runner.run_normalized(workload, &baseline, &config);
+            println!("{label}\t{workload}\t{:.4}", r.normalized_performance);
+            results.push(r);
+        }
+        print_class_gmeans(&label, &results);
+        println!();
+    }
+}

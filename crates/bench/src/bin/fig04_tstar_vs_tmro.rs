@@ -1,0 +1,30 @@
+//! Figure 4: reduction in the tolerated threshold (T*) as the maximum row-open time
+//! (tMRO) is constrained, from the Row-Press characterization data.
+
+use impress_core::rowpress_data::{relative_threshold_for_tmro, TSTAR_VS_TMRO};
+use impress_core::threshold::express_threshold_from_clm;
+use impress_core::Alpha;
+use impress_dram::timing::ns_to_cycles;
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    println!("Figure 4: Relative threshold (T*) vs maximum row-open time (tMRO)");
+    println!("tMRO_ns\tT*_data\tT*_CLM_alpha0.35\tT*_CLM_alpha1.0");
+    for point in TSTAR_VS_TMRO {
+        let ns = point.t_mro_ns;
+        let clm_035 =
+            express_threshold_from_clm(ns_to_cycles(ns), Alpha::ShortDuration, &timings);
+        let clm_1 = express_threshold_from_clm(ns_to_cycles(ns), Alpha::Conservative, &timings);
+        println!(
+            "{ns}\t{:.3}\t{clm_035:.3}\t{clm_1:.3}",
+            point.relative_threshold
+        );
+    }
+    // The headline number quoted in §II-E.
+    println!();
+    println!(
+        "T* at tMRO=186ns (paper: 0.62): {:.3}",
+        relative_threshold_for_tmro(186)
+    );
+}

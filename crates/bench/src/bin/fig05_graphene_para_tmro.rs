@@ -1,0 +1,40 @@
+//! Figure 5: performance of Graphene and PARA under ExPress as tMRO is varied
+//! (SPEC and STREAM geometric means, normalized to the respective tracker with no
+//! Row-Press mitigation).
+
+use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_core::rowpress_data::TMRO_SWEEP_NS;
+use impress_core::Alpha;
+use impress_dram::timing::ns_to_cycles;
+use impress_sim::{Configuration, ExperimentRunner};
+
+fn main() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+
+    println!("Figure 5: Graphene and PARA performance vs tMRO (ExPress)");
+    println!("tracker\ttMRO\tclass\tnorm_performance");
+    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para] {
+        // Baseline: the same tracker with no Row-Press mitigation (no tMRO).
+        let baseline = Configuration::protected(
+            format!("{}+No-RP", tracker.label()),
+            ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
+        );
+        for &tmro_ns in &TMRO_SWEEP_NS {
+            let defense = DefenseKind::Express {
+                t_mro: ns_to_cycles(tmro_ns),
+                alpha: Alpha::Conservative,
+            };
+            let config = Configuration::protected(
+                format!("{}+ExPress(tMRO={tmro_ns}ns)", tracker.label()),
+                ProtectionConfig::paper_default(tracker, defense),
+            );
+            let mut results = Vec::new();
+            for workload in figure_workloads() {
+                results.push(runner.run_normalized(workload, &baseline, &config));
+            }
+            print_class_gmeans(&format!("{}\ttMRO={tmro_ns}ns", tracker.label()), &results);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 7: total charge loss of long-duration Row-Press attacks (1 and 9 tREFI in
+//! DDR4) for devices of all three vendors, compared with Rowhammer and the CLM
+//! envelope at alpha = 0.48.
+
+use impress_core::rowpress_data::{long_duration_points, Vendor, LONG_DURATIONS_TRC};
+use impress_core::{Alpha, ChargeLossModel};
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr4();
+    let clm = ChargeLossModel::new(Alpha::LongDuration, &timings);
+    let points = long_duration_points();
+
+    println!("Figure 7: Total charge loss (TCL) of long-duration Row-Press");
+    println!("vendor\tdevice\tduration_tRC\tTCL_device\tTCL_CLM_alpha0.48\tTCL_Rowhammer");
+    for vendor in Vendor::ALL {
+        for p in points.iter().filter(|p| p.vendor == vendor) {
+            let clm_tcl = clm.charge_loss_for_attack_time(p.duration_trc as f64);
+            println!(
+                "{vendor:?}\t{}\t{}\t{:.1}\t{clm_tcl:.1}\t{}",
+                p.device, p.duration_trc, p.total_charge_loss, p.duration_trc
+            );
+        }
+    }
+
+    println!();
+    println!("Envelope check (no device above the CLM line):");
+    for duration in LONG_DURATIONS_TRC {
+        let clm_tcl = clm.charge_loss_for_attack_time(duration as f64);
+        let worst = points
+            .iter()
+            .filter(|p| p.duration_trc == duration)
+            .map(|p| p.total_charge_loss)
+            .fold(0.0f64, f64::max);
+        println!(
+            "duration {duration} tRC: worst device {worst:.1} <= CLM {clm_tcl:.1} : {}",
+            worst <= clm_tcl + 1e-9
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 8: relative charge-loss model for short-duration Row-Press (1–8 tRC),
+//! comparing the measured data, a curve fit, the CLM at alpha = 0.35, and Rowhammer.
+
+use impress_core::rowpress_data::{short_duration_curve_fit, SHORT_DURATION_TCL};
+use impress_core::{Alpha, ChargeLossModel};
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let clm = ChargeLossModel::new(Alpha::ShortDuration, &timings);
+    println!("Figure 8: Relative charge-loss model for Row-Press (short duration)");
+    println!("attack_time_tRC\tRowhammer\tRP_data\tcurve_fit\tCLM_alpha0.35");
+    for p in SHORT_DURATION_TCL {
+        let t = p.attack_time_trc;
+        println!(
+            "{t:.0}\t{t:.2}\t{:.2}\t{:.2}\t{:.2}",
+            p.total_charge_loss,
+            short_duration_curve_fit(t),
+            clm.charge_loss_for_attack_time(t)
+        );
+    }
+}

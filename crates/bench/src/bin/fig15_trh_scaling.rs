@@ -1,0 +1,50 @@
+//! Figure 15: performance of Graphene and PARA with No-RP, ExPress and ImPress-P as
+//! the Rowhammer threshold scales from 4K down to 1K, normalized to the unprotected
+//! baseline.
+
+use impress_bench::{figure_workloads, requests_per_core};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_dram::DramTimings;
+use impress_sim::{geometric_mean, Configuration, ExperimentRunner};
+
+fn main() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let timings = DramTimings::ddr5();
+    let baseline = Configuration::unprotected();
+
+    println!("Figure 15: Performance vs Rowhammer threshold (normalized to unprotected)");
+    println!("tracker\tdefense\tTRH\tgmean_norm_performance");
+    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para] {
+        let defenses = [
+            ("No-RP", DefenseKind::NoRp),
+            ("ExPress", DefenseKind::express_paper_baseline(&timings)),
+            ("ImPress-P", DefenseKind::impress_p_default()),
+        ];
+        for (label, defense) in defenses {
+            for trh in [4_000u64, 2_000, 1_000] {
+                let protection = ProtectionConfig {
+                    rowhammer_threshold: trh,
+                    ..ProtectionConfig::paper_default(tracker, defense)
+                };
+                let config = Configuration::protected(
+                    format!("{}+{label}@TRH={trh}", tracker.label()),
+                    protection,
+                );
+                let values: Vec<f64> = figure_workloads()
+                    .iter()
+                    .map(|w| {
+                        runner
+                            .run_normalized(w, &baseline, &config)
+                            .normalized_performance
+                    })
+                    .collect();
+                println!(
+                    "{}\t{label}\t{trh}\t{:.4}",
+                    tracker.label(),
+                    geometric_mean(&values)
+                );
+            }
+        }
+        println!();
+    }
+}

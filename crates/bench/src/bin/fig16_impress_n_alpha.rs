@@ -1,0 +1,54 @@
+//! Figure 16 (Appendix A): performance of Graphene, PARA and MINT under ExPress and
+//! ImPress-N at alpha = 0.35 and alpha = 1, normalized to the same tracker with no
+//! Row-Press mitigation.
+
+use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_core::Alpha;
+use impress_dram::DramTimings;
+use impress_sim::{Configuration, ExperimentRunner};
+
+fn main() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let timings = DramTimings::ddr5();
+
+    println!("Figure 16: ExPress vs ImPress-N at alpha = 0.35 and 1.0 (normalized to No-RP)");
+    println!("configuration\tclass\tnorm_performance");
+    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para, TrackerChoice::Mint] {
+        let baseline = Configuration::protected(
+            format!("{}+No-RP", tracker.label()),
+            ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
+        );
+        for alpha in [Alpha::ShortDuration, Alpha::Conservative] {
+            let defenses = [
+                (
+                    format!("ExPress(α={})", alpha.value()),
+                    DefenseKind::Express {
+                        t_mro: timings.t_ras + timings.t_rc,
+                        alpha,
+                    },
+                ),
+                (
+                    format!("ImPress-N(α={})", alpha.value()),
+                    DefenseKind::ImpressN { alpha },
+                ),
+            ];
+            for (label, defense) in defenses {
+                let protection = ProtectionConfig::paper_default(tracker, defense);
+                if protection.validate().is_err() {
+                    continue; // ExPress is incompatible with in-DRAM trackers.
+                }
+                let config = Configuration::protected(
+                    format!("{}+{label}", tracker.label()),
+                    protection,
+                );
+                let mut results = Vec::new();
+                for workload in figure_workloads() {
+                    results.push(runner.run_normalized(workload, &baseline, &config));
+                }
+                print_class_gmeans(&config.label, &results);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 19: slowdown of ImPress-P with PARA under the parameterized combined
+//! Rowhammer/Row-Press attack pattern, for TRH of 1K/2K/4K, as the Row-Press parameter
+//! K is swept. Reports both the analytic model (Equation 10, with the Appendix-B
+//! probabilities) and the simulated value (with the §III-B probabilities).
+
+use impress_attacks::{para_attack_slowdown, AttackRunner, CombinedPattern};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    println!("Figure 19: Slowdown of ImPress-P with PARA under the combined attack");
+    println!("TRH\tK\tanalytic_slowdown_pct\tsimulated_slowdown_pct");
+    for trh in [1_000u64, 2_000, 4_000] {
+        for k in [0u64, 10, 20, 40, 60, 80, 100] {
+            let analytic = para_attack_slowdown(trh, k) * 100.0;
+            let config = ProtectionConfig {
+                rowhammer_threshold: trh,
+                ..ProtectionConfig::paper_default(
+                    TrackerChoice::Para,
+                    DefenseKind::impress_p_default(),
+                )
+            };
+            let mut runner = AttackRunner::new(&config, &timings);
+            let pattern = CombinedPattern::new(1_000, k, &timings);
+            let rounds = 60_000 / (k + 1).max(1) + 5_000;
+            let simulated = runner.run(&pattern, rounds).slowdown() * 100.0;
+            println!("{trh}\t{k}\t{analytic:.3}\t{simulated:.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,62 @@
+//! §V-B (Equation 5): the worst-case unmitigated Row-Press of ImPress-N.
+//!
+//! Replays Rowhammer, maximal Row-Press and the Figure-10 evasion pattern against
+//! Graphene under each defense and reports the maximum unmitigated charge a victim
+//! accumulates (in RH units) and whether a device at TRH = 4K would flip.
+
+use impress_attacks::{AttackPattern, EvasionPattern, RowPressPattern, RowhammerPattern};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_core::security::SecurityHarness;
+use impress_core::Alpha;
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let alpha = 1.0; // ground-truth damage model (device-independent worst case)
+    let trh = 4_000u64;
+    let rounds = 40_000u64;
+
+    let defenses = [
+        ("No-RP", DefenseKind::NoRp),
+        (
+            "ImPress-N(α=1)",
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        ),
+        ("ImPress-P", DefenseKind::impress_p_default()),
+    ];
+    let patterns: Vec<Box<dyn AttackPattern>> = vec![
+        Box::new(RowhammerPattern::new(1_000)),
+        Box::new(RowPressPattern::new(1_000, timings.t_refi)),
+        Box::new(RowPressPattern::maximal(1_000, &timings)),
+        Box::new(EvasionPattern::new(1_000, 5_000, &timings)),
+    ];
+
+    println!("Equation 5 / Figure 10: maximum unmitigated charge under attack (TRH = {trh})");
+    println!("defense\tpattern\tmax_charge_RH_units\taccesses\tmitigations\tbit_flip");
+    for (label, defense) in defenses {
+        for pattern in &patterns {
+            let config = ProtectionConfig {
+                rowhammer_threshold: trh,
+                ..ProtectionConfig::paper_default(TrackerChoice::Graphene, defense)
+            };
+            let mut harness = SecurityHarness::new(&config, alpha, &timings);
+            let report = harness.run(pattern.accesses(rounds), u64::MAX);
+            println!(
+                "{label}\t{}\t{:.0}\t{}\t{}\t{}",
+                pattern.name(),
+                report.max_unmitigated_charge,
+                report.accesses,
+                report.mitigations,
+                report.bit_flipped()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Equation 5: ImPress-N effective threshold = TRH/(1+α): {:.0} (α=1), {:.0} (α=0.35)",
+        trh as f64 / 2.0,
+        trh as f64 / 1.35
+    );
+}

@@ -1,0 +1,55 @@
+//! Storage overheads (§VI-C, Appendix A): tracking entries and SRAM per channel for
+//! each tracker under No-RP, ExPress, ImPress-N and ImPress-P.
+
+use impress_core::config::{DefenseKind, TrackerChoice};
+use impress_core::storage::{relative_storage, storage_for};
+use impress_core::Alpha;
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let defenses = [
+        ("No-RP", DefenseKind::NoRp),
+        ("ExPress(α=1)", DefenseKind::express_paper_baseline(&timings)),
+        (
+            "ImPress-N(α=0.35)",
+            DefenseKind::ImpressN {
+                alpha: Alpha::ShortDuration,
+            },
+        ),
+        (
+            "ImPress-N(α=1)",
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        ),
+        ("ImPress-P", DefenseKind::impress_p_default()),
+    ];
+
+    println!("Storage overheads at TRH = 4K (64 banks per channel)");
+    println!("tracker\tdefense\teffective_T*\tentries_per_bank\tbits_per_entry\tKiB_per_channel\trelative_to_No-RP");
+    for tracker in [
+        TrackerChoice::Graphene,
+        TrackerChoice::Para,
+        TrackerChoice::Mithril,
+        TrackerChoice::Mint,
+        TrackerChoice::Prac,
+    ] {
+        for (label, defense) in defenses {
+            if matches!(defense, DefenseKind::Express { .. }) && tracker.is_in_dram() {
+                continue;
+            }
+            let s = storage_for(tracker, defense);
+            let rel = relative_storage(tracker, defense);
+            println!(
+                "{}\t{label}\t{}\t{}\t{}\t{:.1}\t{rel:.2}x",
+                tracker.label(),
+                s.effective_threshold,
+                s.estimate.entries_per_bank,
+                s.estimate.bits_per_entry,
+                s.kib_per_channel
+            );
+        }
+        println!();
+    }
+}

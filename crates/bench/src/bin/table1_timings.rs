@@ -1,0 +1,24 @@
+//! Table I: DRAM timing parameters used throughout the evaluation.
+
+use impress_dram::timing::cycles_to_ns;
+use impress_dram::DramTimings;
+
+fn main() {
+    let t = DramTimings::ddr5();
+    println!("Table I: DRAM Timings (DDR5)");
+    println!("parameter\tdescription\tvalue_ns\tvalue_cycles");
+    let rows = [
+        ("tACT", "Time for performing ACT", t.t_act),
+        ("tPRE", "Time to precharge an open row", t.t_pre),
+        ("tRAS", "Minimum time a row must be kept open", t.t_ras),
+        ("tRC", "Time between successive ACTs to a bank", t.t_rc),
+        ("tREFW", "Refresh period", t.t_refw),
+        ("tREFI", "Time between successive REF commands", t.t_refi),
+        ("tRFC", "Execution time for REF command", t.t_rfc),
+        ("tRFM", "Execution time for RFM command", t.t_rfm),
+        ("tONMax", "Max time a row can be kept open per DDR5", t.t_on_max),
+    ];
+    for (name, description, cycles) in rows {
+        println!("{name}\t{description}\t{}\t{}", cycles_to_ns(cycles), cycles);
+    }
+}

@@ -1,0 +1,31 @@
+//! Table II: baseline system configuration.
+
+use impress_sim::{LlcConfig, SystemConfig};
+
+fn main() {
+    let sys = SystemConfig::baseline();
+    let llc = LlcConfig::baseline();
+    let org = &sys.controller.organization;
+    println!("Table II: Baseline System Configuration");
+    println!("component\tvalue");
+    println!("Out-of-Order Cores\t{} cores", sys.cores);
+    println!("ROB size\t{}", sys.rob_size);
+    println!(
+        "Last Level Cache (Shared)\t{} MB, {}-way, {} B lines, SRRIP",
+        llc.capacity_bytes >> 20,
+        llc.ways,
+        llc.line_bytes
+    );
+    println!(
+        "Memory size\t{} GB -- DDR5",
+        org.capacity_bytes() >> 30
+    );
+    println!("Channels\t{}", org.channels);
+    println!(
+        "Banks x Ranks x Bank-Groups\t{}x{}x{}",
+        org.banks_per_group, org.ranks, org.bank_groups
+    );
+    println!("Memory-Mapping\tMinimalist Open Page (8 lines)");
+    println!("RFM threshold (RFMTH)\t80");
+    println!("Rowhammer threshold (TRH)\t4K");
+}

@@ -1,0 +1,62 @@
+//! Table III: qualitative comparison of ExPress, ImPress-N and ImPress-P.
+
+use impress_core::DefenseProperties;
+use impress_dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let columns = DefenseProperties::table3(&timings);
+    println!("Table III: Comparison of ExPress, ImPress-N, and ImPress-P");
+    let names: Vec<&str> = columns.iter().map(|c| c.name).collect();
+    println!("property\t{}", names.join("\t"));
+
+    let yes_no = |b: bool| if b { "Yes" } else { "No" };
+    let row = |label: &str, values: Vec<String>| println!("{label}\t{}", values.join("\t"));
+
+    row(
+        "Puts Limit on tON",
+        columns.iter().map(|c| yes_no(c.limits_t_on).to_string()).collect(),
+    );
+    row(
+        "Affects Threshold (T*)",
+        columns
+            .iter()
+            .map(|c| {
+                if (c.threshold_factor - 1.0).abs() < 1e-9 {
+                    "No (1x)".to_string()
+                } else {
+                    format!("Yes ({:.1}x)", 1.0 / c.threshold_factor)
+                }
+            })
+            .collect(),
+    );
+    row(
+        "Performance Overheads",
+        columns.iter().map(|c| c.performance.to_string()).collect(),
+    );
+    row(
+        "More Tracking Entries",
+        columns.iter().map(|c| yes_no(c.more_entries).to_string()).collect(),
+    );
+    row(
+        "Wider Tracking Entries",
+        columns.iter().map(|c| yes_no(c.wider_entries).to_string()).collect(),
+    );
+    row(
+        "In-DRAM Trackers",
+        columns
+            .iter()
+            .map(|c| {
+                if c.in_dram_compatible {
+                    "Compatible".to_string()
+                } else {
+                    "Incompatible".to_string()
+                }
+            })
+            .collect(),
+    );
+    row(
+        "Device Dependency",
+        columns.iter().map(|c| yes_no(c.device_dependent).to_string()).collect(),
+    );
+}

@@ -1,0 +1,121 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Every table and figure of the paper has a dedicated binary in `src/bin/` (see
+//! DESIGN.md §4 for the experiment index). The binaries print tab-separated tables to
+//! stdout so their output can be diffed against the values recorded in EXPERIMENTS.md.
+//! This library holds the formatting and sweep helpers they share.
+
+#![warn(missing_docs)]
+
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_sim::{Configuration, ExperimentRunner, NormalizedResult};
+use impress_workloads::{LocalityClass, WorkloadMix};
+
+/// Number of memory requests per core used by the figure binaries.
+///
+/// Controlled by the `IMPRESS_SCALE` environment variable (see
+/// `impress_sim::config::default_requests_per_core`); the default keeps the whole
+/// figure suite under a few minutes.
+pub fn requests_per_core() -> u64 {
+    impress_sim::config::default_requests_per_core()
+}
+
+/// Workloads used by quick sweeps: a SPEC subset plus a STREAM subset that together
+/// capture both locality classes. Set `IMPRESS_ALL_WORKLOADS=1` to run all twenty.
+pub fn figure_workloads() -> Vec<&'static str> {
+    if std::env::var("IMPRESS_ALL_WORKLOADS").is_ok() {
+        WorkloadMix::paper_workload_names()
+    } else {
+        vec![
+            "fotonik3d",
+            "mcf",
+            "gcc",
+            "omnetpp",
+            "xalancbmk",
+            "add",
+            "copy",
+            "triad",
+            "copy_scale",
+            "add_triad",
+        ]
+    }
+}
+
+/// Prints a header row for a tab-separated table.
+pub fn print_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one row of a tab-separated table.
+pub fn print_row(label: &str, values: &[f64]) {
+    let formatted: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+    println!("{label}\t{}", formatted.join("\t"));
+}
+
+/// Prints the SPEC and STREAM geometric means of a result set, one line per class.
+pub fn print_class_gmeans(label: &str, results: &[NormalizedResult]) {
+    let spec = ExperimentRunner::gmean_by_class(results, Some(LocalityClass::Spec));
+    let stream = ExperimentRunner::gmean_by_class(results, Some(LocalityClass::Stream));
+    print_row(&format!("{label}\tSPEC(GMean)"), &[spec]);
+    print_row(&format!("{label}\tSTREAM(GMean)"), &[stream]);
+}
+
+/// Builds the paper's protected configurations for one tracker: ExPress (where
+/// applicable), ImPress-N and ImPress-P, all at the given Rowhammer threshold.
+pub fn defense_configurations(tracker: TrackerChoice, trh: u64) -> Vec<Configuration> {
+    let timings = impress_dram::DramTimings::ddr5();
+    let mut out = Vec::new();
+    let mut push = |label: &str, defense: DefenseKind| {
+        let protection = ProtectionConfig {
+            rowhammer_threshold: trh,
+            ..ProtectionConfig::paper_default(tracker, defense)
+        };
+        if protection.validate().is_ok() {
+            out.push(Configuration::protected(
+                format!("{}+{label}", tracker.label()),
+                protection,
+            ));
+        }
+    };
+    push("No-RP", DefenseKind::NoRp);
+    push("ExPress", DefenseKind::express_paper_baseline(&timings));
+    push(
+        "ImPress-N",
+        DefenseKind::ImpressN {
+            alpha: impress_core::Alpha::Conservative,
+        },
+    );
+    push("ImPress-P", DefenseKind::impress_p_default());
+    out
+}
+
+/// Runs one configuration over the figure workloads, returning normalized results.
+pub fn run_over_workloads(
+    runner: &mut ExperimentRunner,
+    baseline: &Configuration,
+    configuration: &Configuration,
+) -> Vec<NormalizedResult> {
+    figure_workloads()
+        .iter()
+        .map(|w| runner.run_normalized(w, baseline, configuration))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_workloads_cover_both_classes() {
+        let workloads = figure_workloads();
+        assert!(workloads.iter().any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Spec));
+        assert!(workloads.iter().any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Stream));
+    }
+
+    #[test]
+    fn defense_configurations_skip_invalid_combinations() {
+        // ExPress cannot protect in-DRAM trackers, so MINT gets only three configs.
+        assert_eq!(defense_configurations(TrackerChoice::Graphene, 4_000).len(), 4);
+        assert_eq!(defense_configurations(TrackerChoice::Mint, 4_000).len(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! The qualitative comparison of ExPress, ImPress-N and ImPress-P (Table III).
+
+use std::fmt;
+
+use impress_dram::DramTimings;
+
+use crate::clm::Alpha;
+use crate::config::DefenseKind;
+
+/// Qualitative level used in Table III's performance-overhead row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadLevel {
+    /// Negligible or low overhead.
+    Low,
+    /// Noticeable overhead.
+    Medium,
+    /// Significant overhead.
+    High,
+}
+
+impl fmt::Display for OverheadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverheadLevel::Low => "Low",
+            OverheadLevel::Medium => "Medium",
+            OverheadLevel::High => "High",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column of Table III: the properties of a Row-Press mitigation scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefenseProperties {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Does the scheme put a limit on the row-open time?
+    pub limits_t_on: bool,
+    /// Factor by which the tracker's target threshold shrinks (1.0 = unchanged).
+    pub threshold_factor: f64,
+    /// Qualitative performance overhead.
+    pub performance: OverheadLevel,
+    /// Does the scheme need more tracking entries (up to 2x)?
+    pub more_entries: bool,
+    /// Does the scheme need wider tracking entries (extra fractional bits)?
+    pub wider_entries: bool,
+    /// Is the scheme compatible with in-DRAM trackers?
+    pub in_dram_compatible: bool,
+    /// Does the scheme's security depend on the per-device α?
+    pub device_dependent: bool,
+}
+
+impl DefenseProperties {
+    /// Properties of a defense configuration, reproducing Table III.
+    pub fn of(defense: &DefenseKind, timings: &DramTimings) -> Self {
+        let scale = defense.build(timings).tracker_threshold_scale();
+        match defense {
+            DefenseKind::NoRp => Self {
+                name: "No-RP",
+                limits_t_on: false,
+                threshold_factor: 1.0,
+                performance: OverheadLevel::Low,
+                more_entries: false,
+                wider_entries: false,
+                in_dram_compatible: true,
+                device_dependent: false,
+            },
+            DefenseKind::Express { .. } => Self {
+                name: "ExPress",
+                limits_t_on: true,
+                threshold_factor: scale,
+                performance: OverheadLevel::High,
+                more_entries: true,
+                wider_entries: false,
+                in_dram_compatible: false,
+                device_dependent: true,
+            },
+            DefenseKind::ImpressN { .. } => Self {
+                name: "ImPress-N",
+                limits_t_on: false,
+                threshold_factor: scale,
+                performance: OverheadLevel::Medium,
+                more_entries: true,
+                wider_entries: false,
+                in_dram_compatible: true,
+                device_dependent: true,
+            },
+            DefenseKind::ImpressP { .. } => Self {
+                name: "ImPress-P",
+                limits_t_on: false,
+                threshold_factor: 1.0,
+                performance: OverheadLevel::Low,
+                more_entries: false,
+                wider_entries: true,
+                in_dram_compatible: true,
+                device_dependent: false,
+            },
+        }
+    }
+
+    /// The three columns of Table III (ExPress, ImPress-N, ImPress-P), built with the
+    /// paper's default parameters (α = 1, 7 fractional bits).
+    pub fn table3(timings: &DramTimings) -> [DefenseProperties; 3] {
+        [
+            Self::of(&DefenseKind::express_paper_baseline(timings), timings),
+            Self::of(
+                &DefenseKind::ImpressN {
+                    alpha: Alpha::Conservative,
+                },
+                timings,
+            ),
+            Self::of(&DefenseKind::impress_p_default(), timings),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let t = DramTimings::ddr5();
+        let [express, impress_n, impress_p] = DefenseProperties::table3(&t);
+
+        // Row "Puts Limit on tON": Yes / No / No.
+        assert!(express.limits_t_on);
+        assert!(!impress_n.limits_t_on);
+        assert!(!impress_p.limits_t_on);
+
+        // Row "Affects Threshold": up to 2x / up to 2x / 1x.
+        assert!((express.threshold_factor - 0.5).abs() < 1e-12);
+        assert!((impress_n.threshold_factor - 0.5).abs() < 1e-12);
+        assert_eq!(impress_p.threshold_factor, 1.0);
+
+        // Row "In-DRAM Trackers": Incompatible / Compatible / Compatible.
+        assert!(!express.in_dram_compatible);
+        assert!(impress_n.in_dram_compatible);
+        assert!(impress_p.in_dram_compatible);
+
+        // Row "Device Dependency": Yes / Yes / No.
+        assert!(express.device_dependent);
+        assert!(impress_n.device_dependent);
+        assert!(!impress_p.device_dependent);
+
+        // Rows "More Tracking Entries" / "Wider Tracking Entries".
+        assert!(express.more_entries && !express.wider_entries);
+        assert!(impress_n.more_entries && !impress_n.wider_entries);
+        assert!(!impress_p.more_entries && impress_p.wider_entries);
+
+        // Row "Performance Overheads": High / Medium / Low.
+        assert_eq!(express.performance, OverheadLevel::High);
+        assert_eq!(impress_n.performance, OverheadLevel::Medium);
+        assert_eq!(impress_p.performance, OverheadLevel::Low);
+    }
+
+    #[test]
+    fn overhead_level_display() {
+        assert_eq!(OverheadLevel::Low.to_string(), "Low");
+        assert_eq!(OverheadLevel::High.to_string(), "High");
+    }
+}

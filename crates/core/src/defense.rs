@@ -1,0 +1,118 @@
+//! The [`RowPressDefense`] trait: how Row-Press activity is converted into tracker input.
+//!
+//! A defense sits between the memory controller (or the DRAM command decoder, for
+//! in-DRAM trackers) and the Rowhammer tracker. It observes row activations and row
+//! closures and produces the stream of [`TrackedActivation`]s that the tracker consumes:
+//!
+//! * **No-RP** (baseline): every ACT becomes one unit activation; row-open time ignored.
+//! * **ExPress** (§II-E): like No-RP, but the controller must additionally cap the row
+//!   open time at `tMRO` and the tracker must be re-targeted to the reduced threshold T*.
+//! * **ImPress-N** (§V): every ACT becomes one unit activation, and every full `tRC`
+//!   window a row stays open adds one more unit activation (ORA semantics).
+//! * **ImPress-P** (§VI): nothing is emitted at ACT; at row close one activation with
+//!   the measured `EACT = (tON + tPRE)/tRC` is emitted.
+
+use std::fmt;
+
+use impress_dram::address::RowId;
+use impress_dram::bank::ClosedRow;
+use impress_dram::timing::Cycle;
+use impress_trackers::Eact;
+
+/// One tracker-visible activation event produced by a defense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedActivation {
+    /// The aggressor row the event is attributed to.
+    pub row: RowId,
+    /// The equivalent activation count of the event.
+    pub eact: Eact,
+}
+
+impl TrackedActivation {
+    /// A single conventional activation of `row`.
+    pub fn unit(row: RowId) -> Self {
+        Self {
+            row,
+            eact: Eact::ONE,
+        }
+    }
+}
+
+/// A Row-Press defense: converts ACT/close events into tracker input.
+///
+/// Implementations are per-bank (they may carry per-bank state such as ImPress-N's
+/// window/ORA registers).
+pub trait RowPressDefense: fmt::Debug {
+    /// Called when the bank activates `row` at cycle `now`; returns the activations the
+    /// tracker should record immediately.
+    fn on_activate(&mut self, row: RowId, now: Cycle) -> Vec<TrackedActivation>;
+
+    /// Called when a row is closed (by precharge, refresh, or RFM); returns the
+    /// activations the tracker should record for the row's open time.
+    fn on_close(&mut self, closed: &ClosedRow) -> Vec<TrackedActivation>;
+
+    /// The maximum row-open time the memory controller must enforce, if any.
+    ///
+    /// Only ExPress constrains this; returning `Some` makes the defense incompatible
+    /// with in-DRAM trackers (the tMRO value is not visible inside the DRAM device).
+    fn max_row_open(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// The factor by which the underlying tracker's target threshold must be scaled
+    /// (T*/TRH) so that the system still tolerates the nominal Rowhammer threshold.
+    ///
+    /// 1.0 means the tracker keeps its original configuration (No-RP, ImPress-P).
+    fn tracker_threshold_scale(&self) -> f64 {
+        1.0
+    }
+
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The unprotected baseline: Rowhammer tracking only, no Row-Press awareness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRowPressDefense;
+
+impl NoRowPressDefense {
+    /// Creates the baseline defense.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RowPressDefense for NoRowPressDefense {
+    fn on_activate(&mut self, row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
+        vec![TrackedActivation::unit(row)]
+    }
+
+    fn on_close(&mut self, _closed: &ClosedRow) -> Vec<TrackedActivation> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "No-RP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rp_emits_one_unit_per_activation() {
+        let mut d = NoRowPressDefense::new();
+        let events = d.on_activate(42, 0);
+        assert_eq!(events, vec![TrackedActivation::unit(42)]);
+        let closed = ClosedRow {
+            row: 42,
+            open_cycles: 10_000,
+            opened_at: 0,
+            closed_at: 10_000,
+        };
+        assert!(d.on_close(&closed).is_empty());
+        assert_eq!(d.max_row_open(), None);
+        assert_eq!(d.tracker_threshold_scale(), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! ExPress: Explicit Row-Press mitigation (the prior-work baseline, §II-E).
+//!
+//! ExPress (Luo et al.) makes the memory controller close any row that has been open
+//! for `tMRO` cycles and re-targets the Rowhammer tracker to the reduced threshold T*
+//! that corresponds to that maximum open time. It therefore
+//!
+//! * hurts row-buffer locality (rows are closed early),
+//! * needs a larger/faster tracker (T* < TRH), and
+//! * cannot protect in-DRAM trackers, because the DRAM device never learns `tMRO`.
+
+use impress_dram::address::RowId;
+use impress_dram::bank::ClosedRow;
+use impress_dram::timing::{Cycle, DramTimings};
+
+use crate::clm::{Alpha, ChargeLossModel};
+use crate::defense::{RowPressDefense, TrackedActivation};
+use crate::rowpress_data::relative_threshold_for_tmro;
+
+/// How ExPress derives the reduced threshold T* from `tMRO`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdSource {
+    /// Use the device characterization data of Figure 4 (Table 8 of Luo et al.).
+    CharacterizationData,
+    /// Use the Conservative Linear Model with the given α (how the paper configures
+    /// its ExPress baselines: α = 0.35 or α = 1).
+    Clm(Alpha),
+}
+
+/// The ExPress defense for one bank.
+#[derive(Debug, Clone)]
+pub struct Express {
+    t_mro: Cycle,
+    threshold_scale: f64,
+}
+
+impl Express {
+    /// Creates an ExPress defense limiting the row-open time to `t_mro` cycles and
+    /// deriving the threshold reduction from `source`.
+    pub fn new(t_mro: Cycle, source: ThresholdSource, timings: &DramTimings) -> Self {
+        let t_mro = t_mro.max(timings.t_ras);
+        let threshold_scale = match source {
+            ThresholdSource::CharacterizationData => {
+                relative_threshold_for_tmro(impress_dram::timing::cycles_to_ns(t_mro))
+            }
+            ThresholdSource::Clm(alpha) => {
+                ChargeLossModel::new(alpha, timings).relative_threshold(t_mro)
+            }
+        };
+        Self {
+            t_mro,
+            threshold_scale,
+        }
+    }
+
+    /// The paper's ExPress configuration for comparing against ImPress-N:
+    /// `tMRO = tRAS + tRC` with the CLM-derived threshold (Appendix A).
+    pub fn paper_baseline(alpha: Alpha, timings: &DramTimings) -> Self {
+        Self::new(
+            timings.t_ras + timings.t_rc,
+            ThresholdSource::Clm(alpha),
+            timings,
+        )
+    }
+
+    /// The enforced maximum row-open time in cycles.
+    pub fn t_mro(&self) -> Cycle {
+        self.t_mro
+    }
+}
+
+impl RowPressDefense for Express {
+    fn on_activate(&mut self, row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
+        vec![TrackedActivation::unit(row)]
+    }
+
+    fn on_close(&mut self, _closed: &ClosedRow) -> Vec<TrackedActivation> {
+        Vec::new()
+    }
+
+    fn max_row_open(&self) -> Option<Cycle> {
+        Some(self.t_mro)
+    }
+
+    fn tracker_threshold_scale(&self) -> f64 {
+        self.threshold_scale
+    }
+
+    fn name(&self) -> &'static str {
+        "ExPress"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_halves_threshold_at_alpha_one() {
+        let t = DramTimings::ddr5();
+        let e = Express::paper_baseline(Alpha::Conservative, &t);
+        assert!((e.tracker_threshold_scale() - 0.5).abs() < 1e-12);
+        assert_eq!(e.max_row_open(), Some(t.t_ras + t.t_rc));
+    }
+
+    #[test]
+    fn paper_baseline_at_alpha_035_gives_1_35x_reduction() {
+        let t = DramTimings::ddr5();
+        let e = Express::paper_baseline(Alpha::ShortDuration, &t);
+        assert!((e.tracker_threshold_scale() - 1.0 / 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn characterization_data_threshold_at_186ns() {
+        let t = DramTimings::ddr5();
+        let e = Express::new(
+            impress_dram::timing::ns_to_cycles(186),
+            ThresholdSource::CharacterizationData,
+            &t,
+        );
+        assert!((e.tracker_threshold_scale() - 0.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tmro_is_clamped_to_tras() {
+        let t = DramTimings::ddr5();
+        let e = Express::new(10, ThresholdSource::Clm(Alpha::Conservative), &t);
+        assert_eq!(e.t_mro(), t.t_ras);
+        assert!((e.tracker_threshold_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emits_unit_activations_like_baseline() {
+        let t = DramTimings::ddr5();
+        let mut e = Express::paper_baseline(Alpha::Conservative, &t);
+        assert_eq!(e.on_activate(3, 0), vec![TrackedActivation::unit(3)]);
+        let closed = ClosedRow {
+            row: 3,
+            open_cycles: 100,
+            opened_at: 0,
+            closed_at: 100,
+        };
+        assert!(e.on_close(&closed).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Storage-overhead comparison across trackers and defenses (§VI-C, Appendix A).
+//!
+//! The paper's storage argument: ExPress and ImPress-N must re-target the tracker to
+//! T* = TRH/(1+α), which multiplies the number of entries by (1+α) (2x at α = 1);
+//! ImPress-P keeps the entry count and only widens each entry by 7 fractional bits
+//! (≈ 1.25x total storage).
+
+use impress_dram::DramTimings;
+use impress_trackers::StorageEstimate;
+
+use crate::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+
+/// The storage cost of one (tracker, defense) configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageComparison {
+    /// The tracker being sized.
+    pub tracker: TrackerChoice,
+    /// The defense determining the sizing.
+    pub defense: DefenseKind,
+    /// Threshold the tracker is configured for after the defense's scaling.
+    pub effective_threshold: u64,
+    /// Per-bank storage estimate.
+    pub estimate: StorageEstimate,
+    /// Storage per channel in KiB (with the baseline 64 banks/channel).
+    pub kib_per_channel: f64,
+}
+
+/// Banks per channel in the paper's baseline system (Table II).
+pub const BANKS_PER_CHANNEL: usize = 64;
+
+/// Computes the storage comparison for a (tracker, defense) pair at the paper's
+/// default TRH of 4K.
+pub fn storage_for(tracker: TrackerChoice, defense: DefenseKind) -> StorageComparison {
+    storage_for_threshold(tracker, defense, 4_000)
+}
+
+/// Computes the storage comparison for a (tracker, defense) pair at a given TRH.
+pub fn storage_for_threshold(
+    tracker: TrackerChoice,
+    defense: DefenseKind,
+    trh: u64,
+) -> StorageComparison {
+    let timings = DramTimings::ddr5();
+    let config = ProtectionConfig {
+        rowhammer_threshold: trh,
+        ..ProtectionConfig::paper_default(tracker, defense)
+    };
+    let effective_threshold = config.effective_tracker_threshold(&timings);
+    let estimate = config.build_tracker(&timings).storage();
+    StorageComparison {
+        tracker,
+        defense,
+        effective_threshold,
+        kib_per_channel: estimate.kib_per_channel(BANKS_PER_CHANNEL),
+        estimate,
+    }
+}
+
+/// Relative storage of a defense vs. the No-RP baseline for the same tracker.
+pub fn relative_storage(tracker: TrackerChoice, defense: DefenseKind) -> f64 {
+    let base = storage_for(tracker, DefenseKind::NoRp);
+    let with_defense = storage_for(tracker, defense);
+    with_defense
+        .estimate
+        .relative_to(&base.estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clm::Alpha;
+
+    #[test]
+    fn graphene_storage_ratios_match_section_6c() {
+        // §VI-C: ImPress-P storage is 1.25x of No-RP, whereas ImPress-N/ExPress are 2x.
+        let impress_p = relative_storage(TrackerChoice::Graphene, DefenseKind::impress_p_default());
+        assert!((1.1..=1.3).contains(&impress_p), "ImPress-P ratio = {impress_p}");
+
+        let impress_n = relative_storage(
+            TrackerChoice::Graphene,
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        );
+        assert!((1.9..=2.1).contains(&impress_n), "ImPress-N ratio = {impress_n}");
+
+        let timings = DramTimings::ddr5();
+        let express = relative_storage(
+            TrackerChoice::Graphene,
+            DefenseKind::express_paper_baseline(&timings),
+        );
+        assert!((1.9..=2.1).contains(&express), "ExPress ratio = {express}");
+    }
+
+    #[test]
+    fn graphene_absolute_storage_near_115kb() {
+        let base = storage_for(TrackerChoice::Graphene, DefenseKind::NoRp);
+        assert!(
+            (100.0..=130.0).contains(&base.kib_per_channel),
+            "Graphene No-RP storage = {} KiB/channel",
+            base.kib_per_channel
+        );
+        // Appendix A: 230 KB per channel at alpha=1 for ExPress / ImPress-N.
+        let doubled = storage_for(
+            TrackerChoice::Graphene,
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        );
+        assert!(
+            (200.0..=260.0).contains(&doubled.kib_per_channel),
+            "doubled storage = {} KiB/channel",
+            doubled.kib_per_channel
+        );
+    }
+
+    #[test]
+    fn mithril_entries_quadruple_under_impress_n() {
+        let base = storage_for(TrackerChoice::Mithril, DefenseKind::NoRp);
+        assert!((375..=395).contains(&(base.estimate.entries_per_bank as u64)));
+        let impress_n = storage_for(
+            TrackerChoice::Mithril,
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        );
+        // §VI-C: 383 -> ~1545 entries (we accept the calibrated ~1400-1600 range).
+        assert!(
+            (1300..=1700).contains(&(impress_n.estimate.entries_per_bank as u64)),
+            "entries = {}",
+            impress_n.estimate.entries_per_bank
+        );
+        let impress_p = storage_for(TrackerChoice::Mithril, DefenseKind::impress_p_default());
+        assert_eq!(
+            impress_p.estimate.entries_per_bank,
+            base.estimate.entries_per_bank
+        );
+    }
+
+    #[test]
+    fn mint_storage_4_to_5_bytes() {
+        let base = storage_for(TrackerChoice::Mint, DefenseKind::NoRp);
+        let impress_p = storage_for(TrackerChoice::Mint, DefenseKind::impress_p_default());
+        assert_eq!(base.estimate.bytes_per_bank(), 4);
+        assert_eq!(impress_p.estimate.bytes_per_bank(), 5);
+    }
+
+    #[test]
+    fn para_has_negligible_storage() {
+        let base = storage_for(TrackerChoice::Para, DefenseKind::NoRp);
+        assert!(base.estimate.bytes_per_bank() <= 8);
+    }
+}

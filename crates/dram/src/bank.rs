@@ -1,0 +1,389 @@
+//! Per-bank state machine: open row, open time, and timing legality.
+
+use crate::address::RowId;
+use crate::error::DramError;
+use crate::stats::BankStats;
+use crate::timing::{Cycle, DramTimings};
+
+/// The state of a DRAM bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// No row is open; the bank is precharged.
+    Idle,
+    /// A row is open in the row buffer.
+    Active {
+        /// The open row.
+        row: RowId,
+        /// Cycle at which the ACT for this row was issued.
+        opened_at: Cycle,
+    },
+}
+
+/// Information about a row that has just been closed by a precharge.
+///
+/// This is the quantity ImPress-P needs: the row identity and how long it was open
+/// (`tON`), from which the Equivalent Activation Count is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedRow {
+    /// The row that was closed.
+    pub row: RowId,
+    /// Number of cycles the row was open (from ACT issue to PRE issue).
+    pub open_cycles: Cycle,
+    /// Cycle at which the row was opened.
+    pub opened_at: Cycle,
+    /// Cycle at which the precharge was issued.
+    pub closed_at: Cycle,
+}
+
+/// A single DRAM bank: tracks the open row, enforces the timing constraints that matter
+/// for Rowhammer/Row-Press studies (`tRC`, `tRAS`), and accumulates statistics.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Flat index of this bank within its channel (for diagnostics only).
+    index: usize,
+    state: BankState,
+    /// Cycle of the most recent ACT to this bank (for the `tRC` constraint).
+    last_act_at: Option<Cycle>,
+    /// Cycle until which the bank is busy with a precharge or refresh.
+    busy_until: Cycle,
+    stats: BankStats,
+}
+
+impl Bank {
+    /// Creates an idle bank with the given flat index.
+    pub fn new(index: usize) -> Self {
+        Self {
+            index,
+            state: BankState::Idle,
+            last_act_at: None,
+            busy_until: 0,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Flat index of this bank within its channel.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<RowId> {
+        match self.state {
+            BankState::Active { row, .. } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Cycle at which the currently open row (if any) was opened.
+    pub fn opened_at(&self) -> Option<Cycle> {
+        match self.state {
+            BankState::Active { opened_at, .. } => Some(opened_at),
+            BankState::Idle => None,
+        }
+    }
+
+    /// How long the current row has been open as of `now` (0 if the bank is idle).
+    pub fn open_time(&self, now: Cycle) -> Cycle {
+        self.opened_at().map_or(0, |t| now.saturating_sub(t))
+    }
+
+    /// Accumulated statistics for this bank.
+    pub fn stats(&self) -> &BankStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (used by the controller to record queueing
+    /// metrics that the bank itself cannot observe).
+    pub fn stats_mut(&mut self) -> &mut BankStats {
+        &mut self.stats
+    }
+
+    /// Earliest cycle at which a new ACT to this bank is legal.
+    pub fn next_act_allowed(&self, timings: &DramTimings) -> Cycle {
+        let trc_bound = self
+            .last_act_at
+            .map_or(0, |t| t.saturating_add(timings.t_rc));
+        trc_bound.max(self.busy_until)
+    }
+
+    /// Earliest cycle at which the open row may be precharged (`tRAS` after its ACT).
+    /// Returns `None` if the bank is idle.
+    pub fn earliest_precharge(&self, timings: &DramTimings) -> Option<Cycle> {
+        self.opened_at().map(|t| t + timings.t_ras)
+    }
+
+    /// Issues an ACT opening `row` at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankAlreadyActive`] if a row is already open and
+    /// [`DramError::TimingViolation`] if `tRC` since the previous ACT (or a pending
+    /// precharge/refresh) has not elapsed.
+    pub fn activate(&mut self, row: RowId, now: Cycle, timings: &DramTimings) -> Result<(), DramError> {
+        if let BankState::Active { row: open, .. } = self.state {
+            return Err(DramError::BankAlreadyActive {
+                open_row: open,
+                requested_row: row,
+            });
+        }
+        let earliest = self.next_act_allowed(timings);
+        if now < earliest {
+            return Err(DramError::TimingViolation {
+                constraint: "tRC",
+                earliest_legal: earliest,
+                issued_at: now,
+            });
+        }
+        self.state = BankState::Active {
+            row,
+            opened_at: now,
+        };
+        self.last_act_at = Some(now);
+        self.stats.activations += 1;
+        Ok(())
+    }
+
+    /// Issues a precharge closing the open row at cycle `now`, returning the closed
+    /// row and its open time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActive`] if no row is open, and
+    /// [`DramError::TimingViolation`] if `tRAS` has not elapsed since the ACT.
+    pub fn precharge(&mut self, now: Cycle, timings: &DramTimings) -> Result<ClosedRow, DramError> {
+        match self.state {
+            BankState::Idle => Err(DramError::BankNotActive),
+            BankState::Active { row, opened_at } => {
+                let earliest = opened_at + timings.t_ras;
+                if now < earliest {
+                    return Err(DramError::TimingViolation {
+                        constraint: "tRAS",
+                        earliest_legal: earliest,
+                        issued_at: now,
+                    });
+                }
+                let open_cycles = now - opened_at;
+                self.state = BankState::Idle;
+                self.busy_until = now + timings.t_pre;
+                self.stats.precharges += 1;
+                self.stats.total_open_cycles += open_cycles;
+                self.stats.max_open_cycles = self.stats.max_open_cycles.max(open_cycles);
+                Ok(ClosedRow {
+                    row,
+                    open_cycles,
+                    opened_at,
+                    closed_at: now,
+                })
+            }
+        }
+    }
+
+    /// Records a column access (read or write) to `row` at cycle `now` and classifies
+    /// it as a row-buffer hit or miss for statistics.
+    ///
+    /// The access is a *hit* if `row` is currently open. The caller (memory
+    /// controller) is responsible for opening the row first on a miss; calling this
+    /// with a mismatched row returns an error so modelling bugs surface early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActive`] if the bank is idle, or
+    /// [`DramError::RowMismatch`] if a different row is open.
+    pub fn access(&mut self, row: RowId, is_write: bool, _now: Cycle) -> Result<(), DramError> {
+        match self.state {
+            BankState::Idle => Err(DramError::BankNotActive),
+            BankState::Active { row: open, .. } if open != row => Err(DramError::RowMismatch {
+                open_row: open,
+                requested_row: row,
+            }),
+            BankState::Active { .. } => {
+                if is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a refresh (REF) to this bank: any open row is force-closed and the bank
+    /// stays busy for `tRFC`.
+    ///
+    /// Returns the closed row (if one was open) so the Row-Press defense can account
+    /// for its open time; refreshes close rows regardless of `tRAS`.
+    pub fn refresh(&mut self, now: Cycle, timings: &DramTimings) -> Option<ClosedRow> {
+        let closed = match self.state {
+            BankState::Active { row, opened_at } => {
+                let open_cycles = now.saturating_sub(opened_at);
+                self.stats.total_open_cycles += open_cycles;
+                self.stats.max_open_cycles = self.stats.max_open_cycles.max(open_cycles);
+                Some(ClosedRow {
+                    row,
+                    open_cycles,
+                    opened_at,
+                    closed_at: now,
+                })
+            }
+            BankState::Idle => None,
+        };
+        self.state = BankState::Idle;
+        self.busy_until = now + timings.t_rfc;
+        self.stats.refreshes += 1;
+        closed
+    }
+
+    /// Blocks the bank for the duration of an RFM command starting at `now`.
+    ///
+    /// Any open row is force-closed (RFM requires all banks precharged), and the
+    /// closed-row information is returned for Row-Press accounting.
+    pub fn refresh_management(&mut self, now: Cycle, timings: &DramTimings) -> Option<ClosedRow> {
+        let closed = match self.state {
+            BankState::Active { row, opened_at } => {
+                let open_cycles = now.saturating_sub(opened_at);
+                self.stats.total_open_cycles += open_cycles;
+                Some(ClosedRow {
+                    row,
+                    open_cycles,
+                    opened_at,
+                    closed_at: now,
+                })
+            }
+            BankState::Idle => None,
+        };
+        self.state = BankState::Idle;
+        self.busy_until = now + timings.t_rfm;
+        self.stats.rfm_commands += 1;
+        closed
+    }
+
+    /// Performs a mitigative refresh of a victim row: modelled as an ACT + PRE pair
+    /// taking one full `tRC`, counted separately from demand activations.
+    ///
+    /// The refresh occupies the bank (extends `busy_until` and the `tRC` window) but
+    /// does not disturb the row-buffer state: the controller schedules victim refreshes
+    /// in the gaps around demand traffic.
+    pub fn victim_refresh(&mut self, now: Cycle, timings: &DramTimings) {
+        self.busy_until = now.max(self.busy_until) + timings.t_rc;
+        self.last_act_at = Some(now.max(self.last_act_at.unwrap_or(0)));
+        self.stats.mitigative_activations += 1;
+    }
+
+    /// Cycle until which the bank is busy and cannot accept new commands.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTimings {
+        DramTimings::ddr5()
+    }
+
+    #[test]
+    fn activate_then_precharge_tracks_open_time() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.activate(7, 100, &timings).unwrap();
+        assert_eq!(bank.open_row(), Some(7));
+        let closed = bank.precharge(100 + 500, &timings).unwrap();
+        assert_eq!(closed.row, 7);
+        assert_eq!(closed.open_cycles, 500);
+        assert_eq!(bank.open_row(), None);
+    }
+
+    #[test]
+    fn double_activate_is_rejected() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.activate(1, 0, &timings).unwrap();
+        let err = bank.activate(2, 10, &timings).unwrap_err();
+        assert!(matches!(err, DramError::BankAlreadyActive { .. }));
+    }
+
+    #[test]
+    fn trc_between_activations_is_enforced() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.activate(1, 0, &timings).unwrap();
+        bank.precharge(timings.t_ras, &timings).unwrap();
+        // A second ACT before tRC has elapsed since the first ACT is illegal.
+        let err = bank.activate(2, timings.t_rc - 1, &timings).unwrap_err();
+        assert!(matches!(
+            err,
+            DramError::TimingViolation {
+                constraint: "tRC",
+                ..
+            }
+        ));
+        bank.activate(2, timings.t_rc, &timings).unwrap();
+    }
+
+    #[test]
+    fn premature_precharge_violates_tras() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.activate(1, 0, &timings).unwrap();
+        let err = bank.precharge(timings.t_ras - 1, &timings).unwrap_err();
+        assert!(matches!(
+            err,
+            DramError::TimingViolation {
+                constraint: "tRAS",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn access_requires_matching_open_row() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        assert!(matches!(
+            bank.access(3, false, 0),
+            Err(DramError::BankNotActive)
+        ));
+        bank.activate(3, 0, &timings).unwrap();
+        bank.access(3, false, 10).unwrap();
+        assert!(matches!(
+            bank.access(4, false, 20),
+            Err(DramError::RowMismatch { .. })
+        ));
+        assert_eq!(bank.stats().reads, 1);
+    }
+
+    #[test]
+    fn refresh_closes_open_row() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.activate(9, 0, &timings).unwrap();
+        let closed = bank.refresh(1000, &timings).unwrap();
+        assert_eq!(closed.row, 9);
+        assert_eq!(closed.open_cycles, 1000);
+        assert_eq!(bank.open_row(), None);
+        assert_eq!(bank.busy_until(), 1000 + timings.t_rfc);
+    }
+
+    #[test]
+    fn victim_refresh_counts_separately() {
+        let timings = t();
+        let mut bank = Bank::new(0);
+        bank.victim_refresh(0, &timings);
+        bank.victim_refresh(timings.t_rc, &timings);
+        assert_eq!(bank.stats().mitigative_activations, 2);
+        assert_eq!(bank.stats().activations, 0);
+    }
+
+    #[test]
+    fn open_time_saturates_when_idle() {
+        let bank = Bank::new(0);
+        assert_eq!(bank.open_time(1234), 0);
+    }
+}

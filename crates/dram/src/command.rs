@@ -1,0 +1,123 @@
+//! DRAM command types issued by the memory controller to the device.
+
+use std::fmt;
+
+use crate::address::RowId;
+use crate::timing::Cycle;
+
+/// The kind of a DRAM command, without its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommandKind {
+    /// Activate (open) a row.
+    Activate,
+    /// Precharge (close) the open row.
+    Precharge,
+    /// Column read from the open row.
+    Read,
+    /// Column write to the open row.
+    Write,
+    /// Periodic refresh (REF).
+    Refresh,
+    /// Refresh Management command (RFM) giving the in-DRAM tracker time to mitigate.
+    RefreshManagement,
+    /// A mitigative refresh of a victim row (issued by the RH defense).
+    VictimRefresh,
+}
+
+impl fmt::Display for DramCommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DramCommandKind::Activate => "ACT",
+            DramCommandKind::Precharge => "PRE",
+            DramCommandKind::Read => "RD",
+            DramCommandKind::Write => "WR",
+            DramCommandKind::Refresh => "REF",
+            DramCommandKind::RefreshManagement => "RFM",
+            DramCommandKind::VictimRefresh => "VREF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A DRAM command addressed to a specific bank, as scheduled by the memory controller
+/// or replayed by the attack runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCommand {
+    /// Kind of command.
+    pub kind: DramCommandKind,
+    /// Flat bank index within the channel the command targets.
+    pub bank: usize,
+    /// Row operand (meaningful for `Activate` and `VictimRefresh`; `0` otherwise).
+    pub row: RowId,
+    /// Cycle at which the command is issued on the command bus.
+    pub issued_at: Cycle,
+}
+
+impl DramCommand {
+    /// Creates an activate command.
+    pub fn activate(bank: usize, row: RowId, issued_at: Cycle) -> Self {
+        Self {
+            kind: DramCommandKind::Activate,
+            bank,
+            row,
+            issued_at,
+        }
+    }
+
+    /// Creates a precharge command.
+    pub fn precharge(bank: usize, issued_at: Cycle) -> Self {
+        Self {
+            kind: DramCommandKind::Precharge,
+            bank,
+            row: 0,
+            issued_at,
+        }
+    }
+
+    /// Creates a refresh-management command.
+    pub fn rfm(bank: usize, issued_at: Cycle) -> Self {
+        Self {
+            kind: DramCommandKind::RefreshManagement,
+            bank,
+            row: 0,
+            issued_at,
+        }
+    }
+
+    /// Returns `true` if this command opens a row (counts as an activation for
+    /// Rowhammer tracking purposes).
+    pub fn is_activation(&self) -> bool {
+        matches!(
+            self.kind,
+            DramCommandKind::Activate | DramCommandKind::VictimRefresh
+        )
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bank{} row{} @{}",
+            self.kind, self.bank, self.row, self.issued_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_detection() {
+        assert!(DramCommand::activate(0, 1, 0).is_activation());
+        assert!(!DramCommand::precharge(0, 0).is_activation());
+        assert!(!DramCommand::rfm(0, 0).is_activation());
+    }
+
+    #[test]
+    fn display_kinds() {
+        assert_eq!(DramCommandKind::Activate.to_string(), "ACT");
+        assert_eq!(DramCommandKind::RefreshManagement.to_string(), "RFM");
+    }
+}

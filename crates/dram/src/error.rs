@@ -1,0 +1,114 @@
+//! Error types for the DRAM device model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::address::RowId;
+use crate::timing::Cycle;
+
+/// Errors reported by the DRAM device model when a command violates the device state
+/// or a timing constraint.
+///
+/// The memory controller is expected to never trigger these in normal operation; they
+/// exist so that tests and attack runners get a precise diagnostic instead of silent
+/// mis-modelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// An ACT was issued to a bank that already has an open row.
+    BankAlreadyActive {
+        /// Row that is currently open.
+        open_row: RowId,
+        /// Row that the offending ACT targeted.
+        requested_row: RowId,
+    },
+    /// A command that requires an open row (read, write, precharge) was issued to an
+    /// idle bank.
+    BankNotActive,
+    /// A command was issued before the bank finished its previous operation.
+    TimingViolation {
+        /// Human-readable name of the violated constraint (e.g. `"tRC"`).
+        constraint: &'static str,
+        /// Earliest cycle at which the command would have been legal.
+        earliest_legal: Cycle,
+        /// Cycle at which the command was actually issued.
+        issued_at: Cycle,
+    },
+    /// A column access targeted a different row than the one currently open.
+    RowMismatch {
+        /// Row that is currently open.
+        open_row: RowId,
+        /// Row that the access required.
+        requested_row: RowId,
+    },
+    /// An address decoded outside the configured organization (row, bank, or channel
+    /// index out of range).
+    AddressOutOfRange {
+        /// Description of the offending component.
+        component: &'static str,
+        /// Value that was decoded.
+        value: u64,
+        /// Exclusive upper bound allowed by the organization.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankAlreadyActive {
+                open_row,
+                requested_row,
+            } => write!(
+                f,
+                "activate issued while row {open_row} is open (requested row {requested_row})"
+            ),
+            DramError::BankNotActive => write!(f, "command requires an open row but bank is idle"),
+            DramError::TimingViolation {
+                constraint,
+                earliest_legal,
+                issued_at,
+            } => write!(
+                f,
+                "{constraint} violated: issued at cycle {issued_at}, legal at {earliest_legal}"
+            ),
+            DramError::RowMismatch {
+                open_row,
+                requested_row,
+            } => write!(
+                f,
+                "column access to row {requested_row} while row {open_row} is open"
+            ),
+            DramError::AddressOutOfRange {
+                component,
+                value,
+                limit,
+            } => write!(f, "{component} index {value} out of range (limit {limit})"),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DramError::TimingViolation {
+            constraint: "tRC",
+            earliest_legal: 128,
+            issued_at: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRC"));
+        assert!(s.contains("128"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Physical-address to DRAM-address mapping schemes.
+//!
+//! The paper uses a *Minimalist Open-Page* (MOP) mapping with 8 consecutive cache lines
+//! per row before interleaving across banks and channels (Table II). MOP keeps a small
+//! amount of spatial locality in the row buffer (good for streaming) while spreading
+//! accesses across banks for parallelism.
+
+use crate::address::{DramAddress, PhysicalAddress, RowId};
+use crate::error::DramError;
+use crate::organization::DramOrganization;
+
+/// Address-mapping schemes supported by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressMapping {
+    /// Minimalist Open Page: `lines_per_chunk` consecutive cache lines map to the same
+    /// row, then the next chunk moves to the next channel/bank. The paper uses 8.
+    Mop {
+        /// Consecutive cache lines kept in the same row before interleaving.
+        lines_per_chunk: u32,
+    },
+    /// Entire rows are consecutive in the physical address space (maximizes row-buffer
+    /// locality; baseline for open-page studies).
+    RowInterleaved,
+    /// Consecutive cache lines alternate across channels and banks (minimizes
+    /// row-buffer locality; close to a closed-page system).
+    CachelineInterleaved,
+}
+
+impl Default for AddressMapping {
+    fn default() -> Self {
+        AddressMapping::Mop { lines_per_chunk: 8 }
+    }
+}
+
+impl AddressMapping {
+    /// The paper's default mapping (MOP with 8 lines per chunk).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Decodes a physical address into a DRAM location under organization `org`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if the address lies beyond the
+    /// capacity described by `org`.
+    pub fn decode(
+        &self,
+        addr: PhysicalAddress,
+        org: &DramOrganization,
+    ) -> Result<DramAddress, DramError> {
+        if addr.as_u64() >= org.capacity_bytes() {
+            return Err(DramError::AddressOutOfRange {
+                component: "physical address",
+                value: addr.as_u64(),
+                limit: org.capacity_bytes(),
+            });
+        }
+        let line = addr.as_u64() / org.line_bytes as u64;
+        let channels = org.channels as u64;
+        let banks = org.banks_per_channel() as u64;
+        let cols = org.columns_per_row as u64;
+        let rows = org.rows_per_bank as u64;
+
+        let (channel, bank, row, column) = match *self {
+            AddressMapping::Mop { lines_per_chunk } => {
+                let chunk_lines = lines_per_chunk as u64;
+                let low_col = line % chunk_lines;
+                let rest = line / chunk_lines;
+                let channel = rest % channels;
+                let rest = rest / channels;
+                let bank = rest % banks;
+                let rest = rest / banks;
+                let chunks_per_row = cols / chunk_lines;
+                let high_col = rest % chunks_per_row;
+                let row = rest / chunks_per_row;
+                (channel, bank, row, high_col * chunk_lines + low_col)
+            }
+            AddressMapping::RowInterleaved => {
+                let column = line % cols;
+                let rest = line / cols;
+                let channel = rest % channels;
+                let rest = rest / channels;
+                let bank = rest % banks;
+                let row = rest / banks;
+                (channel, bank, row, column)
+            }
+            AddressMapping::CachelineInterleaved => {
+                let channel = line % channels;
+                let rest = line / channels;
+                let bank = rest % banks;
+                let rest = rest / banks;
+                let column = rest % cols;
+                let row = rest / cols;
+                (channel, bank, row, column)
+            }
+        };
+
+        if row >= rows {
+            return Err(DramError::AddressOutOfRange {
+                component: "row",
+                value: row,
+                limit: rows,
+            });
+        }
+
+        // Unfold the flat bank index back into rank / bank group / bank.
+        let banks_per_group = org.banks_per_group as u64;
+        let groups = org.bank_groups as u64;
+        let per_rank = banks_per_group * groups;
+        let rank = bank / per_rank;
+        let within_rank = bank % per_rank;
+        let bank_group = within_rank / banks_per_group;
+        let bank_in_group = within_rank % banks_per_group;
+
+        Ok(DramAddress {
+            channel: channel as u8,
+            rank: rank as u8,
+            bank_group: bank_group as u8,
+            bank: bank_in_group as u8,
+            row: row as RowId,
+            column: column as u32,
+        })
+    }
+
+    /// Returns the number of consecutive bytes that map to the same row before the
+    /// mapping switches to another bank (the "chunk" size seen by streaming code).
+    pub fn contiguous_row_bytes(&self, org: &DramOrganization) -> u64 {
+        match *self {
+            AddressMapping::Mop { lines_per_chunk } => {
+                lines_per_chunk as u64 * org.line_bytes as u64
+            }
+            AddressMapping::RowInterleaved => org.row_bytes(),
+            AddressMapping::CachelineInterleaved => org.line_bytes as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn org() -> DramOrganization {
+        DramOrganization::small()
+    }
+
+    #[test]
+    fn mop_keeps_eight_lines_in_one_row() {
+        let org = org();
+        let map = AddressMapping::paper_default();
+        let base = map.decode(PhysicalAddress::new(0), &org).unwrap();
+        for i in 0..8u64 {
+            let a = map.decode(PhysicalAddress::new(i * 64), &org).unwrap();
+            assert_eq!(a.row, base.row);
+            assert_eq!(a.channel, base.channel);
+            assert_eq!((a.bank_group, a.bank), (base.bank_group, base.bank));
+        }
+        // The 9th line moves to a different channel or bank.
+        let ninth = map.decode(PhysicalAddress::new(8 * 64), &org).unwrap();
+        assert!(
+            ninth.channel != base.channel
+                || (ninth.bank_group, ninth.bank) != (base.bank_group, base.bank)
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let org = org();
+        let map = AddressMapping::paper_default();
+        let too_big = PhysicalAddress::new(org.capacity_bytes());
+        assert!(matches!(
+            map.decode(too_big, &org),
+            Err(DramError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn contiguous_row_bytes_matches_scheme() {
+        let org = org();
+        assert_eq!(
+            AddressMapping::paper_default().contiguous_row_bytes(&org),
+            512
+        );
+        assert_eq!(
+            AddressMapping::RowInterleaved.contiguous_row_bytes(&org),
+            org.row_bytes()
+        );
+        assert_eq!(
+            AddressMapping::CachelineInterleaved.contiguous_row_bytes(&org),
+            64
+        );
+    }
+
+    proptest! {
+        /// Decoding is injective at cache-line granularity: two distinct line
+        /// addresses never map to the same (channel, bank, row, column).
+        #[test]
+        fn decode_is_injective(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            prop_assume!(a != b);
+            let org = DramOrganization::small();
+            for map in [AddressMapping::paper_default(), AddressMapping::RowInterleaved, AddressMapping::CachelineInterleaved] {
+                let pa = PhysicalAddress::new(a * 64);
+                let pb = PhysicalAddress::new(b * 64);
+                if pa.as_u64() < org.capacity_bytes() && pb.as_u64() < org.capacity_bytes() {
+                    let da = map.decode(pa, &org).unwrap();
+                    let db = map.decode(pb, &org).unwrap();
+                    prop_assert_ne!(da, db);
+                }
+            }
+        }
+
+        /// All decoded components stay within the organization's bounds.
+        #[test]
+        fn decode_stays_in_bounds(line in 0u64..4_000_000) {
+            let org = DramOrganization::small();
+            let map = AddressMapping::paper_default();
+            let addr = PhysicalAddress::new(line * 64);
+            prop_assume!(addr.as_u64() < org.capacity_bytes());
+            let d = map.decode(addr, &org).unwrap();
+            prop_assert!(d.channel < org.channels);
+            prop_assert!(d.rank < org.ranks);
+            prop_assert!(d.bank_group < org.bank_groups);
+            prop_assert!(d.bank < org.banks_per_group);
+            prop_assert!(d.row < org.rows_per_bank);
+            prop_assert!(d.column < org.columns_per_row);
+        }
+    }
+}

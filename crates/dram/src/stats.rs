@@ -1,0 +1,174 @@
+//! Activation, row-buffer, refresh and mitigation statistics.
+
+use std::ops::AddAssign;
+
+use crate::timing::Cycle;
+
+/// Per-bank event counters accumulated by the [`crate::Bank`] state machine and the
+/// memory controller.
+///
+/// These are the raw quantities behind the paper's Figure 14 (demand vs. mitigative
+/// activations) and the §VI-E energy analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Demand activations (row opens caused by reads/writes).
+    pub activations: u64,
+    /// Precharges issued.
+    pub precharges: u64,
+    /// Column reads serviced.
+    pub reads: u64,
+    /// Column writes serviced.
+    pub writes: u64,
+    /// Row-buffer hits observed by the controller.
+    pub row_hits: u64,
+    /// Row-buffer misses (required an ACT) observed by the controller.
+    pub row_misses: u64,
+    /// Row-buffer conflicts (required a PRE then an ACT) observed by the controller.
+    pub row_conflicts: u64,
+    /// Periodic REF commands executed.
+    pub refreshes: u64,
+    /// RFM commands executed.
+    pub rfm_commands: u64,
+    /// Mitigative (victim-refresh) activations issued by the Rowhammer defense.
+    pub mitigative_activations: u64,
+    /// Total cycles rows spent open in this bank.
+    pub total_open_cycles: Cycle,
+    /// Longest single row-open interval observed.
+    pub max_open_cycles: Cycle,
+}
+
+impl BankStats {
+    /// Total activations of any kind (demand + mitigative).
+    pub fn total_activations(&self) -> u64 {
+        self.activations + self.mitigative_activations
+    }
+
+    /// Row-buffer hit rate over all classified accesses (0.0 if none recorded).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Total column accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AddAssign for BankStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.activations += rhs.activations;
+        self.precharges += rhs.precharges;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.row_hits += rhs.row_hits;
+        self.row_misses += rhs.row_misses;
+        self.row_conflicts += rhs.row_conflicts;
+        self.refreshes += rhs.refreshes;
+        self.rfm_commands += rhs.rfm_commands;
+        self.mitigative_activations += rhs.mitigative_activations;
+        self.total_open_cycles += rhs.total_open_cycles;
+        self.max_open_cycles = self.max_open_cycles.max(rhs.max_open_cycles);
+    }
+}
+
+/// Aggregated statistics for a whole channel (or the whole system).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Sum of all per-bank statistics.
+    pub banks: BankStats,
+    /// Number of demand requests serviced.
+    pub requests: u64,
+    /// Sum of request latencies in cycles (queue + service).
+    pub total_latency: Cycle,
+    /// Cycles the channel data bus was busy transferring data.
+    pub bus_busy_cycles: Cycle,
+}
+
+impl ChannelStats {
+    /// Average request latency in cycles (0.0 if no requests were serviced).
+    pub fn average_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.requests as f64
+        }
+    }
+
+    /// Merges another channel's statistics into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.banks += other.banks;
+        self.requests += other.requests;
+        self.total_latency += other.total_latency;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(BankStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computes_fraction() {
+        let stats = BankStats {
+            row_hits: 3,
+            row_misses: 1,
+            ..BankStats::default()
+        };
+        assert!((stats.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = BankStats {
+            activations: 1,
+            max_open_cycles: 10,
+            ..BankStats::default()
+        };
+        let b = BankStats {
+            activations: 2,
+            max_open_cycles: 5,
+            mitigative_activations: 4,
+            ..BankStats::default()
+        };
+        a += b;
+        assert_eq!(a.activations, 3);
+        assert_eq!(a.total_activations(), 7);
+        assert_eq!(a.max_open_cycles, 10);
+    }
+
+    #[test]
+    fn channel_average_latency() {
+        let mut c = ChannelStats::default();
+        assert_eq!(c.average_latency(), 0.0);
+        c.requests = 4;
+        c.total_latency = 400;
+        assert!((c.average_latency() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_merge_adds_requests() {
+        let mut a = ChannelStats {
+            requests: 1,
+            total_latency: 10,
+            ..ChannelStats::default()
+        };
+        let b = ChannelStats {
+            requests: 2,
+            total_latency: 30,
+            ..ChannelStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.total_latency, 40);
+    }
+}

@@ -1,0 +1,135 @@
+//! Memory-controller configuration.
+
+use impress_core::config::ProtectionConfig;
+use impress_dram::mapping::AddressMapping;
+use impress_dram::organization::DramOrganization;
+use impress_dram::timing::{Cycle, DramTimings};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// Open-page: rows stay open until a conflict, a refresh, or (if set) the maximum
+    /// row-open time `t_mro` expires. ExPress is open-page with `t_mro = Some(tMRO)`.
+    Open {
+        /// Maximum row-open time enforced by the controller, if any.
+        t_mro: Option<Cycle>,
+    },
+    /// Closed-page: the row is precharged immediately after each access.
+    Closed,
+}
+
+impl PagePolicy {
+    /// The paper's baseline policy: open-page with no row-open limit.
+    pub fn open() -> Self {
+        PagePolicy::Open { t_mro: None }
+    }
+
+    /// Open-page with a maximum row-open time (ExPress).
+    pub fn open_with_tmro(t_mro: Cycle) -> Self {
+        PagePolicy::Open { t_mro: Some(t_mro) }
+    }
+
+    /// The effective row-open limit of this policy, if any.
+    pub fn t_mro(&self) -> Option<Cycle> {
+        match *self {
+            PagePolicy::Open { t_mro } => t_mro,
+            PagePolicy::Closed => None,
+        }
+    }
+}
+
+/// Full configuration of the memory controller.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// DRAM organization (channels, banks, rows).
+    pub organization: DramOrganization,
+    /// DRAM timing parameters.
+    pub timings: DramTimings,
+    /// Physical-to-DRAM address mapping.
+    pub mapping: AddressMapping,
+    /// Row-buffer policy. If a protection configuration with an ExPress defense is
+    /// supplied, its tMRO is enforced automatically even if the policy does not set one.
+    pub page_policy: PagePolicy,
+    /// Rowhammer/Row-Press protection; `None` models a completely unprotected system.
+    pub protection: Option<ProtectionConfig>,
+    /// Whether the controller issues RFM commands every `rfm_threshold` activations
+    /// (required by in-DRAM trackers; the paper's baseline system always does).
+    pub rfm_enabled: bool,
+    /// Idle-row timeout: an open-page controller precharges a row that has not been
+    /// accessed for this many cycles (speculative closure, standard in adaptive
+    /// open-page policies). `None` keeps rows open until a conflict or refresh.
+    pub idle_row_timeout: Option<Cycle>,
+}
+
+impl ControllerConfig {
+    /// The paper's baseline controller: Table II organization, DDR5 timings, MOP
+    /// mapping, open-page policy, RFM enabled, no protection.
+    pub fn baseline() -> Self {
+        Self {
+            organization: DramOrganization::baseline(),
+            timings: DramTimings::ddr5(),
+            mapping: AddressMapping::paper_default(),
+            page_policy: PagePolicy::open(),
+            protection: None,
+            rfm_enabled: true,
+            idle_row_timeout: Some(8 * DramTimings::ddr5().t_rc),
+        }
+    }
+
+    /// A small configuration for unit tests (few banks, small rows).
+    pub fn small_for_tests() -> Self {
+        Self {
+            organization: DramOrganization::small(),
+            ..Self::baseline()
+        }
+    }
+
+    /// Sets the protection configuration, automatically enforcing ExPress's tMRO in
+    /// the page policy.
+    pub fn with_protection(mut self, protection: ProtectionConfig) -> Self {
+        if let impress_core::config::DefenseKind::Express { t_mro, .. } = protection.defense {
+            self.page_policy = PagePolicy::open_with_tmro(t_mro);
+        }
+        self.protection = Some(protection);
+        self
+    }
+
+    /// Sets the page policy (e.g. to sweep tMRO values in Figure 3).
+    pub fn with_page_policy(mut self, policy: PagePolicy) -> Self {
+        self.page_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_core::config::{DefenseKind, TrackerChoice};
+
+    #[test]
+    fn baseline_matches_table2() {
+        let cfg = ControllerConfig::baseline();
+        assert_eq!(cfg.organization.channels, 2);
+        assert_eq!(cfg.organization.banks_per_channel(), 64);
+        assert!(cfg.rfm_enabled);
+        assert_eq!(cfg.page_policy, PagePolicy::open());
+    }
+
+    #[test]
+    fn express_protection_sets_tmro() {
+        let timings = DramTimings::ddr5();
+        let protection = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::express_paper_baseline(&timings),
+        );
+        let cfg = ControllerConfig::baseline().with_protection(protection);
+        assert_eq!(cfg.page_policy.t_mro(), Some(timings.t_ras + timings.t_rc));
+    }
+
+    #[test]
+    fn page_policy_helpers() {
+        assert_eq!(PagePolicy::open().t_mro(), None);
+        assert_eq!(PagePolicy::open_with_tmro(176).t_mro(), Some(176));
+        assert_eq!(PagePolicy::Closed.t_mro(), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! DDR5 memory-controller model for the ImPress reproduction.
+//!
+//! The controller sits between the system simulator (`impress_sim`) and the DRAM
+//! device model ([`impress_dram`]):
+//!
+//! * per-bank row-buffer management with open-page, closed-page, or open-page with a
+//!   maximum row-open time (the ExPress tMRO knob swept in Figure 3) — [`config`];
+//! * demand-access timing (hit / miss / conflict), per-channel data-bus contention and
+//!   periodic refresh — [`controller`];
+//! * RFM issue every `RFMTH` activations, giving in-DRAM trackers their mitigation
+//!   window;
+//! * integration of the per-bank [`impress_core::BankMitigationEngine`], including the
+//!   cost of mitigative victim refreshes requested by memory-controller trackers.
+//!
+//! The model is request-ordered rather than cycle-stepped: the system model presents
+//! demand accesses in (approximate) program order and the controller computes each
+//! access's completion time from the bank, bus and refresh state. This keeps full-
+//! workload simulations fast while preserving the quantities the paper's figures depend
+//! on: row-hit rates, activation counts, mitigation counts and queuing latency.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod controller;
+pub mod request;
+
+pub use config::{ControllerConfig, PagePolicy};
+pub use controller::MemoryController;
+pub use request::{AccessOutcome, MemRequest, RowBufferOutcome};

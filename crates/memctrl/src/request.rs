@@ -1,0 +1,62 @@
+//! Memory-request and access-outcome types.
+
+use impress_dram::address::{DramAddress, PhysicalAddress};
+use impress_dram::timing::Cycle;
+
+/// A demand memory request from a core (an LLC miss or write-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical address of the cache line.
+    pub address: PhysicalAddress,
+    /// Whether the request is a write-back.
+    pub is_write: bool,
+    /// Issuing core (for statistics only).
+    pub core: u8,
+    /// Cycle at which the request reaches the memory controller.
+    pub arrival: Cycle,
+}
+
+/// How the request interacted with the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowBufferOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was idle (or the row had been closed by the policy); one ACT was needed.
+    Miss,
+    /// A different row was open; a PRE + ACT pair was needed.
+    Conflict,
+}
+
+/// The controller's response to a demand request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycle at which the data transfer completes.
+    pub completed_at: Cycle,
+    /// Row-buffer behaviour of the access.
+    pub outcome: RowBufferOutcome,
+    /// The DRAM location the request mapped to.
+    pub location: DramAddress,
+}
+
+impl AccessOutcome {
+    /// Latency from `arrival` to completion.
+    pub fn latency(&self, arrival: Cycle) -> Cycle {
+        self.completed_at.saturating_sub(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_relative_to_arrival() {
+        let o = AccessOutcome {
+            completed_at: 150,
+            outcome: RowBufferOutcome::Hit,
+            location: DramAddress::default(),
+        };
+        assert_eq!(o.latency(100), 50);
+        assert_eq!(o.latency(200), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! A throughput-oriented core model.
+//!
+//! Each core alternates between executing instructions (at a fixed retire rate) and
+//! waiting for LLC misses. The core may have up to `mlp` misses outstanding — the
+//! memory-level parallelism permitted by its reorder buffer — and stalls when the
+//! window is full. This is the standard analytical abstraction of an out-of-order core
+//! for memory-system studies: absolute IPC is approximate, but the *sensitivity* of
+//! performance to memory latency and bandwidth (which is what the paper's figures
+//! normalize away) is captured.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use impress_dram::timing::Cycle;
+
+/// The state of one simulated core.
+#[derive(Debug)]
+pub struct CoreModel {
+    id: usize,
+    /// Cycles of compute between consecutive LLC misses.
+    think_gap: f64,
+    /// Maximum outstanding misses.
+    mlp: usize,
+    /// Completion times of outstanding misses.
+    outstanding: BinaryHeap<Reverse<Cycle>>,
+    /// Cycle at which the core's front-end is ready to issue its next miss.
+    front_end_ready: f64,
+    /// Number of misses issued so far.
+    issued: u64,
+    /// Completion time of the latest miss to retire.
+    last_completion: Cycle,
+}
+
+impl CoreModel {
+    /// Creates a core with the given inter-miss compute time and MLP limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp` is zero or `think_gap` is negative.
+    pub fn new(id: usize, think_gap: f64, mlp: usize) -> Self {
+        assert!(mlp > 0, "MLP must be at least 1");
+        assert!(think_gap >= 0.0, "think gap cannot be negative");
+        Self {
+            id,
+            think_gap,
+            mlp,
+            outstanding: BinaryHeap::new(),
+            front_end_ready: 0.0,
+            issued: 0,
+            last_completion: 0,
+        }
+    }
+
+    /// Core identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of misses issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The earliest cycle at which this core can issue its next miss: the front end
+    /// must be ready, and if the MLP window is full the oldest outstanding miss must
+    /// retire first.
+    pub fn next_issue_time(&self) -> Cycle {
+        let front_end = self.front_end_ready.ceil() as Cycle;
+        if self.outstanding.len() >= self.mlp {
+            let oldest = self.outstanding.peek().map(|Reverse(t)| *t).unwrap_or(0);
+            front_end.max(oldest)
+        } else {
+            front_end
+        }
+    }
+
+    /// Records that a miss was issued at `now` and will complete at `completes_at`.
+    pub fn on_issue(&mut self, now: Cycle, completes_at: Cycle) {
+        // Retire everything that has completed by now.
+        while let Some(Reverse(t)) = self.outstanding.peek() {
+            if *t <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+        self.outstanding.push(Reverse(completes_at));
+        self.issued += 1;
+        self.last_completion = self.last_completion.max(completes_at);
+        self.front_end_ready = (now as f64).max(self.front_end_ready) + self.think_gap;
+    }
+
+    /// The cycle at which this core finishes all the work it has issued.
+    pub fn finish_time(&self) -> Cycle {
+        self.last_completion.max(self.front_end_ready.ceil() as Cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_are_spaced_by_think_gap_when_unconstrained() {
+        let mut core = CoreModel::new(0, 10.0, 4);
+        assert_eq!(core.next_issue_time(), 0);
+        core.on_issue(0, 5);
+        assert_eq!(core.next_issue_time(), 10);
+        core.on_issue(10, 15);
+        assert_eq!(core.next_issue_time(), 20);
+    }
+
+    #[test]
+    fn mlp_limit_stalls_the_core() {
+        let mut core = CoreModel::new(0, 1.0, 2);
+        core.on_issue(0, 100);
+        core.on_issue(1, 200);
+        // Window full: the next issue waits for the oldest completion (cycle 100).
+        assert_eq!(core.next_issue_time(), 100);
+        core.on_issue(100, 300);
+        assert_eq!(core.issued(), 3);
+    }
+
+    #[test]
+    fn finish_time_covers_all_outstanding_work() {
+        let mut core = CoreModel::new(0, 2.0, 8);
+        core.on_issue(0, 500);
+        core.on_issue(2, 90);
+        assert_eq!(core.finish_time(), 500);
+    }
+
+    #[test]
+    fn memory_bound_core_is_limited_by_latency() {
+        // With think gap 0 and MLP 1, throughput is entirely latency-bound.
+        let mut core = CoreModel::new(0, 0.0, 1);
+        let mut now = 0;
+        for _ in 0..10 {
+            now = core.next_issue_time();
+            core.on_issue(now, now + 50);
+        }
+        assert_eq!(core.finish_time(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP")]
+    fn zero_mlp_is_rejected() {
+        let _ = CoreModel::new(0, 1.0, 0);
+    }
+}

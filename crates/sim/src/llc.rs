@@ -1,0 +1,261 @@
+//! A shared last-level cache with SRRIP replacement (Table II: 16 MB, 16-way, 64 B lines).
+//!
+//! The main performance path of the simulator drives the memory controller with
+//! post-LLC miss streams generated directly by `impress_workloads` (the profiles are
+//! specified in misses-per-kilo-instruction). This module provides the LLC substrate
+//! itself — used by the `llc_filtering` example and available for studies that want to
+//! derive miss streams from raw access streams.
+
+use impress_dram::address::PhysicalAddress;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting a victim).
+    Miss {
+        /// Dirty victim line that must be written back, if any.
+        writeback: Option<PhysicalAddress>,
+    },
+}
+
+/// Configuration of the shared LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Maximum re-reference prediction value (SRRIP uses 2-bit RRPVs, max 3).
+    pub max_rrpv: u8,
+}
+
+impl LlcConfig {
+    /// The paper's LLC: 16 MB, 16-way, 64 B lines, SRRIP.
+    pub fn baseline() -> Self {
+        Self {
+            capacity_bytes: 16 << 20,
+            ways: 16,
+            line_bytes: 64,
+            max_rrpv: 3,
+        }
+    }
+
+    /// Number of sets implied by the configuration.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    rrpv: u8,
+}
+
+/// A set-associative cache with Static RRIP replacement.
+#[derive(Debug)]
+pub struct Llc {
+    config: LlcConfig,
+    sets: Vec<Vec<Line>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Llc {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not yield a power-of-two, non-zero set count.
+    pub fn new(config: LlcConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            config,
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        rrpv: config.max_rrpv,
+                    };
+                    config.ways
+                ];
+                sets
+            ],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &LlcConfig {
+        &self.config
+    }
+
+    /// Total hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0.0 before any access).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn index_and_tag(&self, address: PhysicalAddress) -> (usize, u64) {
+        let line = address.as_u64() / self.config.line_bytes;
+        let set = (line as usize) & (self.sets.len() - 1);
+        (set, line / self.sets.len() as u64)
+    }
+
+    /// Accesses `address`; on a miss the line is filled. Returns whether it hit and any
+    /// dirty victim that must be written back to memory.
+    pub fn access(&mut self, address: PhysicalAddress, is_write: bool) -> LlcOutcome {
+        let max_rrpv = self.config.max_rrpv;
+        let num_sets = self.sets.len() as u64;
+        let (set_idx, tag) = self.index_and_tag(address);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            // SRRIP hit promotion: RRPV to 0.
+            line.rrpv = 0;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return LlcOutcome::Hit;
+        }
+        self.misses += 1;
+
+        // Find a victim: an invalid way, or age until a line reaches max RRPV.
+        let victim_idx = loop {
+            if let Some(i) = set.iter().position(|l| !l.valid) {
+                break i;
+            }
+            if let Some(i) = set.iter().position(|l| l.rrpv >= max_rrpv) {
+                break i;
+            }
+            for l in set.iter_mut() {
+                l.rrpv = (l.rrpv + 1).min(max_rrpv);
+            }
+        };
+
+        let victim = set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            let victim_line = victim.tag * num_sets + set_idx as u64;
+            Some(PhysicalAddress::new(victim_line * self.config.line_bytes))
+        } else {
+            None
+        };
+
+        // SRRIP insertion: RRPV = max - 1 ("long re-reference interval").
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            rrpv: max_rrpv - 1,
+        };
+        LlcOutcome::Miss { writeback }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Llc {
+        Llc::new(LlcConfig {
+            capacity_bytes: 4 * 64 * 4, // 4 sets, 4 ways
+            ways: 4,
+            line_bytes: 64,
+            max_rrpv: 3,
+        })
+    }
+
+    #[test]
+    fn baseline_config_matches_table2() {
+        let cfg = LlcConfig::baseline();
+        assert_eq!(cfg.sets(), 16384);
+        assert_eq!(cfg.ways, 16);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut llc = tiny();
+        let a = PhysicalAddress::new(0x1000);
+        assert!(matches!(llc.access(a, false), LlcOutcome::Miss { .. }));
+        assert_eq!(llc.access(a, false), LlcOutcome::Hit);
+        assert_eq!(llc.hits(), 1);
+        assert_eq!(llc.misses(), 1);
+    }
+
+    #[test]
+    fn dirty_victims_produce_writebacks() {
+        let mut llc = tiny();
+        // Fill one set (addresses that map to set 0) with dirty lines, then overflow it.
+        let stride = 4 * 64; // next address in the same set
+        for i in 0..4u64 {
+            llc.access(PhysicalAddress::new(i * stride), true);
+        }
+        let mut writebacks = 0;
+        for i in 4..12u64 {
+            if let LlcOutcome::Miss { writeback: Some(_) } = llc.access(PhysicalAddress::new(i * stride), false) {
+                writebacks += 1;
+            }
+        }
+        assert!(writebacks >= 4, "writebacks = {writebacks}");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut llc = tiny();
+        // 64 distinct lines in a 16-line cache, streamed twice: hit rate stays low.
+        for _ in 0..2 {
+            for i in 0..64u64 {
+                llc.access(PhysicalAddress::new(i * 64), false);
+            }
+        }
+        assert!(llc.hit_rate() < 0.3, "hit rate = {}", llc.hit_rate());
+    }
+
+    #[test]
+    fn small_working_set_fits() {
+        let mut llc = tiny();
+        for _ in 0..10 {
+            for i in 0..8u64 {
+                llc.access(PhysicalAddress::new(i * 64), false);
+            }
+        }
+        assert!(llc.hit_rate() > 0.8, "hit rate = {}", llc.hit_rate());
+    }
+
+    #[test]
+    fn srrip_protects_reused_lines_from_scans() {
+        let mut llc = tiny();
+        let hot = PhysicalAddress::new(0);
+        llc.access(hot, false);
+        // Interleave the hot line with a long scan of single-use lines.
+        for i in 1..200u64 {
+            llc.access(PhysicalAddress::new(i * 64 * 4), false); // all map to set 0
+            llc.access(hot, false);
+        }
+        // The hot line should hit most of the time despite the scan.
+        assert!(llc.hit_rate() > 0.4, "hit rate = {}", llc.hit_rate());
+    }
+}

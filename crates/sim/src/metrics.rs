@@ -1,0 +1,90 @@
+//! Performance metrics: IPC, weighted speedup and normalization helpers.
+
+/// Per-core and aggregate performance results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceResult {
+    /// Instructions per DRAM cycle achieved by each core.
+    pub per_core_ipc: Vec<f64>,
+    /// Total simulated duration in DRAM cycles.
+    pub elapsed_cycles: u64,
+    /// Total demand requests serviced.
+    pub requests: u64,
+}
+
+impl PerformanceResult {
+    /// Weighted speedup of this run relative to a baseline run of the same workload:
+    /// `(1/N) Σ IPC_i / IPC_baseline_i` (the paper's "normalized weighted speedup").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs have different core counts.
+    pub fn weighted_speedup(&self, baseline: &PerformanceResult) -> f64 {
+        assert_eq!(
+            self.per_core_ipc.len(),
+            baseline.per_core_ipc.len(),
+            "core count mismatch"
+        );
+        let n = self.per_core_ipc.len() as f64;
+        self.per_core_ipc
+            .iter()
+            .zip(&baseline.per_core_ipc)
+            .map(|(ipc, base)| if *base > 0.0 { ipc / base } else { 1.0 })
+            .sum::<f64>()
+            / n
+    }
+
+    /// Aggregate IPC (sum over cores).
+    pub fn total_ipc(&self) -> f64 {
+        self.per_core_ipc.iter().sum()
+    }
+}
+
+/// Geometric mean of a slice of positive values (1.0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ipc: Vec<f64>) -> PerformanceResult {
+        PerformanceResult {
+            per_core_ipc: ipc,
+            elapsed_cycles: 1000,
+            requests: 100,
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_of_identical_runs_is_one() {
+        let a = result(vec![1.0, 2.0, 3.0]);
+        assert!((a.weighted_speedup(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_run_has_speedup_below_one() {
+        let base = result(vec![2.0, 2.0]);
+        let slow = result(vec![1.0, 2.0]);
+        assert!((slow.weighted_speedup(&base) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn mismatched_core_counts_panic() {
+        let a = result(vec![1.0]);
+        let b = result(vec![1.0, 2.0]);
+        let _ = a.weighted_speedup(&b);
+    }
+}

@@ -1,0 +1,236 @@
+//! High-level experiment runner: build, run and normalize workload × defense sweeps.
+//!
+//! Every performance figure of the paper has the same structure: run a set of
+//! workloads under a set of memory-controller configurations and report performance
+//! normalized to a baseline configuration. [`ExperimentRunner`] caches baseline runs so
+//! sweeps stay cheap, and [`run_configuration`] is the single entry point the bench
+//! binaries use.
+
+use std::collections::HashMap;
+
+use impress_core::config::ProtectionConfig;
+use impress_dram::timing::Cycle;
+use impress_memctrl::{ControllerConfig, PagePolicy};
+use impress_workloads::{LocalityClass, WorkloadMix};
+
+use crate::config::SystemConfig;
+use crate::metrics::geometric_mean;
+use crate::system::{RunOutput, System};
+
+/// A named memory-system configuration to evaluate.
+#[derive(Debug, Clone)]
+pub struct Configuration {
+    /// Label used in experiment output (e.g. `"ImPress-P"` or `"tMRO=66ns"`).
+    pub label: String,
+    /// Row-buffer policy (carries the tMRO limit for ExPress-style configurations).
+    pub page_policy: PagePolicy,
+    /// Rowhammer/Row-Press protection, if any.
+    pub protection: Option<ProtectionConfig>,
+}
+
+impl Configuration {
+    /// An unprotected open-page baseline.
+    pub fn unprotected() -> Self {
+        Self {
+            label: "Unprotected".to_string(),
+            page_policy: PagePolicy::open(),
+            protection: None,
+        }
+    }
+
+    /// An unprotected configuration with a maximum row-open time (the Figure 3 sweep).
+    pub fn with_tmro(label: impl Into<String>, t_mro: Cycle) -> Self {
+        Self {
+            label: label.into(),
+            page_policy: PagePolicy::open_with_tmro(t_mro),
+            protection: None,
+        }
+    }
+
+    /// A protected configuration (the page policy is derived from the defense: ExPress
+    /// sets its tMRO, everything else runs unrestricted open-page).
+    pub fn protected(label: impl Into<String>, protection: ProtectionConfig) -> Self {
+        Self {
+            label: label.into(),
+            page_policy: PagePolicy::open(),
+            protection: Some(protection),
+        }
+    }
+
+    fn controller_config(&self) -> ControllerConfig {
+        let base = ControllerConfig::baseline().with_page_policy(self.page_policy);
+        match &self.protection {
+            Some(p) => base.with_protection(p.clone()),
+            None => base,
+        }
+    }
+}
+
+/// The result of running one workload under one configuration, normalized to that
+/// workload's baseline run.
+#[derive(Debug, Clone)]
+pub struct NormalizedResult {
+    /// Workload name.
+    pub workload: String,
+    /// Workload class (SPEC or STREAM).
+    pub class: LocalityClass,
+    /// Configuration label.
+    pub configuration: String,
+    /// Weighted speedup relative to the baseline configuration (1.0 = no slowdown).
+    pub normalized_performance: f64,
+    /// Raw run output (stats, energy) for deeper analysis.
+    pub output: RunOutput,
+}
+
+/// Runs workloads under configurations and normalizes against a baseline configuration.
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    system: SystemConfig,
+    seed: u64,
+    baseline_cache: HashMap<String, RunOutput>,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentRunner {
+    /// Creates a runner with the paper's baseline system configuration.
+    pub fn new() -> Self {
+        Self {
+            system: SystemConfig::baseline(),
+            seed: 0x1A7E_2024,
+            baseline_cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the number of requests each core issues per run (simulation length).
+    pub fn with_requests_per_core(mut self, requests: u64) -> Self {
+        self.system.requests_per_core = requests;
+        self
+    }
+
+    /// Runs `workload` under `configuration` and returns the raw output.
+    pub fn run_raw(&self, workload: &str, configuration: &Configuration) -> RunOutput {
+        let mix = WorkloadMix::by_name(workload, self.seed)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let config = self
+            .system
+            .clone()
+            .with_controller(configuration.controller_config());
+        System::new(config, mix).run()
+    }
+
+    /// Runs `workload` under `baseline` (cached) and `configuration`, returning the
+    /// normalized result.
+    pub fn run_normalized(
+        &mut self,
+        workload: &str,
+        baseline: &Configuration,
+        configuration: &Configuration,
+    ) -> NormalizedResult {
+        let cache_key = format!("{workload}::{}", baseline.label);
+        if !self.baseline_cache.contains_key(&cache_key) {
+            let output = self.run_raw(workload, baseline);
+            self.baseline_cache.insert(cache_key.clone(), output);
+        }
+        let baseline_output = self.baseline_cache.get(&cache_key).expect("just inserted");
+
+        let output = self.run_raw(workload, configuration);
+        let class = WorkloadMix::by_name(workload, self.seed)
+            .expect("workload exists")
+            .class();
+        let normalized_performance = output
+            .performance
+            .weighted_speedup(&baseline_output.performance);
+        NormalizedResult {
+            workload: workload.to_string(),
+            class,
+            configuration: configuration.label.clone(),
+            normalized_performance,
+            output,
+        }
+    }
+
+    /// Geometric mean of the normalized performance of a slice of results, filtered by
+    /// workload class (`None` averages everything).
+    pub fn gmean_by_class(results: &[NormalizedResult], class: Option<LocalityClass>) -> f64 {
+        let values: Vec<f64> = results
+            .iter()
+            .filter(|r| class.is_none_or(|c| r.class == c))
+            .map(|r| r.normalized_performance)
+            .collect();
+        geometric_mean(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_core::config::{DefenseKind, TrackerChoice};
+    use impress_dram::timing::ns_to_cycles;
+
+    fn runner() -> ExperimentRunner {
+        ExperimentRunner::new().with_requests_per_core(3_000)
+    }
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let mut r = runner();
+        let base = Configuration::unprotected();
+        let result = r.run_normalized("gcc", &base, &base);
+        assert!((result.normalized_performance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_tmro_slows_stream_more_than_spec() {
+        let mut r = runner();
+        let base = Configuration::unprotected();
+        let tight = Configuration::with_tmro("tMRO=36ns", ns_to_cycles(36));
+        let stream = r.run_normalized("copy", &base, &tight);
+        let spec = r.run_normalized("xalancbmk", &base, &tight);
+        assert!(
+            stream.normalized_performance < spec.normalized_performance,
+            "stream {} should be hurt more than spec {}",
+            stream.normalized_performance,
+            spec.normalized_performance
+        );
+        assert!(spec.normalized_performance > 0.9);
+    }
+
+    #[test]
+    fn impress_p_graphene_has_negligible_overhead() {
+        let mut r = runner();
+        let base = Configuration::unprotected();
+        let protected = Configuration::protected(
+            "Graphene+ImPress-P",
+            ProtectionConfig::paper_default(
+                TrackerChoice::Graphene,
+                DefenseKind::impress_p_default(),
+            ),
+        );
+        let result = r.run_normalized("bwaves", &base, &protected);
+        assert!(
+            result.normalized_performance > 0.97,
+            "normalized = {}",
+            result.normalized_performance
+        );
+    }
+
+    #[test]
+    fn gmean_by_class_filters() {
+        let mut r = runner();
+        let base = Configuration::unprotected();
+        let cfg = Configuration::unprotected();
+        let results = vec![
+            r.run_normalized("gcc", &base, &cfg),
+            r.run_normalized("copy", &base, &cfg),
+        ];
+        let spec = ExperimentRunner::gmean_by_class(&results, Some(LocalityClass::Spec));
+        let all = ExperimentRunner::gmean_by_class(&results, None);
+        assert!((spec - 1.0).abs() < 1e-9);
+        assert!((all - 1.0).abs() < 1e-9);
+    }
+}

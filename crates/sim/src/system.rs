@@ -1,0 +1,203 @@
+//! The multi-core system model: cores + workload mix + memory controller.
+
+use impress_dram::energy::{EnergyBreakdown, EnergyModel};
+use impress_dram::stats::ChannelStats;
+use impress_memctrl::MemoryController;
+use impress_workloads::WorkloadMix;
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::metrics::PerformanceResult;
+
+/// Everything a simulation run produces: performance, memory statistics and energy.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Workload name.
+    pub workload: String,
+    /// Per-core IPC and aggregate performance.
+    pub performance: PerformanceResult,
+    /// Memory-system statistics (activations, hits, mitigations, ...).
+    pub memory: ChannelStats,
+    /// DRAM energy breakdown for the run.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunOutput {
+    /// Row-buffer hit rate of the run.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.memory.banks.row_hit_rate()
+    }
+
+    /// Demand activations relative to demand accesses.
+    pub fn activations_per_access(&self) -> f64 {
+        if self.memory.banks.accesses() == 0 {
+            0.0
+        } else {
+            self.memory.banks.activations as f64 / self.memory.banks.accesses() as f64
+        }
+    }
+}
+
+/// The simulated system: 8 cores driving the memory controller with a workload mix.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<CoreModel>,
+    mix: WorkloadMix,
+    controller: MemoryController,
+}
+
+impl System {
+    /// Builds a system running `mix` under `config`.
+    pub fn new(config: SystemConfig, mix: WorkloadMix) -> Self {
+        assert_eq!(
+            config.cores,
+            mix.cores(),
+            "workload mix must provide one trace per core"
+        );
+        let cores = (0..config.cores)
+            .map(|i| {
+                let instructions_per_miss = mix.instructions_per_miss(i);
+                let mpki = 1000.0 / instructions_per_miss;
+                let think_gap = instructions_per_miss / config.retire_per_dram_cycle;
+                CoreModel::new(i, think_gap, config.mlp_for_mpki(mpki))
+            })
+            .collect();
+        let controller = MemoryController::new(config.controller.clone());
+        Self {
+            config,
+            cores,
+            mix,
+            controller,
+        }
+    }
+
+    /// Runs the workload until every core has issued its request quota, returning the
+    /// run's performance, memory statistics and energy.
+    pub fn run(mut self) -> RunOutput {
+        let quota = self.config.requests_per_core;
+        let mut remaining: u64 = quota * self.cores.len() as u64;
+
+        while remaining > 0 {
+            // Pick the core that can issue earliest (and still has budget).
+            let mut best: Option<(usize, u64)> = None;
+            for core in &self.cores {
+                if core.issued() >= quota {
+                    continue;
+                }
+                let t = core.next_issue_time();
+                if best.map_or(true, |(_, bt)| t < bt) {
+                    best = Some((core.id(), t));
+                }
+            }
+            let (core_id, now) = best.expect("remaining > 0 implies an eligible core");
+
+            let access = self.mix.next_access(core_id);
+            let outcome = self
+                .controller
+                .access_physical(access.address, access.is_write, now)
+                .expect("workload addresses are within the configured capacity");
+            self.cores[core_id].on_issue(now, outcome.completed_at);
+            remaining -= 1;
+        }
+
+        let elapsed = self
+            .cores
+            .iter()
+            .map(CoreModel::finish_time)
+            .max()
+            .unwrap_or(0);
+        let per_core_ipc = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let instructions = core.issued() as f64 * self.mix.instructions_per_miss(i);
+                let cycles = core.finish_time().max(1) as f64;
+                instructions / cycles
+            })
+            .collect();
+
+        let memory = self.controller.stats();
+        let energy = EnergyModel::ddr5().energy(
+            &memory.banks,
+            elapsed,
+            self.controller.total_banks(),
+            &self.config.controller.timings,
+        );
+
+        RunOutput {
+            workload: self.mix.name().to_string(),
+            performance: PerformanceResult {
+                per_core_ipc,
+                elapsed_cycles: elapsed,
+                requests: memory.requests,
+            },
+            memory,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_memctrl::{ControllerConfig, PagePolicy};
+
+    fn quick_config(requests: u64) -> SystemConfig {
+        SystemConfig {
+            requests_per_core: requests,
+            controller: ControllerConfig::baseline(),
+            ..SystemConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn run_completes_and_reports_sane_statistics() {
+        let mix = WorkloadMix::by_name("gcc", 1).unwrap();
+        let out = System::new(quick_config(2_000), mix).run();
+        assert_eq!(out.performance.per_core_ipc.len(), 8);
+        assert_eq!(out.memory.requests, 8 * 2_000);
+        assert!(out.performance.elapsed_cycles > 0);
+        assert!(out.row_hit_rate() >= 0.0 && out.row_hit_rate() <= 1.0);
+        assert!(out.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn stream_has_higher_row_hit_rate_than_mcf() {
+        let stream = System::new(
+            quick_config(4_000),
+            WorkloadMix::by_name("copy", 2).unwrap(),
+        )
+        .run();
+        let mcf = System::new(quick_config(4_000), WorkloadMix::by_name("mcf", 2).unwrap()).run();
+        assert!(
+            stream.row_hit_rate() > mcf.row_hit_rate() + 0.2,
+            "stream {} vs mcf {}",
+            stream.row_hit_rate(),
+            mcf.row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = System::new(quick_config(1_000), WorkloadMix::by_name("wrf", 7).unwrap()).run();
+        let b = System::new(quick_config(1_000), WorkloadMix::by_name("wrf", 7).unwrap()).run();
+        assert_eq!(a.performance.elapsed_cycles, b.performance.elapsed_cycles);
+        assert_eq!(a.memory.banks.activations, b.memory.banks.activations);
+    }
+
+    #[test]
+    fn closed_page_slows_down_stream() {
+        let open = System::new(
+            quick_config(4_000),
+            WorkloadMix::by_name("triad", 3).unwrap(),
+        )
+        .run();
+        let closed_cfg = quick_config(4_000)
+            .with_controller(ControllerConfig::baseline().with_page_policy(PagePolicy::Closed));
+        let closed = System::new(closed_cfg, WorkloadMix::by_name("triad", 3).unwrap()).run();
+        let speedup = closed.performance.weighted_speedup(&open.performance);
+        assert!(speedup < 0.98, "closed-page speedup = {speedup}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Graphene: Misra-Gries counter-based tracking at the memory controller.
+//!
+//! Graphene (Park et al., MICRO 2020) keeps a small table of (row, counter) pairs per
+//! bank managed with the Misra-Gries frequent-items algorithm, plus a spillover
+//! counter. When a row's counter reaches the internal threshold, its victims are
+//! refreshed and the counter rolls back to the spillover value. The table is reset once
+//! per refresh window.
+//!
+//! Under ImPress-P the counters accumulate fractional [`Eact`] values instead of +1
+//! per activation, which adds 7 bits per entry but leaves the entry count unchanged
+//! (§VI-C).
+
+use impress_dram::address::RowId;
+use impress_dram::timing::Cycle;
+use impress_dram::DramTimings;
+
+use crate::analysis::{graphene_entries, graphene_internal_threshold};
+use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
+use crate::storage::{StorageEstimate, COUNTER_BITS, ROW_ADDRESS_BITS};
+use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
+
+/// One Misra-Gries table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    row: RowId,
+    count: EactCounter,
+    valid: bool,
+}
+
+/// Configuration for a [`Graphene`] tracker instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrapheneConfig {
+    /// Rowhammer threshold this instance must tolerate.
+    pub threshold: u64,
+    /// Internal mitigation threshold (counter value that triggers a mitigation).
+    pub internal_threshold: u64,
+    /// Number of table entries per bank.
+    pub entries: usize,
+    /// Number of fractional EACT bits stored per counter (0 for a plain RH system,
+    /// 7 for ImPress-P).
+    pub frac_bits: u32,
+}
+
+impl GrapheneConfig {
+    /// Configuration for tolerating `threshold` with the paper's DDR5 timings and no
+    /// fractional bits (plain Rowhammer tracking).
+    pub fn for_threshold(threshold: u64) -> Self {
+        let timings = DramTimings::ddr5();
+        Self {
+            threshold,
+            internal_threshold: graphene_internal_threshold(threshold),
+            entries: graphene_entries(threshold, &timings) as usize,
+            frac_bits: 0,
+        }
+    }
+
+    /// Same as [`GrapheneConfig::for_threshold`] but with fractional counter bits for
+    /// ImPress-P (the paper's default uses 7 bits).
+    pub fn with_frac_bits(threshold: u64, frac_bits: u32) -> Self {
+        Self {
+            frac_bits,
+            ..Self::for_threshold(threshold)
+        }
+    }
+}
+
+/// The Graphene tracker for a single bank.
+#[derive(Debug, Clone)]
+pub struct Graphene {
+    config: GrapheneConfig,
+    table: Vec<Entry>,
+    spillover: EactCounter,
+    mitigations: u64,
+}
+
+impl Graphene {
+    /// Creates a Graphene tracker sized for `threshold` (no fractional bits).
+    pub fn for_threshold(threshold: u64) -> Self {
+        Self::new(GrapheneConfig::for_threshold(threshold))
+    }
+
+    /// Creates a Graphene tracker from an explicit configuration.
+    pub fn new(config: GrapheneConfig) -> Self {
+        let table = vec![
+            Entry {
+                row: 0,
+                count: EactCounter::ZERO,
+                valid: false,
+            };
+            config.entries
+        ];
+        Self {
+            config,
+            table,
+            spillover: EactCounter::ZERO,
+            mitigations: 0,
+        }
+    }
+
+    /// The configuration this tracker was built with.
+    pub fn config(&self) -> &GrapheneConfig {
+        &self.config
+    }
+
+    /// Number of mitigations issued so far.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigations
+    }
+
+    /// Current counter value for `row` (whole activations), if tracked.
+    pub fn tracked_count(&self, row: RowId) -> Option<u64> {
+        self.table
+            .iter()
+            .find(|e| e.valid && e.row == row)
+            .map(|e| e.count.activations())
+    }
+
+    fn quantize(&self, eact: Eact) -> Eact {
+        if self.config.frac_bits >= CANONICAL_FRAC_BITS {
+            eact
+        } else {
+            let drop = CANONICAL_FRAC_BITS - self.config.frac_bits;
+            Eact::from_raw((eact.raw() >> drop) << drop)
+        }
+    }
+}
+
+impl RowTracker for Graphene {
+    fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest> {
+        let eact = self.quantize(eact);
+        // Misra-Gries update.
+        let slot = if let Some(i) = self.table.iter().position(|e| e.valid && e.row == row) {
+            i
+        } else if let Some(i) = self.table.iter().position(|e| !e.valid) {
+            self.table[i] = Entry {
+                row,
+                count: self.spillover,
+                valid: true,
+            };
+            i
+        } else if let Some(i) = self
+            .table
+            .iter()
+            .position(|e| e.count.raw() <= self.spillover.raw())
+        {
+            // Replace an entry whose count equals the spillover count.
+            self.table[i] = Entry {
+                row,
+                count: self.spillover,
+                valid: true,
+            };
+            i
+        } else {
+            // No entry to replace: the activation goes to the spillover counter.
+            self.spillover.add(eact);
+            return None;
+        };
+
+        self.table[slot].count.add(eact);
+        if self.table[slot].count.reached(self.config.internal_threshold) {
+            // Mitigate and roll the counter back to the spillover value so the row
+            // keeps being tracked without immediately re-triggering.
+            self.table[slot].count = self.spillover;
+            self.mitigations += 1;
+            Some(MitigationRequest {
+                aggressor: row,
+                identified_at: now,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn on_refresh_window(&mut self, _now: Cycle) {
+        for e in &mut self.table {
+            e.valid = false;
+            e.count = EactCounter::ZERO;
+        }
+        self.spillover = EactCounter::ZERO;
+    }
+
+    fn kind(&self) -> TrackerKind {
+        TrackerKind::Graphene
+    }
+
+    fn storage(&self) -> StorageEstimate {
+        StorageEstimate::per_entry(
+            self.config.entries as u64,
+            ROW_ADDRESS_BITS + COUNTER_BITS + self.config.frac_bits,
+        )
+    }
+
+    fn configured_threshold(&self) -> u64 {
+        self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_aggressor_is_mitigated_before_threshold() {
+        let mut g = Graphene::for_threshold(4_000);
+        let mut acts_without_mitigation = 0u64;
+        let mut max_streak = 0u64;
+        for i in 0..20_000u64 {
+            match g.record(42, Eact::ONE, i * 128) {
+                Some(m) => {
+                    assert_eq!(m.aggressor, 42);
+                    max_streak = max_streak.max(acts_without_mitigation);
+                    acts_without_mitigation = 0;
+                }
+                None => acts_without_mitigation += 1,
+            }
+        }
+        max_streak = max_streak.max(acts_without_mitigation);
+        // No stretch of unmitigated activations ever approaches the 4K threshold.
+        assert!(max_streak <= g.config().internal_threshold + 1);
+        assert!(g.mitigations() > 0);
+    }
+
+    #[test]
+    fn distinct_rows_below_threshold_do_not_mitigate() {
+        let mut g = Graphene::for_threshold(4_000);
+        for i in 0..100_000u64 {
+            // Round-robin over many rows: none accumulates anywhere near the threshold.
+            let row = (i % 1000) as RowId;
+            assert!(g.record(row, Eact::ONE, i * 128).is_none());
+        }
+        assert_eq!(g.mitigations(), 0);
+    }
+
+    #[test]
+    fn fractional_eact_accumulates() {
+        let mut g = Graphene::new(GrapheneConfig::with_frac_bits(4_000, 7));
+        let eact = Eact::from_f64(2.0, 7);
+        let mut mitigated = false;
+        // 2.0 EACT per record: the internal threshold (1333) is crossed in ~667 records.
+        for i in 0..700u64 {
+            if g.record(9, eact, i * 256).is_some() {
+                mitigated = true;
+                break;
+            }
+        }
+        assert!(mitigated);
+    }
+
+    #[test]
+    fn refresh_window_resets_state() {
+        let mut g = Graphene::for_threshold(4_000);
+        for i in 0..1000u64 {
+            g.record(5, Eact::ONE, i * 128).map(|_| ());
+        }
+        assert!(g.tracked_count(5).unwrap_or(0) > 0);
+        g.on_refresh_window(1_000_000);
+        assert_eq!(g.tracked_count(5), None);
+    }
+
+    #[test]
+    fn storage_scales_with_frac_bits() {
+        let plain = Graphene::for_threshold(4_000);
+        let precise = Graphene::new(GrapheneConfig::with_frac_bits(4_000, 7));
+        let ratio = precise.storage().relative_to(&plain.storage());
+        // §VI-C: ImPress-P adds 7 bits per entry, ~1.2x storage, far below the 2x of
+        // halving the threshold.
+        assert!(ratio > 1.1 && ratio < 1.3, "ratio = {ratio}");
+        let halved = Graphene::for_threshold(2_000);
+        let ratio2 = halved.storage().relative_to(&plain.storage());
+        assert!(ratio2 > 1.9 && ratio2 < 2.1, "ratio2 = {ratio2}");
+    }
+
+    #[test]
+    fn spillover_eviction_keeps_heavy_hitter() {
+        // Even with more distinct rows than entries, a truly heavy hitter must still
+        // be caught (the Misra-Gries guarantee).
+        let mut g = Graphene::for_threshold(4_000);
+        let entries = g.config().entries as u64;
+        let mut caught = false;
+        for i in 0..3_000_000u64 {
+            // Interleave the aggressor with a sweep over many one-off rows.
+            let row = if i % 3 == 0 {
+                7
+            } else {
+                1000 + (i % (entries * 4)) as RowId
+            };
+            if let Some(m) = g.record(row, Eact::ONE, i * 128) {
+                if m.aggressor == 7 {
+                    caught = true;
+                    break;
+                }
+            }
+        }
+        assert!(caught, "heavy hitter escaped Graphene");
+    }
+}

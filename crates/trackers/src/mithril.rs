@@ -1,0 +1,264 @@
+//! Mithril: in-DRAM counter-based tracking that mitigates under RFM.
+//!
+//! Mithril (Kim et al., HPCA 2022) keeps a Counter-based Summary (a Misra-Gries style
+//! table) inside the DRAM device. The memory controller issues an RFM command every
+//! `RFMTH` activations; on each RFM, Mithril refreshes the victims of the row with the
+//! highest counter and rolls that counter back. Because the mitigation happens under
+//! RFM, Mithril adds no performance overhead beyond the RFM commands the system already
+//! issues (§ Appendix-A).
+//!
+//! Under ImPress-P the counters accumulate fractional [`Eact`] values (7 extra bits per
+//! entry); the entry count stays the same (§VI-C).
+
+use impress_dram::address::RowId;
+use impress_dram::timing::Cycle;
+
+use crate::analysis::mithril_entries;
+use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
+use crate::storage::{StorageEstimate, COUNTER_BITS, ROW_ADDRESS_BITS};
+use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    row: RowId,
+    count: EactCounter,
+    valid: bool,
+}
+
+/// Configuration for a [`Mithril`] tracker instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MithrilConfig {
+    /// Rowhammer threshold this instance must tolerate.
+    pub threshold: u64,
+    /// RFM threshold (activations per RFM command) assumed by the sizing.
+    pub rfm_threshold: u32,
+    /// Number of table entries per bank.
+    pub entries: usize,
+    /// Number of fractional EACT bits stored per counter.
+    pub frac_bits: u32,
+}
+
+impl MithrilConfig {
+    /// Configuration for tolerating `threshold` at the paper's default RFMTH of 80.
+    pub fn for_threshold(threshold: u64) -> Self {
+        Self::with_rfm_threshold(threshold, 80)
+    }
+
+    /// Configuration for tolerating `threshold` at an explicit RFM threshold.
+    pub fn with_rfm_threshold(threshold: u64, rfm_threshold: u32) -> Self {
+        let entries = mithril_entries(threshold, rfm_threshold);
+        Self {
+            threshold,
+            rfm_threshold,
+            entries: entries.min(1 << 20) as usize,
+            frac_bits: 0,
+        }
+    }
+
+    /// Adds ImPress-P fractional counter bits to this configuration.
+    pub fn with_frac_bits(mut self, frac_bits: u32) -> Self {
+        self.frac_bits = frac_bits;
+        self
+    }
+}
+
+/// The Mithril tracker for a single bank.
+#[derive(Debug, Clone)]
+pub struct Mithril {
+    config: MithrilConfig,
+    table: Vec<Entry>,
+    spillover: EactCounter,
+    mitigations: u64,
+}
+
+impl Mithril {
+    /// Creates a Mithril tracker sized for `threshold` at RFMTH = 80.
+    pub fn for_threshold(threshold: u64) -> Self {
+        Self::new(MithrilConfig::for_threshold(threshold))
+    }
+
+    /// Creates a Mithril tracker from an explicit configuration.
+    pub fn new(config: MithrilConfig) -> Self {
+        let table = vec![
+            Entry {
+                row: 0,
+                count: EactCounter::ZERO,
+                valid: false,
+            };
+            config.entries
+        ];
+        Self {
+            config,
+            table,
+            spillover: EactCounter::ZERO,
+            mitigations: 0,
+        }
+    }
+
+    /// The configuration this tracker was built with.
+    pub fn config(&self) -> &MithrilConfig {
+        &self.config
+    }
+
+    /// Number of mitigations performed under RFM so far.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigations
+    }
+
+    fn quantize(&self, eact: Eact) -> Eact {
+        if self.config.frac_bits >= CANONICAL_FRAC_BITS {
+            eact
+        } else {
+            let drop = CANONICAL_FRAC_BITS - self.config.frac_bits;
+            Eact::from_raw((eact.raw() >> drop) << drop)
+        }
+    }
+}
+
+impl RowTracker for Mithril {
+    fn record(&mut self, row: RowId, eact: Eact, _now: Cycle) -> Option<MitigationRequest> {
+        let eact = self.quantize(eact);
+        if let Some(e) = self.table.iter_mut().find(|e| e.valid && e.row == row) {
+            e.count.add(eact);
+        } else if let Some(e) = self.table.iter_mut().find(|e| !e.valid) {
+            let mut count = self.spillover;
+            count.add(eact);
+            *e = Entry {
+                row,
+                count,
+                valid: true,
+            };
+        } else if let Some(e) = self
+            .table
+            .iter_mut()
+            .min_by_key(|e| e.count.raw())
+            .filter(|e| e.count.raw() <= self.spillover.raw())
+        {
+            let mut count = self.spillover;
+            count.add(eact);
+            *e = Entry {
+                row,
+                count,
+                valid: true,
+            };
+        } else {
+            self.spillover.add(eact);
+        }
+        // Mithril never mitigates outside of RFM.
+        None
+    }
+
+    fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
+        let best = self
+            .table
+            .iter_mut()
+            .filter(|e| e.valid)
+            .max_by_key(|e| e.count.raw())?;
+        if best.count.raw() == 0 {
+            return None;
+        }
+        let aggressor = best.row;
+        // Roll the mitigated row's counter back to the spillover value.
+        best.count = self.spillover;
+        self.mitigations += 1;
+        Some(MitigationRequest {
+            aggressor,
+            identified_at: now,
+        })
+    }
+
+    fn on_refresh_window(&mut self, _now: Cycle) {
+        for e in &mut self.table {
+            e.valid = false;
+            e.count = EactCounter::ZERO;
+        }
+        self.spillover = EactCounter::ZERO;
+    }
+
+    fn kind(&self) -> TrackerKind {
+        TrackerKind::Mithril
+    }
+
+    fn storage(&self) -> StorageEstimate {
+        StorageEstimate::per_entry(
+            self.config.entries as u64,
+            ROW_ADDRESS_BITS + COUNTER_BITS + self.config.frac_bits,
+        )
+    }
+
+    fn configured_threshold(&self) -> u64 {
+        self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_383_entries() {
+        let m = Mithril::for_threshold(4_000);
+        assert!((375..=395).contains(&m.config().entries), "{}", m.config().entries);
+    }
+
+    #[test]
+    fn rfm_mitigates_the_hottest_row() {
+        let mut m = Mithril::for_threshold(4_000);
+        for i in 0..200u64 {
+            m.record(11, Eact::ONE, i * 128);
+            if i % 4 == 0 {
+                m.record(22, Eact::ONE, i * 128 + 64);
+            }
+        }
+        let mitigation = m.on_rfm(100_000).expect("RFM should mitigate");
+        assert_eq!(mitigation.aggressor, 11);
+    }
+
+    #[test]
+    fn record_never_mitigates_directly() {
+        let mut m = Mithril::for_threshold(4_000);
+        for i in 0..10_000u64 {
+            assert!(m.record(3, Eact::ONE, i * 128).is_none());
+        }
+    }
+
+    #[test]
+    fn rfm_on_empty_table_is_none() {
+        let mut m = Mithril::for_threshold(4_000);
+        assert!(m.on_rfm(0).is_none());
+    }
+
+    #[test]
+    fn bounded_unmitigated_activations_under_rfm_cadence() {
+        // If the controller issues RFM every 80 activations (the paper's RFMTH), the
+        // hottest row's count between mitigations stays far below the 4K threshold.
+        let mut m = Mithril::for_threshold(4_000);
+        let mut hot_count_since_mitigation = 0u64;
+        let mut max_seen = 0u64;
+        for i in 0..1_000_000u64 {
+            let row = if i % 2 == 0 { 7 } else { (i % 512) as RowId + 100 };
+            if row == 7 {
+                hot_count_since_mitigation += 1;
+            }
+            m.record(row, Eact::ONE, i * 128);
+            if i % 80 == 79 {
+                if let Some(req) = m.on_rfm(i * 128) {
+                    if req.aggressor == 7 {
+                        max_seen = max_seen.max(hot_count_since_mitigation);
+                        hot_count_since_mitigation = 0;
+                    }
+                }
+            }
+        }
+        max_seen = max_seen.max(hot_count_since_mitigation);
+        assert!(max_seen < 4_000, "aggressor escaped with {max_seen} activations");
+    }
+
+    #[test]
+    fn storage_with_frac_bits_is_1_25x() {
+        let plain = Mithril::for_threshold(4_000);
+        let precise = Mithril::new(MithrilConfig::for_threshold(4_000).with_frac_bits(7));
+        let ratio = precise.storage().relative_to(&plain.storage());
+        assert!(ratio > 1.15 && ratio < 1.3, "ratio = {ratio}");
+    }
+}

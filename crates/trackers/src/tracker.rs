@@ -1,0 +1,159 @@
+//! The [`RowTracker`] trait shared by all Rowhammer tracking mechanisms.
+
+use std::fmt;
+
+use impress_dram::address::RowId;
+use impress_dram::timing::Cycle;
+
+use crate::eact::Eact;
+use crate::storage::StorageEstimate;
+
+/// Identifies which tracking mechanism a [`RowTracker`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackerKind {
+    /// Graphene: Misra-Gries counters at the memory controller.
+    Graphene,
+    /// PARA: per-activation probabilistic sampling at the memory controller.
+    Para,
+    /// Mithril: in-DRAM counter summary mitigating under RFM.
+    Mithril,
+    /// MINT: in-DRAM single-entry probabilistic slot selection mitigating under RFM.
+    Mint,
+    /// PRAC: per-row activation counters stored in the DRAM array (§VI-F extension).
+    Prac,
+}
+
+impl TrackerKind {
+    /// Returns `true` for trackers that perform their mitigation inside the DRAM
+    /// device under RFM (and therefore cannot see controller-side information such
+    /// as a tMRO limit).
+    pub fn is_in_dram(self) -> bool {
+        matches!(self, TrackerKind::Mithril | TrackerKind::Mint | TrackerKind::Prac)
+    }
+}
+
+impl fmt::Display for TrackerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrackerKind::Graphene => "Graphene",
+            TrackerKind::Para => "PARA",
+            TrackerKind::Mithril => "Mithril",
+            TrackerKind::Mint => "MINT",
+            TrackerKind::Prac => "PRAC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A request from the tracker to mitigate an aggressor row by refreshing its victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MitigationRequest {
+    /// The aggressor row whose neighbours must be refreshed.
+    pub aggressor: RowId,
+    /// Cycle at which the tracker identified the aggressor.
+    pub identified_at: Cycle,
+}
+
+impl MitigationRequest {
+    /// Victim rows to refresh for this aggressor, given a blast radius (the paper
+    /// uses 2, i.e. four victim rows per mitigation).
+    ///
+    /// Victims beyond the edge of the bank (underflow/overflow) are skipped.
+    pub fn victims(&self, blast_radius: u32, rows_per_bank: u32) -> Vec<RowId> {
+        let mut rows = Vec::with_capacity(2 * blast_radius as usize);
+        for d in 1..=blast_radius {
+            if let Some(below) = self.aggressor.checked_sub(d) {
+                rows.push(below);
+            }
+            let above = self.aggressor + d;
+            if above < rows_per_bank {
+                rows.push(above);
+            }
+        }
+        rows
+    }
+}
+
+/// A Rowhammer tracking mechanism for one DRAM bank.
+///
+/// The tracker receives one [`Eact`]-weighted record per activation (or per row
+/// closure under ImPress-P) and decides when to mitigate. Memory-controller trackers
+/// (Graphene, PARA) return mitigation requests directly from [`RowTracker::record`];
+/// in-DRAM trackers (Mithril, MINT) return them from [`RowTracker::on_rfm`], which the
+/// controller calls every `RFMTH` activations.
+pub trait RowTracker: fmt::Debug {
+    /// Records that `row` accrued `eact` equivalent activations at cycle `now`.
+    ///
+    /// Returns a mitigation request if the tracker decides the row must be mitigated
+    /// immediately (memory-controller trackers only).
+    fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest>;
+
+    /// Called when an RFM command is executed; in-DRAM trackers mitigate here.
+    ///
+    /// The default implementation returns `None` (memory-controller trackers ignore RFM).
+    fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
+        let _ = now;
+        None
+    }
+
+    /// Called at the end of every refresh window (`tREFW`); trackers that reset
+    /// periodically (Graphene) clear their state here.
+    fn on_refresh_window(&mut self, now: Cycle) {
+        let _ = now;
+    }
+
+    /// The tracking mechanism implemented by this tracker.
+    fn kind(&self) -> TrackerKind;
+
+    /// Per-bank storage required by this tracker configuration.
+    fn storage(&self) -> StorageEstimate;
+
+    /// The Rowhammer threshold this tracker instance was configured to tolerate.
+    fn configured_threshold(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_cover_blast_radius() {
+        let m = MitigationRequest {
+            aggressor: 100,
+            identified_at: 0,
+        };
+        let mut v = m.victims(2, 1 << 16);
+        v.sort_unstable();
+        assert_eq!(v, vec![98, 99, 101, 102]);
+    }
+
+    #[test]
+    fn victims_clip_at_bank_edges() {
+        let low = MitigationRequest {
+            aggressor: 0,
+            identified_at: 0,
+        };
+        assert_eq!(low.victims(2, 1 << 16), vec![1, 2]);
+        let high = MitigationRequest {
+            aggressor: (1 << 16) - 1,
+            identified_at: 0,
+        };
+        let v = high.victims(2, 1 << 16);
+        assert_eq!(v, vec![(1 << 16) - 2, (1 << 16) - 3]);
+    }
+
+    #[test]
+    fn in_dram_classification() {
+        assert!(!TrackerKind::Graphene.is_in_dram());
+        assert!(!TrackerKind::Para.is_in_dram());
+        assert!(TrackerKind::Mithril.is_in_dram());
+        assert!(TrackerKind::Mint.is_in_dram());
+        assert!(TrackerKind::Prac.is_in_dram());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TrackerKind::Para.to_string(), "PARA");
+        assert_eq!(TrackerKind::Mint.to_string(), "MINT");
+    }
+}

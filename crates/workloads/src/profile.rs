@@ -1,0 +1,118 @@
+//! Workload profiles: the per-workload parameters that drive trace synthesis.
+
+use std::fmt;
+
+/// Broad classification of a workload's row-buffer behaviour, used to group results
+/// the way the paper's figures do (SPEC vs. STREAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalityClass {
+    /// SPEC2017-like: low-to-medium spatial locality, irregular access patterns.
+    Spec,
+    /// STREAM-like: long sequential runs, bandwidth bound.
+    Stream,
+}
+
+impl fmt::Display for LocalityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalityClass::Spec => f.write_str("SPEC"),
+            LocalityClass::Stream => f.write_str("STREAM"),
+        }
+    }
+}
+
+/// The parameters of one synthetic workload.
+///
+/// The two parameters that determine how a workload reacts to Row-Press defenses are
+/// its memory intensity (`mpki`) and its spatial locality (`sequential_run_lines`):
+/// limiting the row-open time (ExPress) hurts workloads with long sequential runs,
+/// while extra mitigations hurt memory-intensive workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// SPEC-like or STREAM-like.
+    pub class: LocalityClass,
+    /// LLC misses per kilo-instruction per core.
+    pub mpki: f64,
+    /// Average number of consecutive cache lines accessed before jumping elsewhere.
+    pub sequential_run_lines: f64,
+    /// Working-set size in bytes per core.
+    pub footprint_bytes: u64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// Number of concurrent array streams the workload walks (STREAM's copy touches 2
+    /// arrays, add/triad touch 3; pointer-chasing SPEC codes effectively walk 1).
+    /// Accesses round-robin across the streams, which spreads the reuse of each DRAM
+    /// row over a longer time window.
+    pub streams: usize,
+}
+
+impl WorkloadProfile {
+    /// Validates the profile parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mpki <= 0.0 {
+            return Err(format!("{}: MPKI must be positive", self.name));
+        }
+        if self.sequential_run_lines < 1.0 {
+            return Err(format!("{}: run length must be at least 1 line", self.name));
+        }
+        if self.footprint_bytes < 1 << 20 {
+            return Err(format!("{}: footprint must be at least 1 MiB", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(format!("{}: write fraction must be in [0, 1]", self.name));
+        }
+        if self.streams == 0 || self.streams > 8 {
+            return Err(format!("{}: streams must be in 1..=8", self.name));
+        }
+        Ok(())
+    }
+
+    /// Average number of instructions executed per LLC miss (1000 / MPKI).
+    pub fn instructions_per_miss(&self) -> f64 {
+        1000.0 / self.mpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "test",
+            class: LocalityClass::Spec,
+            mpki: 10.0,
+            sequential_run_lines: 2.0,
+            footprint_bytes: 64 << 20,
+            write_fraction: 0.3,
+            streams: 1,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert!(profile().validate().is_ok());
+        assert!((profile().instructions_per_miss() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut p = profile();
+        p.mpki = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.sequential_run_lines = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.write_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(LocalityClass::Spec.to_string(), "SPEC");
+        assert_eq!(LocalityClass::Stream.to_string(), "STREAM");
+    }
+}

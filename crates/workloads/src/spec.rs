@@ -1,0 +1,95 @@
+//! SPEC2017-like workload profiles (§III-A).
+//!
+//! The ten workloads are the SPEC2017 rate-mode traces the paper uses. The parameters
+//! below are *synthetic*: MPKI values are representative of the published memory
+//! intensities of these benchmarks, and the sequential run lengths are chosen so that
+//! the class as a whole exhibits the low/medium row-buffer locality the paper relies on
+//! (Figure 3: SPEC is largely insensitive to tMRO).
+
+use crate::profile::{LocalityClass, WorkloadProfile};
+
+/// The ten SPEC2017 workload names used in the paper's figures, in figure order.
+pub const SPEC_NAMES: [&str; 10] = [
+    "fotonik3d",
+    "mcf",
+    "gcc",
+    "omnetpp",
+    "bwaves",
+    "roms",
+    "cactuBSSN",
+    "wrf",
+    "pop2",
+    "xalancbmk",
+];
+
+/// Returns the profile of one SPEC-like workload by name, or `None` if unknown.
+pub fn spec_profile(name: &str) -> Option<WorkloadProfile> {
+    let (mpki, run, footprint_mib, writes, streams) = match name {
+        // (MPKI, sequential run in lines, footprint MiB, write fraction, streams)
+        "fotonik3d" => (25.0, 6.0, 256, 0.25, 2),
+        "mcf" => (45.0, 1.3, 512, 0.20, 1),
+        "gcc" => (6.0, 2.0, 128, 0.30, 1),
+        "omnetpp" => (18.0, 1.5, 256, 0.30, 1),
+        "bwaves" => (28.0, 5.0, 384, 0.25, 2),
+        "roms" => (22.0, 4.5, 256, 0.30, 2),
+        "cactuBSSN" => (12.0, 3.5, 256, 0.35, 2),
+        "wrf" => (10.0, 4.0, 192, 0.30, 2),
+        "pop2" => (8.0, 3.0, 192, 0.30, 1),
+        "xalancbmk" => (4.0, 1.5, 96, 0.25, 1),
+        _ => return None,
+    };
+    Some(WorkloadProfile {
+        name: SPEC_NAMES.iter().find(|&&n| n == name)?,
+        class: LocalityClass::Spec,
+        mpki,
+        sequential_run_lines: run,
+        footprint_bytes: footprint_mib << 20,
+        write_fraction: writes,
+        streams,
+    })
+}
+
+/// All ten SPEC-like profiles in figure order.
+pub fn all_spec_profiles() -> Vec<WorkloadProfile> {
+    SPEC_NAMES
+        .iter()
+        .map(|n| spec_profile(n).expect("known name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_profiles_exist_and_validate() {
+        let profiles = all_spec_profiles();
+        assert_eq!(profiles.len(), 10);
+        for p in &profiles {
+            p.validate().unwrap();
+            assert_eq!(p.class, LocalityClass::Spec);
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(spec_profile("doom3").is_none());
+    }
+
+    #[test]
+    fn spec_runs_are_short() {
+        // The defining property of the class: short sequential runs, so early row
+        // closure (small tMRO) costs SPEC little (Figure 3).
+        for p in all_spec_profiles() {
+            assert!(p.sequential_run_lines <= 8.0, "{} run too long", p.name);
+        }
+    }
+
+    #[test]
+    fn mcf_is_most_memory_intensive() {
+        let mcf = spec_profile("mcf").unwrap();
+        for p in all_spec_profiles() {
+            assert!(p.mpki <= mcf.mpki);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! STREAM-like workload profiles (§III-A).
+//!
+//! The paper uses the four STREAM kernels (add, copy, scale, triad) in 8-core rate mode
+//! plus six mixed configurations (two kernels with four copies each). STREAM sweeps
+//! large arrays sequentially, so nearly every access within a MOP chunk hits the open
+//! row and the class is very sensitive to early row closure (Figure 3).
+
+use crate::profile::{LocalityClass, WorkloadProfile};
+
+/// The four STREAM kernels.
+pub const STREAM_KERNELS: [&str; 4] = ["add", "copy", "scale", "triad"];
+
+/// The six mixed STREAM workloads used in the paper's figures.
+pub const STREAM_MIXES: [&str; 6] = [
+    "add_copy",
+    "add_scale",
+    "add_triad",
+    "copy_scale",
+    "copy_triad",
+    "scale_triad",
+];
+
+/// All ten STREAM workload names in figure order (kernels then mixes).
+pub fn stream_names() -> Vec<&'static str> {
+    STREAM_KERNELS
+        .iter()
+        .chain(STREAM_MIXES.iter())
+        .copied()
+        .collect()
+}
+
+/// Returns the profile of one STREAM kernel by name, or `None` if unknown.
+///
+/// Mixes are handled at the [`crate::mix::WorkloadMix`] level (half the cores run each
+/// kernel); this function only knows the four base kernels.
+pub fn stream_kernel_profile(name: &str) -> Option<WorkloadProfile> {
+    // STREAM kernels differ in the ratio of loaded to stored streams:
+    //   copy/scale: 1 load + 1 store;  add/triad: 2 loads + 1 store.
+    let (mpki, writes, streams, kernel) = match name {
+        "copy" => (95.0, 0.50, 2, "copy"),
+        "scale" => (92.0, 0.50, 2, "scale"),
+        "add" => (105.0, 0.34, 3, "add"),
+        "triad" => (102.0, 0.34, 3, "triad"),
+        _ => return None,
+    };
+    Some(WorkloadProfile {
+        name: STREAM_KERNELS.iter().find(|&&n| n == kernel)?,
+        class: LocalityClass::Stream,
+        mpki,
+        sequential_run_lines: 48.0,
+        footprint_bytes: 1 << 30,
+        write_fraction: writes,
+        streams,
+    })
+}
+
+/// The two kernels making up a mixed STREAM workload, or `None` if `name` is not a mix.
+pub fn mix_components(name: &str) -> Option<(&'static str, &'static str)> {
+    match name {
+        "add_copy" => Some(("add", "copy")),
+        "add_scale" => Some(("add", "scale")),
+        "add_triad" => Some(("add", "triad")),
+        "copy_scale" => Some(("copy", "scale")),
+        "copy_triad" => Some(("copy", "triad")),
+        "scale_triad" => Some(("scale", "triad")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_validate_and_are_stream_class() {
+        for k in STREAM_KERNELS {
+            let p = stream_kernel_profile(k).unwrap();
+            p.validate().unwrap();
+            assert_eq!(p.class, LocalityClass::Stream);
+            // The defining property: long sequential runs and high memory intensity.
+            assert!(p.sequential_run_lines >= 16.0);
+            assert!(p.mpki >= 50.0);
+        }
+    }
+
+    #[test]
+    fn ten_stream_workloads_total() {
+        assert_eq!(stream_names().len(), 10);
+    }
+
+    #[test]
+    fn mixes_decompose_into_known_kernels() {
+        for m in STREAM_MIXES {
+            let (a, b) = mix_components(m).unwrap();
+            assert!(stream_kernel_profile(a).is_some());
+            assert!(stream_kernel_profile(b).is_some());
+        }
+        assert!(mix_components("add").is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Attack analysis: evaluate Rowhammer, Row-Press and the ImPress-N evasion pattern
+//! against every defense, for both a memory-controller tracker (Graphene) and an
+//! in-DRAM tracker (MINT), and print the maximum unmitigated charge each attack
+//! achieves.
+//!
+//! Run with: `cargo run --release --example attack_analysis`
+
+use impress_repro::attacks::{AttackPattern, EvasionPattern, RowPressPattern, RowhammerPattern};
+use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_repro::core::security::SecurityHarness;
+use impress_repro::core::Alpha;
+use impress_repro::dram::DramTimings;
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let rounds = 30_000u64;
+    let alpha = 1.0;
+
+    let patterns: Vec<Box<dyn AttackPattern>> = vec![
+        Box::new(RowhammerPattern::new(2_000)),
+        Box::new(RowPressPattern::new(2_000, timings.t_refi)),
+        Box::new(RowPressPattern::maximal(2_000, &timings)),
+        Box::new(EvasionPattern::new(2_000, 9_000, &timings)),
+    ];
+    let defenses = [
+        ("No-RP", DefenseKind::NoRp),
+        (
+            "ImPress-N(α=1)",
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        ),
+        ("ImPress-P", DefenseKind::impress_p_default()),
+    ];
+
+    for (tracker, trh) in [(TrackerChoice::Graphene, 4_000u64), (TrackerChoice::Mint, 1_600)] {
+        println!("== Tracker: {} (TRH = {trh}) ==", tracker.label());
+        println!("defense\tattack\tmax_charge\tmitigations\tbit_flip");
+        for (label, defense) in defenses {
+            for pattern in &patterns {
+                let config = ProtectionConfig {
+                    rowhammer_threshold: trh,
+                    ..ProtectionConfig::paper_default(tracker, defense)
+                };
+                if config.validate().is_err() {
+                    continue;
+                }
+                let mut harness = SecurityHarness::new(&config, alpha, &timings);
+                let report = harness.run(pattern.accesses(rounds), u64::MAX);
+                println!(
+                    "{label}\t{}\t{:.0}\t{}\t{}",
+                    pattern.name(),
+                    report.max_unmitigated_charge,
+                    report.mitigations,
+                    report.bit_flipped()
+                );
+            }
+        }
+        println!();
+    }
+}

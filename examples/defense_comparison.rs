@@ -1,0 +1,65 @@
+//! Defense comparison: run one SPEC-like and one STREAM-like workload under every
+//! (tracker, defense) combination and print normalized performance, storage and the
+//! Table III properties side by side — the "which defense should I deploy?" view.
+//!
+//! Run with: `cargo run --release --example defense_comparison`
+
+use impress_repro::core::comparison::DefenseProperties;
+use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_repro::core::storage::storage_for;
+use impress_repro::core::Alpha;
+use impress_repro::dram::DramTimings;
+use impress_repro::sim::{Configuration, ExperimentRunner};
+
+fn main() {
+    let timings = DramTimings::ddr5();
+    let mut runner = ExperimentRunner::new().with_requests_per_core(8_000);
+
+    let defenses = [
+        ("No-RP", DefenseKind::NoRp),
+        ("ExPress", DefenseKind::express_paper_baseline(&timings)),
+        (
+            "ImPress-N",
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        ),
+        ("ImPress-P", DefenseKind::impress_p_default()),
+    ];
+
+    println!("tracker\tdefense\tperf(mcf)\tperf(copy)\tstorage_KiB/ch\tin-DRAM-ok");
+    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para, TrackerChoice::Mint] {
+        let baseline = Configuration::protected(
+            format!("{}+No-RP", tracker.label()),
+            ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
+        );
+        for (label, defense) in defenses {
+            let protection = ProtectionConfig::paper_default(tracker, defense);
+            if protection.validate().is_err() {
+                println!("{}\t{label}\t-\t-\t-\tincompatible", tracker.label());
+                continue;
+            }
+            let config = Configuration::protected(
+                format!("{}+{label}", tracker.label()),
+                protection,
+            );
+            let spec = runner.run_normalized("mcf", &baseline, &config);
+            let stream = runner.run_normalized("copy", &baseline, &config);
+            let storage = storage_for(tracker, defense);
+            println!(
+                "{}\t{label}\t{:.3}\t{:.3}\t{:.1}\t{}",
+                tracker.label(),
+                spec.normalized_performance,
+                stream.normalized_performance,
+                storage.kib_per_channel,
+                defense.compatible_with_in_dram()
+            );
+        }
+        println!();
+    }
+
+    println!("Table III properties:");
+    for p in DefenseProperties::table3(&timings) {
+        println!("{p:?}");
+    }
+}

@@ -1,0 +1,32 @@
+//! tMRO sweep: reproduce the core observation behind Figure 3 — limiting the row-open
+//! time barely affects SPEC-like workloads but visibly slows STREAM-like workloads —
+//! and show how the same limit changes the tolerated threshold (Figure 4).
+//!
+//! Run with: `cargo run --release --example tmro_sweep`
+
+use impress_repro::core::rowpress_data::{relative_threshold_for_tmro, TMRO_SWEEP_NS};
+use impress_repro::dram::timing::ns_to_cycles;
+use impress_repro::sim::{Configuration, ExperimentRunner};
+
+fn main() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(8_000);
+    let baseline = Configuration::unprotected();
+
+    println!("tMRO_ns\tperf(gcc)\tperf(mcf)\tperf(copy)\tperf(triad)\tT*_relative");
+    for &tmro_ns in &TMRO_SWEEP_NS {
+        let config = Configuration::with_tmro(format!("tMRO={tmro_ns}ns"), ns_to_cycles(tmro_ns));
+        let mut row = Vec::new();
+        for workload in ["gcc", "mcf", "copy", "triad"] {
+            let r = runner.run_normalized(workload, &baseline, &config);
+            row.push(format!("{:.3}", r.normalized_performance));
+        }
+        println!(
+            "{tmro_ns}\t{}\t{:.3}",
+            row.join("\t"),
+            relative_threshold_for_tmro(tmro_ns)
+        );
+    }
+    println!();
+    println!("Lower tMRO keeps Row-Press in check (T* closer to 1.0 means less threshold");
+    println!("reduction is needed) but costs STREAM performance — the trade-off ImPress avoids.");
+}

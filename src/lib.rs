@@ -1,0 +1,27 @@
+//! # impress-repro
+//!
+//! Umbrella crate for the reproduction of *"ImPress: Securing DRAM Against
+//! Data-Disturbance Errors via Implicit Row-Press Mitigation"* (MICRO 2024).
+//!
+//! It re-exports every sub-crate of the workspace so that examples, integration tests
+//! and downstream users can depend on a single crate:
+//!
+//! * [`dram`] — DDR5 device model (timings, banks, mapping, refresh, RFM, energy).
+//! * [`trackers`] — Rowhammer trackers (Graphene, PARA, Mithril, MINT, PRAC) with EACT support.
+//! * [`core`] — the ImPress contribution: charge-loss model, ExPress/ImPress-N/ImPress-P,
+//!   mitigation engine, security harness, threshold/storage analyses.
+//! * [`attacks`] — Rowhammer/Row-Press/combined attack patterns and slowdown models.
+//! * [`workloads`] — synthetic SPEC-like and STREAM-like trace generators.
+//! * [`memctrl`] — the DDR5 memory controller (FR-FCFS, page policies, tMRO, mitigations).
+//! * [`sim`] — the multi-core trace-driven system simulator and performance metrics.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench/` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use impress_attacks as attacks;
+pub use impress_core as core;
+pub use impress_dram as dram;
+pub use impress_memctrl as memctrl;
+pub use impress_sim as sim;
+pub use impress_trackers as trackers;
+pub use impress_workloads as workloads;

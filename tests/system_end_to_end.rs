@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: end-to-end performance simulations combining the
+//! workload generators, the system model, the memory controller and the defenses.
+
+use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_repro::core::Alpha;
+use impress_repro::sim::{Configuration, ExperimentRunner};
+use impress_repro::workloads::WorkloadMix;
+
+const REQUESTS: u64 = 2_500;
+
+#[test]
+fn all_twenty_paper_workloads_run_under_impress_p() {
+    let runner = ExperimentRunner::new().with_requests_per_core(500);
+    let config = Configuration::protected(
+        "Graphene+ImPress-P",
+        ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        ),
+    );
+    for workload in WorkloadMix::paper_workload_names() {
+        let out = runner.run_raw(workload, &config);
+        assert_eq!(out.memory.requests, 8 * 500, "workload {workload}");
+        assert!(out.performance.elapsed_cycles > 0);
+    }
+}
+
+#[test]
+fn impress_p_is_faster_than_express_for_stream() {
+    // The paper's headline performance claim (Figure 13): ImPress-P removes the
+    // row-buffer-locality penalty that ExPress imposes on streaming workloads.
+    let mut runner = ExperimentRunner::new().with_requests_per_core(REQUESTS);
+    let baseline = Configuration::protected(
+        "Graphene+No-RP",
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::NoRp),
+    );
+    let timings = impress_repro::dram::DramTimings::ddr5();
+    let express = Configuration::protected(
+        "Graphene+ExPress",
+        ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::express_paper_baseline(&timings),
+        ),
+    );
+    let impress_p = Configuration::protected(
+        "Graphene+ImPress-P",
+        ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        ),
+    );
+    let express_perf = runner
+        .run_normalized("copy", &baseline, &express)
+        .normalized_performance;
+    let impress_perf = runner
+        .run_normalized("copy", &baseline, &impress_p)
+        .normalized_performance;
+    assert!(
+        impress_perf > express_perf,
+        "ImPress-P ({impress_perf}) should outperform ExPress ({express_perf}) on STREAM"
+    );
+}
+
+#[test]
+fn graphene_impress_p_overhead_is_small() {
+    let mut runner = ExperimentRunner::new().with_requests_per_core(REQUESTS);
+    let baseline = Configuration::protected(
+        "Graphene+No-RP",
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::NoRp),
+    );
+    let impress_p = Configuration::protected(
+        "Graphene+ImPress-P",
+        ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        ),
+    );
+    for workload in ["mcf", "copy"] {
+        let r = runner.run_normalized(workload, &baseline, &impress_p);
+        assert!(
+            r.normalized_performance > 0.95,
+            "{workload}: Graphene+ImPress-P normalized perf = {}",
+            r.normalized_performance
+        );
+    }
+}
+
+#[test]
+fn protected_runs_report_mitigative_activations_for_para() {
+    let runner = ExperimentRunner::new().with_requests_per_core(REQUESTS);
+    let para = Configuration::protected(
+        "PARA+ImPress-P",
+        ProtectionConfig::paper_default(TrackerChoice::Para, DefenseKind::impress_p_default()),
+    );
+    let out = runner.run_raw("mcf", &para);
+    assert!(out.memory.banks.mitigative_activations > 0);
+    // Mitigations also show up as energy: the breakdown must include them.
+    assert!(out.energy.mitigative_act_nj > 0.0);
+}
+
+#[test]
+fn impress_n_costs_more_than_impress_p_for_para() {
+    // ImPress-N halves PARA's sampling period (alpha = 1) and therefore mitigates more
+    // often than ImPress-P on the same traffic.
+    let runner = ExperimentRunner::new().with_requests_per_core(REQUESTS);
+    let impress_n = Configuration::protected(
+        "PARA+ImPress-N",
+        ProtectionConfig::paper_default(
+            TrackerChoice::Para,
+            DefenseKind::ImpressN {
+                alpha: Alpha::Conservative,
+            },
+        ),
+    );
+    let impress_p = Configuration::protected(
+        "PARA+ImPress-P",
+        ProtectionConfig::paper_default(TrackerChoice::Para, DefenseKind::impress_p_default()),
+    );
+    let n = runner.run_raw("copy", &impress_n);
+    let p = runner.run_raw("copy", &impress_p);
+    assert!(
+        n.memory.banks.mitigative_activations > p.memory.banks.mitigative_activations,
+        "ImPress-N ({}) should mitigate more than ImPress-P ({})",
+        n.memory.banks.mitigative_activations,
+        p.memory.banks.mitigative_activations
+    );
+}
+
+#[test]
+fn runs_with_same_seed_are_reproducible() {
+    let runner = ExperimentRunner::new().with_requests_per_core(1_000);
+    let cfg = Configuration::unprotected();
+    let a = runner.run_raw("omnetpp", &cfg);
+    let b = runner.run_raw("omnetpp", &cfg);
+    assert_eq!(a.performance.elapsed_cycles, b.performance.elapsed_cycles);
+    assert_eq!(a.memory.banks.activations, b.memory.banks.activations);
+    assert_eq!(a.memory.banks.row_hits, b.memory.banks.row_hits);
+}
