@@ -32,7 +32,10 @@ pub fn para_attack_slowdown_with_p(p: f64, k: u64) -> f64 {
 /// Slowdown of ImPress-P with PARA for a Rowhammer threshold `trh`, using the
 /// Appendix-B probability (p = 1/84 at TRH = 4000, scaling as 1/TRH).
 pub fn para_attack_slowdown(trh: u64, k: u64) -> f64 {
-    para_attack_slowdown_with_p(impress_trackers::analysis::para_probability_appendix_b(trh), k)
+    para_attack_slowdown_with_p(
+        impress_trackers::analysis::para_probability_appendix_b(trh),
+        k,
+    )
 }
 
 /// The K value beyond which PARA's mitigation probability saturates at 1 and the

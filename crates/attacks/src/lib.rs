@@ -24,5 +24,7 @@ pub mod patterns;
 pub mod runner;
 
 pub use analytic::{graphene_attack_slowdown, para_attack_slowdown};
-pub use patterns::{AttackPattern, CombinedPattern, EvasionPattern, RowPressPattern, RowhammerPattern};
+pub use patterns::{
+    AttackPattern, CombinedPattern, EvasionPattern, RowPressPattern, RowhammerPattern,
+};
 pub use runner::{AttackPerformanceReport, AttackRunner};

@@ -109,7 +109,10 @@ impl AttackPattern for RowPressPattern {
     }
 
     fn name(&self) -> String {
-        format!("Row-Press(row {}, tON {} cycles)", self.aggressor, self.t_on)
+        format!(
+            "Row-Press(row {}, tON {} cycles)",
+            self.aggressor, self.t_on
+        )
     }
 }
 
@@ -190,7 +193,7 @@ impl AttackPattern for EvasionPattern {
     fn round(&self, i: u64) -> AggressorAccess {
         // Alternate the long aggressor access with a minimum-length decoy access (the
         // decoy both closes the aggressor row and hides the pattern's regularity).
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             AggressorAccess::press(self.aggressor, self.t_on)
         } else {
             AggressorAccess::hammer(self.decoy)
@@ -198,7 +201,10 @@ impl AttackPattern for EvasionPattern {
     }
 
     fn name(&self) -> String {
-        format!("ImPress-N evasion(row {}, decoy {})", self.aggressor, self.decoy)
+        format!(
+            "ImPress-N evasion(row {}, decoy {})",
+            self.aggressor, self.decoy
+        )
     }
 }
 

@@ -69,9 +69,9 @@ impl AttackRunner {
             baseline += round_time;
 
             let handle = |requests: Vec<impress_trackers::MitigationRequest>,
-                              now: &mut Cycle,
-                              mitigation_cycles: &mut Cycle,
-                              mitigations: &mut u64| {
+                          now: &mut Cycle,
+                          mitigation_cycles: &mut Cycle,
+                          mitigations: &mut u64| {
                 for _ in requests {
                     *now += self.mitigation_cost;
                     *mitigation_cycles += self.mitigation_cost;
@@ -200,10 +200,8 @@ mod tests {
         // The attacker gains nothing (in mitigation overhead avoided) by adding
         // Row-Press when ImPress-P is deployed.
         let t = timings();
-        let cfg = ProtectionConfig::paper_default(
-            TrackerChoice::Para,
-            DefenseKind::impress_p_default(),
-        );
+        let cfg =
+            ProtectionConfig::paper_default(TrackerChoice::Para, DefenseKind::impress_p_default());
         let slowdown_at = |k: u64| {
             let mut runner = AttackRunner::new(&cfg, &t);
             let pattern = CombinedPattern::new(300, k, &t);

@@ -13,8 +13,7 @@ fn main() {
     println!("tMRO_ns\tT*_data\tT*_CLM_alpha0.35\tT*_CLM_alpha1.0");
     for point in TSTAR_VS_TMRO {
         let ns = point.t_mro_ns;
-        let clm_035 =
-            express_threshold_from_clm(ns_to_cycles(ns), Alpha::ShortDuration, &timings);
+        let clm_035 = express_threshold_from_clm(ns_to_cycles(ns), Alpha::ShortDuration, &timings);
         let clm_1 = express_threshold_from_clm(ns_to_cycles(ns), Alpha::Conservative, &timings);
         println!(
             "{ns}\t{:.3}\t{clm_035:.3}\t{clm_1:.3}",

@@ -2,7 +2,9 @@
 //! ExPress, ImPress-N and ImPress-P at alpha = 1, normalized to the same tracker with
 //! no Row-Press mitigation (No-RP).
 
-use impress_bench::{defense_configurations, figure_workloads, print_class_gmeans, requests_per_core};
+use impress_bench::{
+    defense_configurations, figure_workloads, print_class_gmeans, requests_per_core,
+};
 use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_sim::{Configuration, ExperimentRunner};
 
@@ -11,7 +13,11 @@ fn main() {
 
     println!("Figure 13: Performance of defenses (alpha=1), normalized to No-RP");
     println!("configuration\tworkload\tnorm_performance");
-    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para, TrackerChoice::Mint] {
+    for tracker in [
+        TrackerChoice::Graphene,
+        TrackerChoice::Para,
+        TrackerChoice::Mint,
+    ] {
         let baseline = Configuration::protected(
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
@@ -23,7 +29,10 @@ fn main() {
             let mut results = Vec::new();
             for workload in figure_workloads() {
                 let r = runner.run_normalized(workload, &baseline, &config);
-                println!("{}\t{workload}\t{:.4}", config.label, r.normalized_performance);
+                println!(
+                    "{}\t{workload}\t{:.4}",
+                    config.label, r.normalized_performance
+                );
                 results.push(r);
             }
             print_class_gmeans(&config.label, &results);

@@ -14,7 +14,11 @@ fn main() {
 
     println!("Figure 16: ExPress vs ImPress-N at alpha = 0.35 and 1.0 (normalized to No-RP)");
     println!("configuration\tclass\tnorm_performance");
-    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para, TrackerChoice::Mint] {
+    for tracker in [
+        TrackerChoice::Graphene,
+        TrackerChoice::Para,
+        TrackerChoice::Mint,
+    ] {
         let baseline = Configuration::protected(
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
@@ -38,10 +42,8 @@ fn main() {
                 if protection.validate().is_err() {
                     continue; // ExPress is incompatible with in-DRAM trackers.
                 }
-                let config = Configuration::protected(
-                    format!("{}+{label}", tracker.label()),
-                    protection,
-                );
+                let config =
+                    Configuration::protected(format!("{}+{label}", tracker.label()), protection);
                 let mut results = Vec::new();
                 for workload in figure_workloads() {
                     results.push(runner.run_normalized(workload, &baseline, &config));

@@ -10,7 +10,10 @@ fn main() {
     let timings = DramTimings::ddr5();
     let defenses = [
         ("No-RP", DefenseKind::NoRp),
-        ("ExPress(α=1)", DefenseKind::express_paper_baseline(&timings)),
+        (
+            "ExPress(α=1)",
+            DefenseKind::express_paper_baseline(&timings),
+        ),
         (
             "ImPress-N(α=0.35)",
             DefenseKind::ImpressN {

@@ -16,9 +16,17 @@ fn main() {
         ("tREFI", "Time between successive REF commands", t.t_refi),
         ("tRFC", "Execution time for REF command", t.t_rfc),
         ("tRFM", "Execution time for RFM command", t.t_rfm),
-        ("tONMax", "Max time a row can be kept open per DDR5", t.t_on_max),
+        (
+            "tONMax",
+            "Max time a row can be kept open per DDR5",
+            t.t_on_max,
+        ),
     ];
     for (name, description, cycles) in rows {
-        println!("{name}\t{description}\t{}\t{}", cycles_to_ns(cycles), cycles);
+        println!(
+            "{name}\t{description}\t{}\t{}",
+            cycles_to_ns(cycles),
+            cycles
+        );
     }
 }

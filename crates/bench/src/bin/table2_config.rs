@@ -16,10 +16,7 @@ fn main() {
         llc.ways,
         llc.line_bytes
     );
-    println!(
-        "Memory size\t{} GB -- DDR5",
-        org.capacity_bytes() >> 30
-    );
+    println!("Memory size\t{} GB -- DDR5", org.capacity_bytes() >> 30);
     println!("Channels\t{}", org.channels);
     println!(
         "Banks x Ranks x Bank-Groups\t{}x{}x{}",

@@ -15,7 +15,10 @@ fn main() {
 
     row(
         "Puts Limit on tON",
-        columns.iter().map(|c| yes_no(c.limits_t_on).to_string()).collect(),
+        columns
+            .iter()
+            .map(|c| yes_no(c.limits_t_on).to_string())
+            .collect(),
     );
     row(
         "Affects Threshold (T*)",
@@ -36,11 +39,17 @@ fn main() {
     );
     row(
         "More Tracking Entries",
-        columns.iter().map(|c| yes_no(c.more_entries).to_string()).collect(),
+        columns
+            .iter()
+            .map(|c| yes_no(c.more_entries).to_string())
+            .collect(),
     );
     row(
         "Wider Tracking Entries",
-        columns.iter().map(|c| yes_no(c.wider_entries).to_string()).collect(),
+        columns
+            .iter()
+            .map(|c| yes_no(c.wider_entries).to_string())
+            .collect(),
     );
     row(
         "In-DRAM Trackers",
@@ -57,6 +66,9 @@ fn main() {
     );
     row(
         "Device Dependency",
-        columns.iter().map(|c| yes_no(c.device_dependent).to_string()).collect(),
+        columns
+            .iter()
+            .map(|c| yes_no(c.device_dependent).to_string())
+            .collect(),
     );
 }

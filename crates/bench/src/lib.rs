@@ -108,14 +108,21 @@ mod tests {
     #[test]
     fn figure_workloads_cover_both_classes() {
         let workloads = figure_workloads();
-        assert!(workloads.iter().any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Spec));
-        assert!(workloads.iter().any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Stream));
+        assert!(workloads
+            .iter()
+            .any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Spec));
+        assert!(workloads
+            .iter()
+            .any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Stream));
     }
 
     #[test]
     fn defense_configurations_skip_invalid_combinations() {
         // ExPress cannot protect in-DRAM trackers, so MINT gets only three configs.
-        assert_eq!(defense_configurations(TrackerChoice::Graphene, 4_000).len(), 4);
+        assert_eq!(
+            defense_configurations(TrackerChoice::Graphene, 4_000).len(),
+            4
+        );
         assert_eq!(defense_configurations(TrackerChoice::Mint, 4_000).len(), 3);
     }
 }

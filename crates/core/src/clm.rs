@@ -71,7 +71,10 @@ impl ChargeLossModel {
     /// Panics if α is negative or not finite.
     pub fn new(alpha: impl Into<Alpha>, timings: &DramTimings) -> Self {
         let alpha = alpha.into().value();
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
         Self {
             alpha,
             t_ras: timings.t_ras,

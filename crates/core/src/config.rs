@@ -133,7 +133,10 @@ impl TrackerChoice {
 
     /// Returns `true` for trackers whose mitigation happens inside the DRAM under RFM.
     pub fn is_in_dram(self) -> bool {
-        matches!(self, TrackerChoice::Mithril | TrackerChoice::Mint | TrackerChoice::Prac)
+        matches!(
+            self,
+            TrackerChoice::Mithril | TrackerChoice::Mint | TrackerChoice::Prac
+        )
     }
 
     /// Short name used in experiment output.
@@ -322,9 +325,15 @@ mod tests {
     fn built_trackers_have_expected_kinds() {
         let t = DramTimings::ddr5();
         for (choice, kind) in [
-            (TrackerChoice::Graphene, impress_trackers::TrackerKind::Graphene),
+            (
+                TrackerChoice::Graphene,
+                impress_trackers::TrackerKind::Graphene,
+            ),
             (TrackerChoice::Para, impress_trackers::TrackerKind::Para),
-            (TrackerChoice::Mithril, impress_trackers::TrackerKind::Mithril),
+            (
+                TrackerChoice::Mithril,
+                impress_trackers::TrackerKind::Mithril,
+            ),
             (TrackerChoice::Mint, impress_trackers::TrackerKind::Mint),
             (TrackerChoice::Prac, impress_trackers::TrackerKind::Prac),
         ] {

@@ -37,7 +37,10 @@ impl ImpressN {
     /// Creates an ImPress-N defense with the given α assumption and DRAM timings.
     pub fn new(alpha: impl Into<Alpha>, timings: &DramTimings) -> Self {
         let alpha = alpha.into().value();
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
         Self {
             t_rc: timings.t_rc,
             t_act: timings.t_act,
@@ -86,7 +89,9 @@ impl RowPressDefense for ImpressN {
     fn on_close(&mut self, closed: &ClosedRow) -> Vec<TrackedActivation> {
         let n = self.full_windows(closed);
         self.window_activations += n;
-        (0..n).map(|_| TrackedActivation::unit(closed.row)).collect()
+        (0..n)
+            .map(|_| TrackedActivation::unit(closed.row))
+            .collect()
     }
 
     fn tracker_threshold_scale(&self) -> f64 {

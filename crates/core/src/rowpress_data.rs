@@ -30,17 +30,50 @@ pub struct TstarPoint {
 /// Relative threshold (T*/TRH) as a function of the maximum row-open time (Figure 4,
 /// digitized from Table 8 of Luo et al.). The paper quotes 0.62 at tMRO = 186 ns.
 pub const TSTAR_VS_TMRO: &[TstarPoint] = &[
-    TstarPoint { t_mro_ns: 36, relative_threshold: 1.00 },
-    TstarPoint { t_mro_ns: 66, relative_threshold: 0.90 },
-    TstarPoint { t_mro_ns: 96, relative_threshold: 0.80 },
-    TstarPoint { t_mro_ns: 126, relative_threshold: 0.72 },
-    TstarPoint { t_mro_ns: 156, relative_threshold: 0.66 },
-    TstarPoint { t_mro_ns: 186, relative_threshold: 0.62 },
-    TstarPoint { t_mro_ns: 246, relative_threshold: 0.56 },
-    TstarPoint { t_mro_ns: 336, relative_threshold: 0.50 },
-    TstarPoint { t_mro_ns: 456, relative_threshold: 0.45 },
-    TstarPoint { t_mro_ns: 516, relative_threshold: 0.43 },
-    TstarPoint { t_mro_ns: 636, relative_threshold: 0.41 },
+    TstarPoint {
+        t_mro_ns: 36,
+        relative_threshold: 1.00,
+    },
+    TstarPoint {
+        t_mro_ns: 66,
+        relative_threshold: 0.90,
+    },
+    TstarPoint {
+        t_mro_ns: 96,
+        relative_threshold: 0.80,
+    },
+    TstarPoint {
+        t_mro_ns: 126,
+        relative_threshold: 0.72,
+    },
+    TstarPoint {
+        t_mro_ns: 156,
+        relative_threshold: 0.66,
+    },
+    TstarPoint {
+        t_mro_ns: 186,
+        relative_threshold: 0.62,
+    },
+    TstarPoint {
+        t_mro_ns: 246,
+        relative_threshold: 0.56,
+    },
+    TstarPoint {
+        t_mro_ns: 336,
+        relative_threshold: 0.50,
+    },
+    TstarPoint {
+        t_mro_ns: 456,
+        relative_threshold: 0.45,
+    },
+    TstarPoint {
+        t_mro_ns: 516,
+        relative_threshold: 0.43,
+    },
+    TstarPoint {
+        t_mro_ns: 636,
+        relative_threshold: 0.41,
+    },
 ];
 
 /// Interpolates the Figure 4 curve at an arbitrary `t_mro_ns`, clamping outside the
@@ -72,14 +105,38 @@ pub struct ShortDurationPoint {
 /// Short-duration Row-Press damage per round (Figure 8, "RP Data"). The CLM line with
 /// α = 0.35 lies on or above every point.
 pub const SHORT_DURATION_TCL: &[ShortDurationPoint] = &[
-    ShortDurationPoint { attack_time_trc: 1.0, total_charge_loss: 1.00 },
-    ShortDurationPoint { attack_time_trc: 2.0, total_charge_loss: 1.32 },
-    ShortDurationPoint { attack_time_trc: 3.0, total_charge_loss: 1.60 },
-    ShortDurationPoint { attack_time_trc: 4.0, total_charge_loss: 1.85 },
-    ShortDurationPoint { attack_time_trc: 5.0, total_charge_loss: 2.08 },
-    ShortDurationPoint { attack_time_trc: 6.0, total_charge_loss: 2.29 },
-    ShortDurationPoint { attack_time_trc: 7.0, total_charge_loss: 2.49 },
-    ShortDurationPoint { attack_time_trc: 8.0, total_charge_loss: 2.67 },
+    ShortDurationPoint {
+        attack_time_trc: 1.0,
+        total_charge_loss: 1.00,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 2.0,
+        total_charge_loss: 1.32,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 3.0,
+        total_charge_loss: 1.60,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 4.0,
+        total_charge_loss: 1.85,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 5.0,
+        total_charge_loss: 2.08,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 6.0,
+        total_charge_loss: 2.29,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 7.0,
+        total_charge_loss: 2.49,
+    },
+    ShortDurationPoint {
+        attack_time_trc: 8.0,
+        total_charge_loss: 2.67,
+    },
 ];
 
 /// A sub-linear curve fit to the short-duration data (the dotted "Curve-Fit" line of
@@ -136,7 +193,10 @@ pub struct LongDurationPoint {
 /// the tight envelope the paper describes, while the population average corresponds to
 /// the ~18x (1 tREFI) / ~156x (9 tREFI) average reductions reported by Luo et al.
 const DEVICE_FACTORS: &[(Vendor, &[f64])] = &[
-    (Vendor::Samsung, &[1.00, 0.45, 0.30, 0.22, 0.17, 0.13, 0.10, 0.08]),
+    (
+        Vendor::Samsung,
+        &[1.00, 0.45, 0.30, 0.22, 0.17, 0.13, 0.10, 0.08],
+    ),
     (Vendor::Hynix, &[0.62, 0.38, 0.25, 0.16, 0.11, 0.08]),
     (Vendor::Micron, &[0.80, 0.40, 0.28, 0.18, 0.12, 0.09, 0.07]),
 ];
@@ -275,7 +335,10 @@ mod tests {
                 .map(|p| p.total_charge_loss)
                 .collect();
             let avg = damages.iter().sum::<f64>() / damages.len() as f64;
-            assert!(avg > low && avg < high, "avg damage {avg} for {duration} tRC");
+            assert!(
+                avg > low && avg < high,
+                "avg damage {avg} for {duration} tRC"
+            );
         }
     }
 }

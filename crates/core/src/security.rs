@@ -167,9 +167,10 @@ impl SecurityHarness {
     pub fn apply(&mut self, access: AggressorAccess) {
         // The open time is bounded below by tRAS, above by the refresh-postponement
         // limit of the DDR specification, and (under ExPress) by the enforced tMRO.
-        let mut t_on = access
-            .t_on
-            .clamp(self.timings.t_ras, (1 + self.timings.max_postponed_ref as u64) * self.timings.t_refi);
+        let mut t_on = access.t_on.clamp(
+            self.timings.t_ras,
+            (1 + self.timings.max_postponed_ref as u64) * self.timings.t_refi,
+        );
         if let Some(t_mro) = self.engine.max_row_open() {
             t_on = t_on.min(t_mro);
         }
@@ -274,7 +275,11 @@ mod tests {
         let mut h = harness(TrackerChoice::Graphene, DefenseKind::NoRp, 1.0);
         let pattern = (0..20_000).map(|_| AggressorAccess::hammer(500));
         let report = h.run(pattern, u64::MAX);
-        assert!(!report.bit_flipped(), "max charge = {}", report.max_unmitigated_charge);
+        assert!(
+            !report.bit_flipped(),
+            "max charge = {}",
+            report.max_unmitigated_charge
+        );
         assert!(report.mitigations > 0);
     }
 

@@ -60,9 +60,7 @@ pub fn storage_for_threshold(
 pub fn relative_storage(tracker: TrackerChoice, defense: DefenseKind) -> f64 {
     let base = storage_for(tracker, DefenseKind::NoRp);
     let with_defense = storage_for(tracker, defense);
-    with_defense
-        .estimate
-        .relative_to(&base.estimate)
+    with_defense.estimate.relative_to(&base.estimate)
 }
 
 #[cfg(test)]
@@ -74,7 +72,10 @@ mod tests {
     fn graphene_storage_ratios_match_section_6c() {
         // §VI-C: ImPress-P storage is 1.25x of No-RP, whereas ImPress-N/ExPress are 2x.
         let impress_p = relative_storage(TrackerChoice::Graphene, DefenseKind::impress_p_default());
-        assert!((1.1..=1.3).contains(&impress_p), "ImPress-P ratio = {impress_p}");
+        assert!(
+            (1.1..=1.3).contains(&impress_p),
+            "ImPress-P ratio = {impress_p}"
+        );
 
         let impress_n = relative_storage(
             TrackerChoice::Graphene,
@@ -82,7 +83,10 @@ mod tests {
                 alpha: Alpha::Conservative,
             },
         );
-        assert!((1.9..=2.1).contains(&impress_n), "ImPress-N ratio = {impress_n}");
+        assert!(
+            (1.9..=2.1).contains(&impress_n),
+            "ImPress-N ratio = {impress_n}"
+        );
 
         let timings = DramTimings::ddr5();
         let express = relative_storage(
@@ -117,7 +121,7 @@ mod tests {
     #[test]
     fn mithril_entries_quadruple_under_impress_n() {
         let base = storage_for(TrackerChoice::Mithril, DefenseKind::NoRp);
-        assert!((375..=395).contains(&(base.estimate.entries_per_bank as u64)));
+        assert!((375..=395).contains(&base.estimate.entries_per_bank));
         let impress_n = storage_for(
             TrackerChoice::Mithril,
             DefenseKind::ImpressN {
@@ -126,7 +130,7 @@ mod tests {
         );
         // §VI-C: 383 -> ~1545 entries (we accept the calibrated ~1400-1600 range).
         assert!(
-            (1300..=1700).contains(&(impress_n.estimate.entries_per_bank as u64)),
+            (1300..=1700).contains(&impress_n.estimate.entries_per_bank),
             "entries = {}",
             impress_n.estimate.entries_per_bank
         );

@@ -124,7 +124,12 @@ impl Bank {
     /// Returns [`DramError::BankAlreadyActive`] if a row is already open and
     /// [`DramError::TimingViolation`] if `tRC` since the previous ACT (or a pending
     /// precharge/refresh) has not elapsed.
-    pub fn activate(&mut self, row: RowId, now: Cycle, timings: &DramTimings) -> Result<(), DramError> {
+    pub fn activate(
+        &mut self,
+        row: RowId,
+        now: Cycle,
+        timings: &DramTimings,
+    ) -> Result<(), DramError> {
         if let BankState::Active { row: open, .. } = self.state {
             return Err(DramError::BankAlreadyActive {
                 open_row: open,

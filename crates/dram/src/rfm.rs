@@ -80,7 +80,11 @@ mod tests {
     fn rfm_due_after_threshold_acts() {
         let mut c = RfmCounter::new(80);
         for i in 0..79 {
-            assert!(!c.on_activation(), "RFM should not be due after {} ACTs", i + 1);
+            assert!(
+                !c.on_activation(),
+                "RFM should not be due after {} ACTs",
+                i + 1
+            );
         }
         assert!(c.on_activation());
         assert!(c.rfm_due());

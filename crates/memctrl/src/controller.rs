@@ -251,9 +251,8 @@ impl MemoryController {
                 deadline = deadline.min(opened_at + t_mro.max(timings.t_ras));
             }
             if let Some(timeout) = idle_timeout {
-                deadline = deadline.min(
-                    unit.last_use.max(opened_at).max(opened_at + timings.t_ras) + timeout,
-                );
+                deadline = deadline
+                    .min(unit.last_use.max(opened_at).max(opened_at + timings.t_ras) + timeout);
             }
             if deadline != Cycle::MAX && earliest > deadline {
                 let closed = unit
@@ -282,8 +281,8 @@ impl MemoryController {
                 unit.handle_closure(&closed, &timings);
                 unit.bank.stats_mut().row_conflicts += 1;
                 // The tFAW/4 spacing rule limits the channel's aggregate ACT rate.
-                let act_ready = (pre_at + timings.t_pre)
-                    .max(channel.last_demand_act + timings.t_faw / 4);
+                let act_ready =
+                    (pre_at + timings.t_pre).max(channel.last_demand_act + timings.t_faw / 4);
                 let act_at = unit.activate(location.row, act_ready, &timings, rfm_enabled);
                 channel.last_demand_act = act_at;
                 (RowBufferOutcome::Conflict, act_at + timings.t_act)
@@ -308,8 +307,11 @@ impl MemoryController {
 
         // 5. Closed-page policy precharges immediately after the access.
         if closed_page {
-            let pre_at =
-                completed_at.max(unit.bank.earliest_precharge(&timings).unwrap_or(completed_at));
+            let pre_at = completed_at.max(
+                unit.bank
+                    .earliest_precharge(&timings)
+                    .unwrap_or(completed_at),
+            );
             if let Ok(closed) = unit.bank.precharge(pre_at, &timings) {
                 unit.handle_closure(&closed, &timings);
             }
@@ -403,17 +405,23 @@ mod tests {
         let conflict_line = 8 * cfg.organization.banks_per_channel() as u64 * 16;
         let conflict = mc.access(decoded(&cfg, conflict_line), false, hit.completed_at + 10);
         assert_eq!(
-            conflict
-                .location
-                .flat_bank(cfg.organization.banks_per_group, cfg.organization.bank_groups),
-            miss.location
-                .flat_bank(cfg.organization.banks_per_group, cfg.organization.bank_groups)
+            conflict.location.flat_bank(
+                cfg.organization.banks_per_group,
+                cfg.organization.bank_groups
+            ),
+            miss.location.flat_bank(
+                cfg.organization.banks_per_group,
+                cfg.organization.bank_groups
+            )
         );
         assert_eq!(conflict.outcome, RowBufferOutcome::Conflict);
         let miss_latency = miss.latency(base);
         let hit_latency = hit.latency(miss.completed_at + 10);
         let conflict_latency = conflict.latency(hit.completed_at + 10);
-        assert!(hit_latency < miss_latency, "{hit_latency} !< {miss_latency}");
+        assert!(
+            hit_latency < miss_latency,
+            "{hit_latency} !< {miss_latency}"
+        );
         assert!(
             miss_latency < conflict_latency,
             "{miss_latency} !< {conflict_latency}"
@@ -527,7 +535,11 @@ mod tests {
             now = o.completed_at + 2;
         }
         let stats = mc.stats();
-        assert!(stats.banks.rfm_commands >= 1, "rfm = {}", stats.banks.rfm_commands);
+        assert!(
+            stats.banks.rfm_commands >= 1,
+            "rfm = {}",
+            stats.banks.rfm_commands
+        );
     }
 
     #[test]

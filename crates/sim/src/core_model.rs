@@ -8,8 +8,8 @@
 //! performance to memory latency and bandwidth (which is what the paper's figures
 //! normalize away) is captured.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use impress_dram::timing::Cycle;
 
@@ -92,7 +92,8 @@ impl CoreModel {
 
     /// The cycle at which this core finishes all the work it has issued.
     pub fn finish_time(&self) -> Cycle {
-        self.last_completion.max(self.front_end_ready.ceil() as Cycle)
+        self.last_completion
+            .max(self.front_end_ready.ceil() as Cycle)
     }
 }
 
@@ -133,7 +134,7 @@ mod tests {
     fn memory_bound_core_is_limited_by_latency() {
         // With think gap 0 and MLP 1, throughput is entirely latency-bound.
         let mut core = CoreModel::new(0, 0.0, 1);
-        let mut now = 0;
+        let mut now;
         for _ in 0..10 {
             now = core.next_issue_time();
             core.on_issue(now, now + 50);

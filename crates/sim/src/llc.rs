@@ -75,7 +75,10 @@ impl Llc {
     /// Panics if the configuration does not yield a power-of-two, non-zero set count.
     pub fn new(config: LlcConfig) -> Self {
         let sets = config.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             config,
             sets: vec![
@@ -215,7 +218,9 @@ mod tests {
         }
         let mut writebacks = 0;
         for i in 4..12u64 {
-            if let LlcOutcome::Miss { writeback: Some(_) } = llc.access(PhysicalAddress::new(i * stride), false) {
+            if let LlcOutcome::Miss { writeback: Some(_) } =
+                llc.access(PhysicalAddress::new(i * stride), false)
+            {
                 writebacks += 1;
             }
         }

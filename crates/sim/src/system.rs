@@ -86,7 +86,7 @@ impl System {
                     continue;
                 }
                 let t = core.next_issue_time();
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((core.id(), t));
                 }
             }

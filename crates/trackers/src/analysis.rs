@@ -113,7 +113,10 @@ mod tests {
         assert!((440..=470).contains(&e4k), "entries = {e4k}");
         // ExPress / ImPress-N at alpha=1 target TRH/2 = 2K: entries double (§VI-C).
         let e2k = graphene_entries(2_000, &t);
-        assert!(e2k >= 2 * e4k - 20 && e2k <= 2 * e4k + 20, "entries = {e2k}");
+        assert!(
+            e2k >= 2 * e4k - 20 && e2k <= 2 * e4k + 20,
+            "entries = {e2k}"
+        );
     }
 
     #[test]
@@ -127,7 +130,7 @@ mod tests {
     #[test]
     fn para_escape_probability_is_consistent() {
         let p = para_probability(4_000);
-        let escape = (1.0 - p) as f64;
+        let escape = 1.0 - p;
         let escape_after_trh = escape.powi(4_000);
         // With p = 1/184, the probability of hammering 4000 times without a single
         // mitigation is below 1e-9 (the paper's 0.1 FIT target).

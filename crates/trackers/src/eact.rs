@@ -50,7 +50,10 @@ impl Eact {
     ///
     /// Panics if `value` is negative, not finite, or `frac_bits > 7`.
     pub fn from_f64(value: f64, frac_bits: u32) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "EACT must be non-negative");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "EACT must be non-negative"
+        );
         assert!(
             frac_bits <= CANONICAL_FRAC_BITS,
             "at most {CANONICAL_FRAC_BITS} fractional bits are supported"

@@ -157,7 +157,10 @@ impl RowTracker for Graphene {
         };
 
         self.table[slot].count.add(eact);
-        if self.table[slot].count.reached(self.config.internal_threshold) {
+        if self.table[slot]
+            .count
+            .reached(self.config.internal_threshold)
+        {
             // Mitigate and roll the counter back to the spillover value so the row
             // keeps being tracked without immediately re-triggering.
             self.table[slot].count = self.spillover;
@@ -250,7 +253,7 @@ mod tests {
     fn refresh_window_resets_state() {
         let mut g = Graphene::for_threshold(4_000);
         for i in 0..1000u64 {
-            g.record(5, Eact::ONE, i * 128).map(|_| ());
+            let _ = g.record(5, Eact::ONE, i * 128);
         }
         assert!(g.tracked_count(5).unwrap_or(0) > 0);
         g.on_refresh_window(1_000_000);

@@ -198,7 +198,11 @@ mod tests {
     #[test]
     fn paper_sizing_383_entries() {
         let m = Mithril::for_threshold(4_000);
-        assert!((375..=395).contains(&m.config().entries), "{}", m.config().entries);
+        assert!(
+            (375..=395).contains(&m.config().entries),
+            "{}",
+            m.config().entries
+        );
     }
 
     #[test]
@@ -236,7 +240,11 @@ mod tests {
         let mut hot_count_since_mitigation = 0u64;
         let mut max_seen = 0u64;
         for i in 0..1_000_000u64 {
-            let row = if i % 2 == 0 { 7 } else { (i % 512) as RowId + 100 };
+            let row = if i % 2 == 0 {
+                7
+            } else {
+                (i % 512) as RowId + 100
+            };
             if row == 7 {
                 hot_count_since_mitigation += 1;
             }
@@ -251,7 +259,10 @@ mod tests {
             }
         }
         max_seen = max_seen.max(hot_count_since_mitigation);
-        assert!(max_seen < 4_000, "aggressor escaped with {max_seen} activations");
+        assert!(
+            max_seen < 4_000,
+            "aggressor escaped with {max_seen} activations"
+        );
     }
 
     #[test]

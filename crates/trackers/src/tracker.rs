@@ -28,7 +28,10 @@ impl TrackerKind {
     /// device under RFM (and therefore cannot see controller-side information such
     /// as a tMRO limit).
     pub fn is_in_dram(self) -> bool {
-        matches!(self, TrackerKind::Mithril | TrackerKind::Mint | TrackerKind::Prac)
+        matches!(
+            self,
+            TrackerKind::Mithril | TrackerKind::Mint | TrackerKind::Prac
+        )
     }
 }
 

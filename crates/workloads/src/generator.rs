@@ -152,11 +152,21 @@ mod tests {
         assert_eq!(g.streams(), 3);
         let accesses = g.take_accesses(9);
         // Accesses 0, 3, 6 come from stream 0 and are (mostly) consecutive lines.
-        let s0: Vec<u64> = accesses.iter().step_by(3).map(|a| a.address.as_u64()).collect();
+        let s0: Vec<u64> = accesses
+            .iter()
+            .step_by(3)
+            .map(|a| a.address.as_u64())
+            .collect();
         assert!(s0[1] == s0[0] + 64 || s0[2] == s0[1] + 64);
         // Different streams live in disjoint partitions of the footprint.
         let partition = p.footprint_bytes / 3 / 2; // well below one partition size
-        assert!(accesses[0].address.as_u64().abs_diff(accesses[1].address.as_u64()) > partition);
+        assert!(
+            accesses[0]
+                .address
+                .as_u64()
+                .abs_diff(accesses[1].address.as_u64())
+                > partition
+        );
     }
 
     #[test]

@@ -38,12 +38,7 @@ impl WorkloadMix {
     }
 
     /// Builds a mixed workload: the first four cores run `a`, the last four run `b`.
-    pub fn half_and_half(
-        name: &str,
-        a: &WorkloadProfile,
-        b: &WorkloadProfile,
-        seed: u64,
-    ) -> Self {
+    pub fn half_and_half(name: &str, a: &WorkloadProfile, b: &WorkloadProfile, seed: u64) -> Self {
         let mut generators = Vec::with_capacity(CORES);
         let mut instructions_per_miss = Vec::with_capacity(CORES);
         for core in 0..CORES {
@@ -156,10 +151,7 @@ mod tests {
         let mix = WorkloadMix::by_name("add_copy", 9).unwrap();
         assert_eq!(mix.class(), LocalityClass::Stream);
         // add: 2 loads + 1 store => instructions per miss differ from copy's.
-        assert_ne!(
-            mix.instructions_per_miss(0),
-            mix.instructions_per_miss(7)
-        );
+        assert_ne!(mix.instructions_per_miss(0), mix.instructions_per_miss(7));
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn main() {
         ("ImPress-P", DefenseKind::impress_p_default()),
     ];
 
-    for (tracker, trh) in [(TrackerChoice::Graphene, 4_000u64), (TrackerChoice::Mint, 1_600)] {
+    for (tracker, trh) in [
+        (TrackerChoice::Graphene, 4_000u64),
+        (TrackerChoice::Mint, 1_600),
+    ] {
         println!("== Tracker: {} (TRH = {trh}) ==", tracker.label());
         println!("defense\tattack\tmax_charge\tmitigations\tbit_flip");
         for (label, defense) in defenses {

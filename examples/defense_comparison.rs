@@ -28,7 +28,11 @@ fn main() {
     ];
 
     println!("tracker\tdefense\tperf(mcf)\tperf(copy)\tstorage_KiB/ch\tin-DRAM-ok");
-    for tracker in [TrackerChoice::Graphene, TrackerChoice::Para, TrackerChoice::Mint] {
+    for tracker in [
+        TrackerChoice::Graphene,
+        TrackerChoice::Para,
+        TrackerChoice::Mint,
+    ] {
         let baseline = Configuration::protected(
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
@@ -39,10 +43,8 @@ fn main() {
                 println!("{}\t{label}\t-\t-\t-\tincompatible", tracker.label());
                 continue;
             }
-            let config = Configuration::protected(
-                format!("{}+{label}", tracker.label()),
-                protection,
-            );
+            let config =
+                Configuration::protected(format!("{}+{label}", tracker.label()), protection);
             let spec = runner.run_normalized("mcf", &baseline, &config);
             let stream = runner.run_normalized("copy", &baseline, &config);
             let storage = storage_for(tracker, defense);

@@ -19,10 +19,8 @@ fn main() {
     let mut generator = TraceGenerator::new(&profile, 0, 0, 42);
 
     let mut llc = Llc::new(LlcConfig::baseline());
-    let protection = ProtectionConfig::paper_default(
-        TrackerChoice::Graphene,
-        DefenseKind::impress_p_default(),
-    );
+    let protection =
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::impress_p_default());
     let mut controller =
         MemoryController::new(ControllerConfig::baseline().with_protection(protection));
 
@@ -56,7 +54,16 @@ fn main() {
     println!("accesses issued to the LLC     : {accesses}");
     println!("LLC hit rate                   : {:.2}", llc.hit_rate());
     println!("memory reads / writebacks      : {memory_reads} / {writebacks}");
-    println!("DRAM row-buffer hit rate       : {:.2}", stats.banks.row_hit_rate());
-    println!("demand activations             : {}", stats.banks.activations);
-    println!("mitigative activations         : {}", stats.banks.mitigative_activations);
+    println!(
+        "DRAM row-buffer hit rate       : {:.2}",
+        stats.banks.row_hit_rate()
+    );
+    println!(
+        "demand activations             : {}",
+        stats.banks.activations
+    );
+    println!(
+        "mitigative activations         : {}",
+        stats.banks.mitigative_activations
+    );
 }

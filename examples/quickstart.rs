@@ -14,10 +14,8 @@ fn main() {
     let timings = DramTimings::ddr5();
 
     // 1. Security: Graphene + ImPress-P at the paper's default threshold (TRH = 4K).
-    let config = ProtectionConfig::paper_default(
-        TrackerChoice::Graphene,
-        DefenseKind::impress_p_default(),
-    );
+    let config =
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::impress_p_default());
     println!("== Security check: Graphene + ImPress-P (TRH = 4K) ==");
 
     // A classic Rowhammer attack: 100K minimum-length activations of row 1000.
@@ -26,7 +24,8 @@ fn main() {
     let report = harness.run(rowhammer, u64::MAX);
     println!(
         "Rowhammer: max victim charge {:.0} / {} units, bit flip: {}",
-        report.max_unmitigated_charge, report.configured_threshold,
+        report.max_unmitigated_charge,
+        report.configured_threshold,
         report.bit_flipped()
     );
 
@@ -36,7 +35,8 @@ fn main() {
     let report = harness.run(rowpress, u64::MAX);
     println!(
         "Row-Press: max victim charge {:.0} / {} units, bit flip: {}",
-        report.max_unmitigated_charge, report.configured_threshold,
+        report.max_unmitigated_charge,
+        report.configured_threshold,
         report.bit_flipped()
     );
 

@@ -96,7 +96,10 @@ fn impress_p_restores_protection_for_all_trackers() {
 fn impress_n_with_alpha_one_contains_rowpress_for_in_dram_trackers() {
     let timings = DramTimings::ddr5();
     let pattern = RowPressPattern::maximal(1_000, &timings);
-    for (tracker, trh) in [(TrackerChoice::Mithril, 4_000), (TrackerChoice::Mint, 1_600)] {
+    for (tracker, trh) in [
+        (TrackerChoice::Mithril, 4_000),
+        (TrackerChoice::Mint, 1_600),
+    ] {
         let report = run_attack(
             tracker,
             DefenseKind::ImpressN {
@@ -117,11 +120,13 @@ fn impress_n_with_alpha_one_contains_rowpress_for_in_dram_trackers() {
 #[test]
 fn express_cannot_be_deployed_with_in_dram_trackers() {
     let timings = DramTimings::ddr5();
-    for tracker in [TrackerChoice::Mithril, TrackerChoice::Mint, TrackerChoice::Prac] {
-        let config = ProtectionConfig::paper_default(
-            tracker,
-            DefenseKind::express_paper_baseline(&timings),
-        );
+    for tracker in [
+        TrackerChoice::Mithril,
+        TrackerChoice::Mint,
+        TrackerChoice::Prac,
+    ] {
+        let config =
+            ProtectionConfig::paper_default(tracker, DefenseKind::express_paper_baseline(&timings));
         assert!(config.validate().is_err());
     }
 }
@@ -131,7 +136,13 @@ fn impress_p_never_tolerates_less_than_no_rp_under_rowhammer() {
     // ImPress-P's accounting of a pure Rowhammer pattern is identical to No-RP's, so
     // the maximum unmitigated charge must match.
     let pattern = RowhammerPattern::new(777);
-    let no_rp = run_attack(TrackerChoice::Graphene, DefenseKind::NoRp, 4_000, &pattern, 40_000);
+    let no_rp = run_attack(
+        TrackerChoice::Graphene,
+        DefenseKind::NoRp,
+        4_000,
+        &pattern,
+        40_000,
+    );
     let impress_p = run_attack(
         TrackerChoice::Graphene,
         DefenseKind::impress_p_default(),

@@ -13,10 +13,7 @@ fn all_twenty_paper_workloads_run_under_impress_p() {
     let runner = ExperimentRunner::new().with_requests_per_core(500);
     let config = Configuration::protected(
         "Graphene+ImPress-P",
-        ProtectionConfig::paper_default(
-            TrackerChoice::Graphene,
-            DefenseKind::impress_p_default(),
-        ),
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::impress_p_default()),
     );
     for workload in WorkloadMix::paper_workload_names() {
         let out = runner.run_raw(workload, &config);
@@ -44,10 +41,7 @@ fn impress_p_is_faster_than_express_for_stream() {
     );
     let impress_p = Configuration::protected(
         "Graphene+ImPress-P",
-        ProtectionConfig::paper_default(
-            TrackerChoice::Graphene,
-            DefenseKind::impress_p_default(),
-        ),
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::impress_p_default()),
     );
     let express_perf = runner
         .run_normalized("copy", &baseline, &express)
@@ -70,10 +64,7 @@ fn graphene_impress_p_overhead_is_small() {
     );
     let impress_p = Configuration::protected(
         "Graphene+ImPress-P",
-        ProtectionConfig::paper_default(
-            TrackerChoice::Graphene,
-            DefenseKind::impress_p_default(),
-        ),
+        ProtectionConfig::paper_default(TrackerChoice::Graphene, DefenseKind::impress_p_default()),
     );
     for workload in ["mcf", "copy"] {
         let r = runner.run_normalized(workload, &baseline, &impress_p);

@@ -1,0 +1,117 @@
+//! Workspace-level guard tests.
+//!
+//! These assertions pin down cross-crate contracts that future refactors must
+//! preserve: the paper's 20-workload set exposed by `impress_workloads`, and the
+//! ability to construct every defense × tracker combination that
+//! `impress_core::config` advertises.
+
+use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_repro::core::Alpha;
+use impress_repro::dram::DramTimings;
+use impress_repro::workloads::WorkloadMix;
+
+/// The 20 workloads of §III-A in the paper's figure order: ten SPEC2017 traces
+/// followed by the four STREAM kernels and six STREAM mixes.
+const PAPER_WORKLOADS: [&str; 20] = [
+    "fotonik3d",
+    "mcf",
+    "gcc",
+    "omnetpp",
+    "bwaves",
+    "roms",
+    "cactuBSSN",
+    "wrf",
+    "pop2",
+    "xalancbmk",
+    "add",
+    "copy",
+    "scale",
+    "triad",
+    "add_copy",
+    "add_scale",
+    "add_triad",
+    "copy_scale",
+    "copy_triad",
+    "scale_triad",
+];
+
+#[test]
+fn paper_workload_names_match_the_paper() {
+    assert_eq!(WorkloadMix::paper_workload_names(), PAPER_WORKLOADS);
+}
+
+#[test]
+fn every_paper_workload_builds_an_eight_core_mix() {
+    for name in PAPER_WORKLOADS {
+        let mix = WorkloadMix::by_name(name, 1).unwrap_or_else(|| panic!("missing mix {name}"));
+        assert_eq!(mix.cores(), 8, "{name} should build the 8-core rate mode");
+    }
+}
+
+/// Every defense kind the configuration layer can express.
+fn all_defense_kinds(timings: &DramTimings) -> Vec<DefenseKind> {
+    vec![
+        DefenseKind::NoRp,
+        DefenseKind::express_paper_baseline(timings),
+        DefenseKind::Express {
+            t_mro: timings.t_ras + 4 * timings.t_rc,
+            alpha: Alpha::LongDuration,
+        },
+        DefenseKind::ImpressN {
+            alpha: Alpha::Conservative,
+        },
+        DefenseKind::ImpressN {
+            alpha: Alpha::ShortDuration,
+        },
+        DefenseKind::ImpressN {
+            alpha: Alpha::Custom(0.75),
+        },
+        DefenseKind::impress_p_default(),
+        DefenseKind::ImpressP { frac_bits: 0 },
+        DefenseKind::ImpressP { frac_bits: 4 },
+    ]
+}
+
+const ALL_TRACKERS: [TrackerChoice; 5] = [
+    TrackerChoice::Graphene,
+    TrackerChoice::Para,
+    TrackerChoice::Mithril,
+    TrackerChoice::Mint,
+    TrackerChoice::Prac,
+];
+
+#[test]
+fn every_defense_tracker_combination_constructs() {
+    let timings = DramTimings::ddr5();
+    for tracker in ALL_TRACKERS {
+        for defense in all_defense_kinds(&timings) {
+            let config = ProtectionConfig::paper_default(tracker, defense);
+            // Construction must never panic, even for combinations that
+            // validate() rejects (callers are told via Result, not via panic).
+            let built_tracker = config.build_tracker(&timings);
+            let built_defense = config.build_defense(&timings);
+            drop((built_tracker, built_defense));
+
+            let expected_invalid =
+                matches!(defense, DefenseKind::Express { .. }) && tracker.is_in_dram();
+            assert_eq!(
+                config.validate().is_err(),
+                expected_invalid,
+                "unexpected validate() outcome for {tracker:?} + {defense:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_tracker_set_is_the_four_evaluated_trackers() {
+    assert_eq!(
+        TrackerChoice::PAPER_SET,
+        [
+            TrackerChoice::Graphene,
+            TrackerChoice::Para,
+            TrackerChoice::Mithril,
+            TrackerChoice::Mint,
+        ]
+    );
+}

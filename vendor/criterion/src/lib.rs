@@ -1,0 +1,269 @@
+//! Minimal offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no network access, so the real
+//! crate cannot be fetched from crates.io. This crate implements the API surface
+//! the workspace's five benches use — [`Criterion`], [`BenchmarkId`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`, and `Bencher::iter` — with compatible signatures, so swapping
+//! the real crate back in is a one-line manifest change.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly and
+//! then timed over a fixed number of samples; the mean and min/max time per
+//! iteration are printed to stdout. This is enough for coarse regression
+//! tracking in CI (`cargo bench`) and for `cargo bench --no-run` compile
+//! checks, without criterion's statistical machinery.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a function under `<group>/<id>`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks a function with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in the stand-in; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted by the group methods.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: find an iteration count that runs for at least ~1 ms so
+        // Instant overhead is amortized, capped to keep total runtime small.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.elapsed_per_iter = Some(elapsed / iters.max(1) as u32);
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass (also catches panics early, before timing).
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        if let Some(d) = bencher.elapsed_per_iter {
+            samples.push(d);
+        }
+    }
+    if samples.is_empty() {
+        println!("{id:<60} (no timing collected — closure never called iter)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<60} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Groups benchmark functions into a single callable, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness CLI flags (`--bench`, filters) passed by cargo.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("para").0, "para");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("one", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+    }
+}

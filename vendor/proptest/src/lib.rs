@@ -1,0 +1,291 @@
+//! Minimal offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no network access, so the real
+//! crate cannot be fetched from crates.io. This crate implements the subset the
+//! workspace's tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments are
+//!   drawn from strategies written as `name in strategy`;
+//! * integer and floating-point [`Range`](std::ops::Range) /
+//!   [`RangeInclusive`](std::ops::RangeInclusive) strategies;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Each property runs 256 deterministic cases (seeded from the test name), so
+//! failures are reproducible run-to-run. Shrinking is not implemented: a
+//! failing case reports the concrete arguments instead.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod test_runner {
+    //! Runtime pieces used by the generated test bodies.
+
+    use super::*;
+
+    /// Deterministic RNG handed to strategies while generating a case.
+    #[derive(Debug)]
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// Creates the RNG for a named test, deterministically.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name gives a stable per-test seed.
+            let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            TestRng(SmallRng::seed_from_u64(seed))
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+        Reject,
+        /// A `prop_assert*!` failed with the given message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant (used by the assertion macros).
+        pub fn fail(message: String) -> Self {
+            TestCaseError::Fail(message)
+        }
+    }
+
+    /// Result type the generated closure bodies return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Number of accepted cases each property must pass.
+    pub const CASES: usize = 256;
+
+    /// Drives one property: generates cases until [`CASES`] are accepted or the
+    /// rejection budget is exhausted, panicking on the first failure.
+    pub fn run_property(
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<String, (String, TestCaseError)>,
+    ) {
+        let mut rng = TestRng::for_test(name);
+        let mut accepted = 0usize;
+        let mut attempts = 0usize;
+        while accepted < CASES {
+            attempts += 1;
+            assert!(
+                attempts <= CASES * 64,
+                "property `{name}` rejected too many cases ({accepted}/{CASES} accepted \
+                 after {attempts} attempts) — prop_assume! is too restrictive"
+            );
+            match case(&mut rng) {
+                Ok(_) => accepted += 1,
+                Err((_, TestCaseError::Reject)) => continue,
+                Err((args, TestCaseError::Fail(msg))) => {
+                    panic!("property `{name}` failed: {msg}\n  inputs: {args}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    /// Something that can generate values for a property argument.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = self.start + unit * (self.end - self.start);
+            // Rounding in the affine map can land exactly on the exclusive
+            // upper bound for large-magnitude ranges; step back one ulp.
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start() + unit * (self.end() - self.start())
+        }
+    }
+}
+
+/// Defines property tests: `#[test]` functions whose arguments are drawn from
+/// strategies, in the `name in strategy` form the real crate accepts.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_property(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), rng);)+
+                    let args = [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => Ok(args),
+                        Err(e) => Err((args, e)),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    // The assertion macros resolve textually (they are defined above in this
+    // crate), so no prelude import is needed here.
+    proptest! {
+        /// Integer range strategies stay in bounds.
+        #[test]
+        fn int_ranges_in_bounds(a in 3u64..17, b in 0u32..=7) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 7);
+        }
+
+        /// Float range strategies stay in bounds and assume works.
+        #[test]
+        fn float_ranges_in_bounds(x in 0.25f64..1.75) {
+            prop_assume!(x != 1.0);
+            prop_assert!((0.25..1.75).contains(&x));
+            prop_assert_ne!(x, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        crate::test_runner::run_property("always_fails", |_rng| {
+            Err((
+                "x = 1".to_string(),
+                crate::test_runner::TestCaseError::fail("forced".to_string()),
+            ))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
