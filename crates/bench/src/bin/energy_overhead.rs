@@ -9,31 +9,36 @@ use impress_sim::{Configuration, ExperimentRunner};
 fn main() {
     let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
     let timings = DramTimings::ddr5();
+    let workloads = figure_workloads();
 
     println!("Section VI-E: DRAM energy relative to the same tracker without RP mitigation");
     println!("tracker\tdefense\trelative_energy\tactivation_share");
     for tracker in [TrackerChoice::Graphene, TrackerChoice::Para] {
-        let mut baseline_energy = 0.0;
         let defenses = [
             ("No-RP", DefenseKind::NoRp),
             ("ExPress", DefenseKind::express_paper_baseline(&timings)),
             ("ImPress-P", DefenseKind::impress_p_default()),
         ];
-        for (label, defense) in defenses {
-            let config = Configuration::protected(
-                format!("{}+{label}", tracker.label()),
-                ProtectionConfig::paper_default(tracker, defense),
-            );
-            let mut energy = 0.0;
-            let mut act_share = 0.0;
-            let workloads = figure_workloads();
-            for workload in &workloads {
-                let out = runner.run_raw(workload, &config);
-                energy += out.energy.total_nj();
-                act_share += out.energy.activation_share();
-            }
-            act_share /= workloads.len() as f64;
-            if label == "No-RP" {
+        let configs: Vec<Configuration> = defenses
+            .iter()
+            .map(|(label, defense)| {
+                Configuration::protected(
+                    format!("{}+{label}", tracker.label()),
+                    ProtectionConfig::paper_default(tracker, *defense),
+                )
+            })
+            .collect();
+        let sweep = runner.run_sweep_raw(&workloads, &configs);
+
+        let mut baseline_energy = 0.0;
+        for ((label, _), outputs) in defenses.iter().zip(&sweep) {
+            let energy: f64 = outputs.iter().map(|o| o.energy.total_nj()).sum();
+            let act_share: f64 = outputs
+                .iter()
+                .map(|o| o.energy.activation_share())
+                .sum::<f64>()
+                / workloads.len() as f64;
+            if *label == "No-RP" {
                 baseline_energy = energy;
             }
             println!(

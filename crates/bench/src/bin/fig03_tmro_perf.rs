@@ -1,27 +1,34 @@
 //! Figure 3: performance impact of limiting the row-open time (tMRO) on SPEC and
 //! STREAM workloads (no Rowhammer tracker; pure page-policy effect).
 
-use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_bench::{print_class_gmeans, requests_per_core, run_sweep_over_workloads};
 use impress_core::rowpress_data::TMRO_SWEEP_NS;
 use impress_dram::timing::ns_to_cycles;
 use impress_sim::{Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
     let baseline = Configuration::unprotected();
+    let configs: Vec<Configuration> = TMRO_SWEEP_NS
+        .iter()
+        .map(|&tmro_ns| {
+            Configuration::with_tmro(format!("tMRO={tmro_ns}ns"), ns_to_cycles(tmro_ns))
+        })
+        .collect();
 
     println!("Figure 3: Normalized performance vs tMRO (no tracker)");
     println!("tMRO\tworkload\tnorm_performance");
-    for &tmro_ns in &TMRO_SWEEP_NS {
-        let label = format!("tMRO={tmro_ns}ns");
-        let config = Configuration::with_tmro(label.clone(), ns_to_cycles(tmro_ns));
-        let mut results = Vec::new();
-        for workload in figure_workloads() {
-            let r = runner.run_normalized(workload, &baseline, &config);
-            println!("{label}\t{workload}\t{:.4}", r.normalized_performance);
-            results.push(r);
+    for (config, results) in configs
+        .iter()
+        .zip(run_sweep_over_workloads(&runner, &baseline, &configs))
+    {
+        for r in &results {
+            println!(
+                "{}\t{}\t{:.4}",
+                config.label, r.workload, r.normalized_performance
+            );
         }
-        print_class_gmeans(&label, &results);
+        print_class_gmeans(&config.label, &results);
         println!();
     }
 }

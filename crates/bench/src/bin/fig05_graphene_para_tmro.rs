@@ -2,7 +2,7 @@
 //! (SPEC and STREAM geometric means, normalized to the respective tracker with no
 //! Row-Press mitigation).
 
-use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_bench::{print_class_gmeans, requests_per_core, run_sweep_over_workloads};
 use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_core::rowpress_data::TMRO_SWEEP_NS;
 use impress_core::Alpha;
@@ -10,7 +10,7 @@ use impress_dram::timing::ns_to_cycles;
 use impress_sim::{Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
 
     println!("Figure 5: Graphene and PARA performance vs tMRO (ExPress)");
     println!("tracker\ttMRO\tclass\tnorm_performance");
@@ -20,19 +20,21 @@ fn main() {
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
         );
-        for &tmro_ns in &TMRO_SWEEP_NS {
-            let defense = DefenseKind::Express {
-                t_mro: ns_to_cycles(tmro_ns),
-                alpha: Alpha::Conservative,
-            };
-            let config = Configuration::protected(
-                format!("{}+ExPress(tMRO={tmro_ns}ns)", tracker.label()),
-                ProtectionConfig::paper_default(tracker, defense),
-            );
-            let mut results = Vec::new();
-            for workload in figure_workloads() {
-                results.push(runner.run_normalized(workload, &baseline, &config));
-            }
+        let configs: Vec<Configuration> = TMRO_SWEEP_NS
+            .iter()
+            .map(|&tmro_ns| {
+                let defense = DefenseKind::Express {
+                    t_mro: ns_to_cycles(tmro_ns),
+                    alpha: Alpha::Conservative,
+                };
+                Configuration::protected(
+                    format!("{}+ExPress(tMRO={tmro_ns}ns)", tracker.label()),
+                    ProtectionConfig::paper_default(tracker, defense),
+                )
+            })
+            .collect();
+        let sweep = run_sweep_over_workloads(&runner, &baseline, &configs);
+        for (&tmro_ns, results) in TMRO_SWEEP_NS.iter().zip(sweep) {
             print_class_gmeans(&format!("{}\ttMRO={tmro_ns}ns", tracker.label()), &results);
         }
         println!();

@@ -3,13 +3,13 @@
 //! no Row-Press mitigation (No-RP).
 
 use impress_bench::{
-    defense_configurations, figure_workloads, print_class_gmeans, requests_per_core,
+    defense_configurations, print_class_gmeans, requests_per_core, run_sweep_over_workloads,
 };
 use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_sim::{Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
 
     println!("Figure 13: Performance of defenses (alpha=1), normalized to No-RP");
     println!("configuration\tworkload\tnorm_performance");
@@ -22,18 +22,19 @@ fn main() {
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
         );
-        for config in defense_configurations(tracker, 4_000) {
-            if config.label.ends_with("No-RP") {
-                continue;
-            }
-            let mut results = Vec::new();
-            for workload in figure_workloads() {
-                let r = runner.run_normalized(workload, &baseline, &config);
+        let configs: Vec<Configuration> = defense_configurations(tracker, 4_000)
+            .into_iter()
+            .filter(|c| !c.label.ends_with("No-RP"))
+            .collect();
+        for (config, results) in configs
+            .iter()
+            .zip(run_sweep_over_workloads(&runner, &baseline, &configs))
+        {
+            for r in &results {
                 println!(
-                    "{}\t{workload}\t{:.4}",
-                    config.label, r.normalized_performance
+                    "{}\t{}\t{:.4}",
+                    config.label, r.workload, r.normalized_performance
                 );
-                results.push(r);
             }
             print_class_gmeans(&config.label, &results);
             println!();

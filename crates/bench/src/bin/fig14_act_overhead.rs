@@ -9,50 +9,39 @@ use impress_sim::{Configuration, ExperimentRunner};
 fn main() {
     let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
     let timings = DramTimings::ddr5();
-    let unprotected = Configuration::unprotected();
+    let workloads = figure_workloads();
 
     println!("Figure 14: Relative activations (normalized to the unprotected baseline)");
     println!("tracker\tdefense\tdemand_ACT\tmitigative_ACT\ttotal_ACT");
 
     for tracker in [TrackerChoice::Graphene, TrackerChoice::Para] {
-        // Baseline demand-activation count of the unprotected system.
-        let mut base_demand = 0.0f64;
-        let mut runs: Vec<(String, f64, f64)> = Vec::new();
-
         let defenses = [
             ("No-RP", DefenseKind::NoRp),
             ("ExPress", DefenseKind::express_paper_baseline(&timings)),
             ("ImPress-P", DefenseKind::impress_p_default()),
         ];
 
-        // Measure the unprotected baseline once (averaged over the workload set).
-        let mut unprotected_acts = 0u64;
-        for workload in figure_workloads() {
-            let out = runner.run_raw(workload, &unprotected);
-            unprotected_acts += out.memory.banks.activations;
-        }
-        base_demand = base_demand.max(unprotected_acts as f64);
-
-        for (label, defense) in defenses {
-            let config = Configuration::protected(
+        // One raw sweep: the unprotected baseline plus the three defended configs.
+        let mut configs = vec![Configuration::unprotected()];
+        configs.extend(defenses.iter().map(|(label, defense)| {
+            Configuration::protected(
                 format!("{}+{label}", tracker.label()),
-                ProtectionConfig::paper_default(tracker, defense),
-            );
-            let mut demand = 0u64;
-            let mut mitigative = 0u64;
-            for workload in figure_workloads() {
-                let out = runner.run_raw(workload, &config);
-                demand += out.memory.banks.activations;
-                mitigative += out.memory.banks.mitigative_activations;
-            }
-            runs.push((
-                label.to_string(),
-                demand as f64 / base_demand,
-                mitigative as f64 / base_demand,
-            ));
-        }
+                ProtectionConfig::paper_default(tracker, *defense),
+            )
+        }));
+        let sweep = runner.run_sweep_raw(&workloads, &configs);
 
-        for (label, demand, mitigative) in runs {
+        let base_demand: u64 = sweep[0].iter().map(|o| o.memory.banks.activations).sum();
+        let base_demand = (base_demand as f64).max(1.0);
+
+        for ((label, _), outputs) in defenses.iter().zip(&sweep[1..]) {
+            let demand: u64 = outputs.iter().map(|o| o.memory.banks.activations).sum();
+            let mitigative: u64 = outputs
+                .iter()
+                .map(|o| o.memory.banks.mitigative_activations)
+                .sum();
+            let demand = demand as f64 / base_demand;
+            let mitigative = mitigative as f64 / base_demand;
             println!(
                 "{}\t{label}\t{demand:.3}\t{mitigative:.3}\t{:.3}",
                 tracker.label(),

@@ -8,12 +8,15 @@ use impress_dram::DramTimings;
 use impress_sim::{geometric_mean, Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
     let timings = DramTimings::ddr5();
     let baseline = Configuration::unprotected();
+    let workloads = figure_workloads();
 
-    println!("Figure 15: Performance vs Rowhammer threshold (normalized to unprotected)");
-    println!("tracker\tdefense\tTRH\tgmean_norm_performance");
+    // Every (tracker, defense, TRH) cell is normalized to the same unprotected
+    // baseline, so the whole figure is one parallel sweep.
+    let mut rows: Vec<(TrackerChoice, &str, u64)> = Vec::new();
+    let mut configs: Vec<Configuration> = Vec::new();
     for tracker in [TrackerChoice::Graphene, TrackerChoice::Para] {
         let defenses = [
             ("No-RP", DefenseKind::NoRp),
@@ -26,25 +29,30 @@ fn main() {
                     rowhammer_threshold: trh,
                     ..ProtectionConfig::paper_default(tracker, defense)
                 };
-                let config = Configuration::protected(
+                rows.push((tracker, label, trh));
+                configs.push(Configuration::protected(
                     format!("{}+{label}@TRH={trh}", tracker.label()),
                     protection,
-                );
-                let values: Vec<f64> = figure_workloads()
-                    .iter()
-                    .map(|w| {
-                        runner
-                            .run_normalized(w, &baseline, &config)
-                            .normalized_performance
-                    })
-                    .collect();
-                println!(
-                    "{}\t{label}\t{trh}\t{:.4}",
-                    tracker.label(),
-                    geometric_mean(&values)
-                );
+                ));
             }
         }
-        println!();
     }
+    let sweep = runner.run_sweep(&workloads, &baseline, &configs);
+
+    println!("Figure 15: Performance vs Rowhammer threshold (normalized to unprotected)");
+    println!("tracker\tdefense\tTRH\tgmean_norm_performance");
+    let mut last_tracker = None;
+    for ((tracker, label, trh), results) in rows.into_iter().zip(sweep) {
+        if last_tracker.is_some() && last_tracker != Some(tracker) {
+            println!();
+        }
+        last_tracker = Some(tracker);
+        let values: Vec<f64> = results.iter().map(|r| r.normalized_performance).collect();
+        println!(
+            "{}\t{label}\t{trh}\t{:.4}",
+            tracker.label(),
+            geometric_mean(&values)
+        );
+    }
+    println!();
 }

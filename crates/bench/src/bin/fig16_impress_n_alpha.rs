@@ -2,14 +2,14 @@
 //! ImPress-N at alpha = 0.35 and alpha = 1, normalized to the same tracker with no
 //! Row-Press mitigation.
 
-use impress_bench::{figure_workloads, print_class_gmeans, requests_per_core};
+use impress_bench::{print_class_gmeans, requests_per_core, run_sweep_over_workloads};
 use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_core::Alpha;
 use impress_dram::DramTimings;
 use impress_sim::{Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core());
     let timings = DramTimings::ddr5();
 
     println!("Figure 16: ExPress vs ImPress-N at alpha = 0.35 and 1.0 (normalized to No-RP)");
@@ -23,6 +23,7 @@ fn main() {
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
         );
+        let mut configs: Vec<Configuration> = Vec::new();
         for alpha in [Alpha::ShortDuration, Alpha::Conservative] {
             let defenses = [
                 (
@@ -42,14 +43,17 @@ fn main() {
                 if protection.validate().is_err() {
                     continue; // ExPress is incompatible with in-DRAM trackers.
                 }
-                let config =
-                    Configuration::protected(format!("{}+{label}", tracker.label()), protection);
-                let mut results = Vec::new();
-                for workload in figure_workloads() {
-                    results.push(runner.run_normalized(workload, &baseline, &config));
-                }
-                print_class_gmeans(&config.label, &results);
+                configs.push(Configuration::protected(
+                    format!("{}+{label}", tracker.label()),
+                    protection,
+                ));
             }
+        }
+        for (config, results) in configs
+            .iter()
+            .zip(run_sweep_over_workloads(&runner, &baseline, &configs))
+        {
+            print_class_gmeans(&config.label, &results);
         }
         println!();
     }

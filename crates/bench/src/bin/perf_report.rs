@@ -1,0 +1,172 @@
+//! `perf_report`: reproducible wall-clock benchmark of the sweep engine.
+//!
+//! Times the canonical figure sweep (the unprotected baseline plus every
+//! Graphene/PARA defense configuration over the figure workload set) twice — once on
+//! 1 thread (the serial path) and once on `IMPRESS_THREADS` workers — verifies the
+//! two result sets are bit-for-bit identical, measures per-tracker activation
+//! throughput, and emits machine-readable JSON so the repository's performance
+//! trajectory can be tracked PR over PR.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH]
+//! ```
+//!
+//! * `--quick`: CI-sized run (shorter simulations, fewer tracker records).
+//! * `--out PATH`: where to write the JSON report (default `BENCH_PR2.json`).
+//!
+//! Exit code is non-zero if the parallel sweep does not reproduce the serial sweep
+//! exactly, so CI can use this binary as a determinism gate as well as a benchmark.
+
+use std::time::Instant;
+
+use impress_bench::{defense_configurations, figure_workloads};
+use impress_core::config::TrackerChoice;
+use impress_sim::{Configuration, ExperimentRunner, NormalizedResult};
+use impress_trackers::{Eact, Graphene, Mint, Mithril, Para, Prac, RowTracker};
+
+/// Requests per core for the canonical sweep (quick mode shrinks the simulations so
+/// the whole report fits in a CI smoke job).
+const FULL_REQUESTS_PER_CORE: u64 = 20_000;
+const QUICK_REQUESTS_PER_CORE: u64 = 2_000;
+
+/// Activation records per tracker for the throughput measurement.
+const FULL_TRACKER_RECORDS: u64 = 4_000_000;
+const QUICK_TRACKER_RECORDS: u64 = 400_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let requests_per_core = if quick {
+        QUICK_REQUESTS_PER_CORE
+    } else {
+        FULL_REQUESTS_PER_CORE
+    };
+    let tracker_records = if quick {
+        FULL_TRACKER_RECORDS.min(QUICK_TRACKER_RECORDS)
+    } else {
+        FULL_TRACKER_RECORDS
+    };
+
+    // The canonical sweep: every valid Graphene and PARA defense configuration at the
+    // paper's TRH = 4K, normalized to the unprotected baseline, over the figure
+    // workload set.
+    let runner = ExperimentRunner::new().with_requests_per_core(requests_per_core);
+    let baseline = Configuration::unprotected();
+    let workloads = figure_workloads();
+    let mut configurations = defense_configurations(TrackerChoice::Graphene, 4_000);
+    configurations.extend(defense_configurations(TrackerChoice::Para, 4_000));
+
+    let threads = impress_exec::thread_count();
+    let cells = configurations.len() * workloads.len();
+    eprintln!(
+        "perf_report: {} workloads x {} configurations ({cells} cells + {} baselines), \
+         requests/core = {requests_per_core}, parallel workers = {threads}",
+        workloads.len(),
+        configurations.len(),
+        workloads.len(),
+    );
+
+    eprintln!("perf_report: serial sweep (1 thread)...");
+    let serial_start = Instant::now();
+    let serial = runner.run_sweep_with_threads(1, &workloads, &baseline, &configurations);
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("perf_report: parallel sweep ({threads} threads)...");
+    let parallel_start = Instant::now();
+    let parallel = runner.run_sweep_with_threads(threads, &workloads, &baseline, &configurations);
+    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+
+    let identical = sweeps_identical(&serial, &parallel);
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+
+    // Per-tracker activation throughput: a synthetic record stream over a hot set of
+    // 4K rows (the same shape as the criterion micro-benchmarks).
+    let mut trackers: Vec<(&str, Box<dyn RowTracker>)> = vec![
+        ("graphene", Box::new(Graphene::for_threshold(4_000))),
+        ("para", Box::new(Para::for_threshold(4_000))),
+        ("mithril", Box::new(Mithril::for_threshold(4_000))),
+        ("mint", Box::new(Mint::paper_default())),
+        ("prac", Box::new(Prac::for_threshold(4_000, 7, 1 << 16))),
+    ];
+    let mut tracker_lines = Vec::new();
+    for (name, tracker) in &mut trackers {
+        let eact = Eact::from_f64(1.5, 7);
+        let start = Instant::now();
+        let mut mitigations = 0u64;
+        for i in 0..tracker_records {
+            let row = (i % 4096) as u32;
+            if tracker.record(row, eact, i * 128).is_some() {
+                mitigations += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mrps = tracker_records as f64 / secs / 1e6;
+        eprintln!("perf_report: {name}: {mrps:.1} M records/s ({mitigations} mitigations)");
+        tracker_lines.push(format!(
+            "    {{ \"tracker\": \"{name}\", \"records\": {tracker_records}, \
+             \"million_records_per_sec\": {mrps:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\
+         \x20 \"schema_version\": 1,\n\
+         \x20 \"pr\": 2,\n\
+         \x20 \"binary\": \"perf_report\",\n\
+         \x20 \"mode\": \"{mode}\",\n\
+         \x20 \"host\": {{ \"available_cpus\": {cpus}, \"threads_used\": {threads} }},\n\
+         \x20 \"sweep\": {{\n\
+         \x20   \"workloads\": {n_workloads},\n\
+         \x20   \"configurations\": {n_configs},\n\
+         \x20   \"cells\": {cells},\n\
+         \x20   \"requests_per_core\": {requests_per_core},\n\
+         \x20   \"serial_ms\": {serial_ms:.1},\n\
+         \x20   \"parallel_ms\": {parallel_ms:.1},\n\
+         \x20   \"speedup\": {speedup:.3},\n\
+         \x20   \"parallel_identical_to_serial\": {identical}\n\
+         \x20 }},\n\
+         \x20 \"tracker_throughput\": [\n{tracker_json}\n  ]\n\
+         }}\n",
+        mode = if quick { "quick" } else { "full" },
+        cpus = std::thread::available_parallelism().map_or(1, usize::from),
+        n_workloads = workloads.len(),
+        n_configs = configurations.len(),
+        tracker_json = tracker_lines.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    println!(
+        "serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {threads} threads \
+         (speedup {speedup:.2}x), identical: {identical} -> {out_path}"
+    );
+    if !identical {
+        eprintln!("perf_report: ERROR: parallel sweep diverged from serial sweep");
+        std::process::exit(1);
+    }
+}
+
+/// Bit-for-bit comparison of two sweep result sets.
+fn sweeps_identical(a: &[Vec<NormalizedResult>], b: &[Vec<NormalizedResult>]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ca, cb)| {
+        ca.len() == cb.len()
+            && ca.iter().zip(cb).all(|(ra, rb)| {
+                ra.workload == rb.workload
+                    && ra.configuration == rb.configuration
+                    && ra.normalized_performance.to_bits() == rb.normalized_performance.to_bits()
+                    && ra.output.performance.elapsed_cycles == rb.output.performance.elapsed_cycles
+                    && ra.output.memory == rb.output.memory
+            })
+    })
+}

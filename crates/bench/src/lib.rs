@@ -89,16 +89,16 @@ pub fn defense_configurations(tracker: TrackerChoice, trh: u64) -> Vec<Configura
     out
 }
 
-/// Runs one configuration over the figure workloads, returning normalized results.
-pub fn run_over_workloads(
-    runner: &mut ExperimentRunner,
+/// Runs every configuration over the figure workloads on the parallel sweep engine.
+///
+/// Baselines are computed once and shared; the result is
+/// `out[configuration][workload]` in the input orders, bit-identical to a serial run.
+pub fn run_sweep_over_workloads(
+    runner: &ExperimentRunner,
     baseline: &Configuration,
-    configuration: &Configuration,
-) -> Vec<NormalizedResult> {
-    figure_workloads()
-        .iter()
-        .map(|w| runner.run_normalized(w, baseline, configuration))
-        .collect()
+    configurations: &[Configuration],
+) -> Vec<Vec<NormalizedResult>> {
+    runner.run_sweep(&figure_workloads(), baseline, configurations)
 }
 
 #[cfg(test)]

@@ -42,14 +42,19 @@ impl TrackedActivation {
 ///
 /// Implementations are per-bank (they may carry per-bank state such as ImPress-N's
 /// window/ORA registers).
+///
+/// Both event hooks append to a caller-provided buffer instead of returning a fresh
+/// `Vec`: these methods sit in the innermost activation loop of the simulator, and the
+/// caller ([`BankMitigationEngine`](crate::engine::BankMitigationEngine)) reuses one
+/// scratch buffer for the whole run.
 pub trait RowPressDefense: fmt::Debug {
-    /// Called when the bank activates `row` at cycle `now`; returns the activations the
-    /// tracker should record immediately.
-    fn on_activate(&mut self, row: RowId, now: Cycle) -> Vec<TrackedActivation>;
+    /// Called when the bank activates `row` at cycle `now`; appends the activations the
+    /// tracker should record immediately to `out`.
+    fn on_activate(&mut self, row: RowId, now: Cycle, out: &mut Vec<TrackedActivation>);
 
-    /// Called when a row is closed (by precharge, refresh, or RFM); returns the
-    /// activations the tracker should record for the row's open time.
-    fn on_close(&mut self, closed: &ClosedRow) -> Vec<TrackedActivation>;
+    /// Called when a row is closed (by precharge, refresh, or RFM); appends the
+    /// activations the tracker should record for the row's open time to `out`.
+    fn on_close(&mut self, closed: &ClosedRow, out: &mut Vec<TrackedActivation>);
 
     /// The maximum row-open time the memory controller must enforce, if any.
     ///
@@ -83,13 +88,11 @@ impl NoRowPressDefense {
 }
 
 impl RowPressDefense for NoRowPressDefense {
-    fn on_activate(&mut self, row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
-        vec![TrackedActivation::unit(row)]
+    fn on_activate(&mut self, row: RowId, _now: Cycle, out: &mut Vec<TrackedActivation>) {
+        out.push(TrackedActivation::unit(row));
     }
 
-    fn on_close(&mut self, _closed: &ClosedRow) -> Vec<TrackedActivation> {
-        Vec::new()
-    }
+    fn on_close(&mut self, _closed: &ClosedRow, _out: &mut Vec<TrackedActivation>) {}
 
     fn name(&self) -> &'static str {
         "No-RP"
@@ -103,7 +106,8 @@ mod tests {
     #[test]
     fn no_rp_emits_one_unit_per_activation() {
         let mut d = NoRowPressDefense::new();
-        let events = d.on_activate(42, 0);
+        let mut events = Vec::new();
+        d.on_activate(42, 0, &mut events);
         assert_eq!(events, vec![TrackedActivation::unit(42)]);
         let closed = ClosedRow {
             row: 42,
@@ -111,7 +115,9 @@ mod tests {
             opened_at: 0,
             closed_at: 10_000,
         };
-        assert!(d.on_close(&closed).is_empty());
+        events.clear();
+        d.on_close(&closed, &mut events);
+        assert!(events.is_empty());
         assert_eq!(d.max_row_open(), None);
         assert_eq!(d.tracker_threshold_scale(), 1.0);
     }

@@ -11,7 +11,7 @@ use impress_dram::timing::{Cycle, DramTimings};
 use impress_trackers::{MitigationRequest, RowTracker};
 
 use crate::config::ProtectionConfig;
-use crate::defense::RowPressDefense;
+use crate::defense::{RowPressDefense, TrackedActivation};
 
 /// Counters describing the engine's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +38,9 @@ pub struct BankMitigationEngine {
     t_refw: Cycle,
     next_refresh_window: Cycle,
     stats: EngineStats,
+    /// Reusable scratch for the defense's tracked-activation events, so the
+    /// per-activation path performs no allocation in steady state.
+    event_buf: Vec<TrackedActivation>,
 }
 
 impl std::fmt::Debug for BankMitigationEngine {
@@ -67,6 +70,7 @@ impl BankMitigationEngine {
             t_refw: timings.t_refw,
             next_refresh_window: timings.t_refw,
             stats: EngineStats::default(),
+            event_buf: Vec::with_capacity(16),
         }
     }
 
@@ -83,6 +87,7 @@ impl BankMitigationEngine {
             t_refw: timings.t_refw,
             next_refresh_window: timings.t_refw,
             stats: EngineStats::default(),
+            event_buf: Vec::with_capacity(16),
         }
     }
 
@@ -113,32 +118,59 @@ impl BankMitigationEngine {
         }
     }
 
-    /// Processes an activation of `row` at `now`, returning any mitigations the tracker
-    /// requests immediately.
-    pub fn on_activate(&mut self, row: RowId, now: Cycle) -> Vec<MitigationRequest> {
+    /// Processes an activation of `row` at `now`, appending any mitigations the tracker
+    /// requests immediately to `out`.
+    ///
+    /// `out` is not cleared: the caller owns the buffer and reuses it across events,
+    /// so the steady-state activation path performs no allocation.
+    pub fn on_activate_into(&mut self, row: RowId, now: Cycle, out: &mut Vec<MitigationRequest>) {
         self.advance_refresh_window(now);
-        let mut mitigations = Vec::new();
-        for event in self.defense.on_activate(row, now) {
+        self.event_buf.clear();
+        self.defense.on_activate(row, now, &mut self.event_buf);
+        for i in 0..self.event_buf.len() {
+            let event = self.event_buf[i];
             self.stats.tracked_events += 1;
             if let Some(m) = self.tracker.record(event.row, event.eact, now) {
                 self.stats.direct_mitigations += 1;
-                mitigations.push(m);
+                out.push(m);
             }
         }
+    }
+
+    /// Processes a row closure, appending any mitigations the tracker requests to
+    /// `out` (same buffer contract as [`BankMitigationEngine::on_activate_into`]).
+    pub fn on_close_into(&mut self, closed: &ClosedRow, out: &mut Vec<MitigationRequest>) {
+        self.advance_refresh_window(closed.closed_at);
+        self.event_buf.clear();
+        self.defense.on_close(closed, &mut self.event_buf);
+        for i in 0..self.event_buf.len() {
+            let event = self.event_buf[i];
+            self.stats.tracked_events += 1;
+            if let Some(m) = self.tracker.record(event.row, event.eact, closed.closed_at) {
+                self.stats.direct_mitigations += 1;
+                out.push(m);
+            }
+        }
+    }
+
+    /// Processes an activation of `row` at `now`, returning any mitigations the tracker
+    /// requests immediately.
+    ///
+    /// Allocates a `Vec` per call; hot loops should use
+    /// [`BankMitigationEngine::on_activate_into`] with a reusable buffer.
+    pub fn on_activate(&mut self, row: RowId, now: Cycle) -> Vec<MitigationRequest> {
+        let mut mitigations = Vec::new();
+        self.on_activate_into(row, now, &mut mitigations);
         mitigations
     }
 
     /// Processes a row closure, returning any mitigations the tracker requests.
+    ///
+    /// Allocates a `Vec` per call; hot loops should use
+    /// [`BankMitigationEngine::on_close_into`] with a reusable buffer.
     pub fn on_close(&mut self, closed: &ClosedRow) -> Vec<MitigationRequest> {
-        self.advance_refresh_window(closed.closed_at);
         let mut mitigations = Vec::new();
-        for event in self.defense.on_close(closed) {
-            self.stats.tracked_events += 1;
-            if let Some(m) = self.tracker.record(event.row, event.eact, closed.closed_at) {
-                self.stats.direct_mitigations += 1;
-                mitigations.push(m);
-            }
-        }
+        self.on_close_into(closed, &mut mitigations);
         mitigations
     }
 

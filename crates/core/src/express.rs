@@ -69,13 +69,11 @@ impl Express {
 }
 
 impl RowPressDefense for Express {
-    fn on_activate(&mut self, row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
-        vec![TrackedActivation::unit(row)]
+    fn on_activate(&mut self, row: RowId, _now: Cycle, out: &mut Vec<TrackedActivation>) {
+        out.push(TrackedActivation::unit(row));
     }
 
-    fn on_close(&mut self, _closed: &ClosedRow) -> Vec<TrackedActivation> {
-        Vec::new()
-    }
+    fn on_close(&mut self, _closed: &ClosedRow, _out: &mut Vec<TrackedActivation>) {}
 
     fn max_row_open(&self) -> Option<Cycle> {
         Some(self.t_mro)
@@ -132,13 +130,17 @@ mod tests {
     fn emits_unit_activations_like_baseline() {
         let t = DramTimings::ddr5();
         let mut e = Express::paper_baseline(Alpha::Conservative, &t);
-        assert_eq!(e.on_activate(3, 0), vec![TrackedActivation::unit(3)]);
+        let mut events = Vec::new();
+        e.on_activate(3, 0, &mut events);
+        assert_eq!(events, vec![TrackedActivation::unit(3)]);
         let closed = ClosedRow {
             row: 3,
             open_cycles: 100,
             opened_at: 0,
             closed_at: 100,
         };
-        assert!(e.on_close(&closed).is_empty());
+        events.clear();
+        e.on_close(&closed, &mut events);
+        assert!(events.is_empty());
     }
 }

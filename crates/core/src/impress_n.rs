@@ -82,16 +82,14 @@ impl ImpressN {
 }
 
 impl RowPressDefense for ImpressN {
-    fn on_activate(&mut self, row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
-        vec![TrackedActivation::unit(row)]
+    fn on_activate(&mut self, row: RowId, _now: Cycle, out: &mut Vec<TrackedActivation>) {
+        out.push(TrackedActivation::unit(row));
     }
 
-    fn on_close(&mut self, closed: &ClosedRow) -> Vec<TrackedActivation> {
+    fn on_close(&mut self, closed: &ClosedRow, out: &mut Vec<TrackedActivation>) {
         let n = self.full_windows(closed);
         self.window_activations += n;
-        (0..n)
-            .map(|_| TrackedActivation::unit(closed.row))
-            .collect()
+        out.extend((0..n).map(|_| TrackedActivation::unit(closed.row)));
     }
 
     fn tracker_threshold_scale(&self) -> f64 {
@@ -121,12 +119,18 @@ mod tests {
         }
     }
 
+    fn close_events(d: &mut ImpressN, c: &ClosedRow) -> Vec<TrackedActivation> {
+        let mut out = Vec::new();
+        d.on_close(c, &mut out);
+        out
+    }
+
     #[test]
     fn rowhammer_access_emits_no_window_activation() {
         let t = timings();
         let mut d = ImpressN::conservative(&t);
         // A minimum-length access never spans a full window.
-        let events = d.on_close(&closed(0, t.t_ras));
+        let events = close_events(&mut d, &closed(0, t.t_ras));
         assert!(events.is_empty());
     }
 
@@ -135,7 +139,7 @@ mod tests {
         let t = timings();
         let mut d = ImpressN::conservative(&t);
         // Open at the start of window 0, closed in window 2: fully covers window 1.
-        let events = d.on_close(&closed(0, 2 * t.t_rc + 10));
+        let events = close_events(&mut d, &closed(0, 2 * t.t_rc + 10));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0], TrackedActivation::unit(7));
     }
@@ -146,7 +150,7 @@ mod tests {
         let mut d = ImpressN::conservative(&t);
         // Open for ~10 windows starting mid-window.
         let start = t.t_rc / 2;
-        let events = d.on_close(&closed(start, start + 10 * t.t_rc));
+        let events = close_events(&mut d, &closed(start, start + 10 * t.t_rc));
         assert_eq!(events.len(), 9);
         assert_eq!(d.window_activations(), 9);
     }
@@ -161,7 +165,7 @@ mod tests {
         let boundary = 100 * t.t_rc;
         let opened_at = boundary - t.t_act / 2; // ACT completes just after the boundary
         let closed_at = opened_at + t.t_rc + t.t_ras;
-        let events = d.on_close(&closed(opened_at, closed_at));
+        let events = close_events(&mut d, &closed(opened_at, closed_at));
         assert!(
             events.is_empty(),
             "evasion pattern should produce no window activations"
@@ -190,7 +194,7 @@ mod tests {
         fn window_count_is_within_one_of_open_time(opened in 0u64..10_000_000, open_for in 96u64..2_000_000) {
             let t = timings();
             let mut d = ImpressN::conservative(&t);
-            let events = d.on_close(&closed(opened, opened + open_for));
+            let events = close_events(&mut d, &closed(opened, opened + open_for));
             let n = events.len() as u64;
             let exact = open_for / t.t_rc;
             prop_assert!(n <= exact);

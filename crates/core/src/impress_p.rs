@@ -83,21 +83,20 @@ impl ImpressP {
 }
 
 impl RowPressDefense for ImpressP {
-    fn on_activate(&mut self, _row: RowId, _now: Cycle) -> Vec<TrackedActivation> {
+    fn on_activate(&mut self, _row: RowId, _now: Cycle, _out: &mut Vec<TrackedActivation>) {
         // Nothing is recorded at ACT time: the EACT (which is always >= 1 and therefore
         // subsumes the activation itself) is recorded when the row closes and its open
         // time is known.
-        Vec::new()
     }
 
-    fn on_close(&mut self, closed: &ClosedRow) -> Vec<TrackedActivation> {
+    fn on_close(&mut self, closed: &ClosedRow, out: &mut Vec<TrackedActivation>) {
         let eact = Eact::from_open_time(closed.open_cycles, self.t_pre, self.t_rc, self.frac_bits);
         self.total_eact_raw += u64::from(eact.raw());
         self.closes += 1;
-        vec![TrackedActivation {
+        out.push(TrackedActivation {
             row: closed.row,
             eact,
-        }]
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -122,12 +121,20 @@ mod tests {
         }
     }
 
+    fn close_events(d: &mut ImpressP, c: &ClosedRow) -> Vec<TrackedActivation> {
+        let mut out = Vec::new();
+        d.on_close(c, &mut out);
+        out
+    }
+
     #[test]
     fn minimum_access_has_eact_one() {
         let t = timings();
         let mut d = ImpressP::paper_default(&t);
-        assert!(d.on_activate(9, 0).is_empty());
-        let events = d.on_close(&closed(t.t_ras));
+        let mut events = Vec::new();
+        d.on_activate(9, 0, &mut events);
+        assert!(events.is_empty());
+        let events = close_events(&mut d, &closed(t.t_ras));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].eact, Eact::ONE);
     }
@@ -137,7 +144,7 @@ mod tests {
         let t = timings();
         let mut d = ImpressP::paper_default(&t);
         // Open for tRAS + 9*tRC: total time (tON + tPRE) = 10*tRC => EACT = 10.
-        let events = d.on_close(&closed(t.t_ras + 9 * t.t_rc));
+        let events = close_events(&mut d, &closed(t.t_ras + 9 * t.t_rc));
         assert!((events[0].eact.as_f64() - 10.0).abs() < 1e-9);
     }
 
@@ -145,7 +152,7 @@ mod tests {
     fn fractional_open_time_is_captured() {
         let t = timings();
         let mut d = ImpressP::paper_default(&t);
-        let events = d.on_close(&closed(t.t_ras + t.t_rc / 2));
+        let events = close_events(&mut d, &closed(t.t_ras + t.t_rc / 2));
         assert!((events[0].eact.as_f64() - 1.5).abs() < 1e-9);
     }
 
@@ -153,7 +160,7 @@ mod tests {
     fn zero_frac_bits_truncates_like_impress_n() {
         let t = timings();
         let mut d = ImpressP::new(0, &t);
-        let events = d.on_close(&closed(t.t_ras + t.t_rc / 2));
+        let events = close_events(&mut d, &closed(t.t_ras + t.t_rc / 2));
         assert_eq!(events[0].eact.as_f64(), 1.0);
     }
 
@@ -180,8 +187,8 @@ mod tests {
     fn average_eact_tracks_traffic() {
         let t = timings();
         let mut d = ImpressP::paper_default(&t);
-        d.on_close(&closed(t.t_ras));
-        d.on_close(&closed(t.t_ras + 2 * t.t_rc));
+        close_events(&mut d, &closed(t.t_ras));
+        close_events(&mut d, &closed(t.t_ras + 2 * t.t_rc));
         assert!((d.average_eact() - 2.0).abs() < 1e-9);
     }
 }

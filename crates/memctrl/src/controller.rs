@@ -28,6 +28,9 @@ struct BankUnit {
     rfm: RfmCounter,
     /// Cycle of the last demand access serviced by this bank (for the idle-row timeout).
     last_use: Cycle,
+    /// Reusable scratch for tracker mitigation requests, so the activation/closure
+    /// hot path performs no allocation in steady state.
+    mitigation_buf: Vec<MitigationRequest>,
 }
 
 impl std::fmt::Debug for BankUnit {
@@ -51,7 +54,7 @@ impl BankUnit {
         let mut t = from;
         for request in requests {
             // Blast radius 2: four victim rows, each refreshed with an ACT+PRE pair.
-            let victims = request.victims(2, u32::MAX).len().max(1) as u64;
+            let victims = request.victim_count(2, u32::MAX).max(1);
             for _ in 0..victims {
                 // Each victim refresh bumps the bank's mitigative-activation counter.
                 self.bank.victim_refresh(t, timings);
@@ -64,11 +67,18 @@ impl BankUnit {
     /// Routes a row closure through the defense engine and applies any resulting
     /// mitigations immediately (they occupy the bank after the precharge).
     fn handle_closure(&mut self, closed: &ClosedRow, timings: &DramTimings) {
-        let requests = match self.engine.as_mut() {
-            Some(engine) => engine.on_close(closed),
-            None => return,
+        let Some(engine) = self.engine.as_mut() else {
+            return;
         };
-        self.apply_mc_mitigations(&requests, closed.closed_at + timings.t_pre, timings);
+        // Move the scratch buffer out so the engine and the bank can be borrowed in
+        // sequence; `mem::take` leaves an empty (allocation-free) Vec behind.
+        let mut requests = std::mem::take(&mut self.mitigation_buf);
+        requests.clear();
+        engine.on_close_into(closed, &mut requests);
+        if !requests.is_empty() {
+            self.apply_mc_mitigations(&requests, closed.closed_at + timings.t_pre, timings);
+        }
+        self.mitigation_buf = requests;
     }
 
     /// Gives the in-DRAM tracker its mitigation opportunity (under REF or RFM) and
@@ -80,7 +90,7 @@ impl BankUnit {
             None => return,
         };
         if let Some(request) = request {
-            let victims = request.victims(2, u32::MAX).len().max(1) as u64;
+            let victims = request.victim_count(2, u32::MAX).max(1);
             self.bank.stats_mut().mitigative_activations += victims;
         }
     }
@@ -110,10 +120,11 @@ impl BankUnit {
         // Tell the defense about the activation; memory-controller trackers may request
         // mitigations, which the controller schedules right after the demand ACT (they
         // occupy the bank and delay *subsequent* accesses, not this one).
-        let requests = match self.engine.as_mut() {
-            Some(engine) => engine.on_activate(row, act_at),
-            None => Vec::new(),
-        };
+        let mut requests = std::mem::take(&mut self.mitigation_buf);
+        requests.clear();
+        if let Some(engine) = self.engine.as_mut() {
+            engine.on_activate_into(row, act_at, &mut requests);
+        }
 
         self.bank
             .activate(row, act_at, timings)
@@ -122,6 +133,7 @@ impl BankUnit {
         if !requests.is_empty() {
             self.apply_mc_mitigations(&requests, act_at + timings.t_ras, timings);
         }
+        self.mitigation_buf = requests;
 
         if rfm_enabled {
             self.rfm.on_activation();
@@ -173,6 +185,7 @@ impl MemoryController {
                             .map(|p| BankMitigationEngine::new(p, timings)),
                         rfm: RfmCounter::new(rfm_threshold),
                         last_use: 0,
+                        mitigation_buf: Vec::with_capacity(8),
                     })
                     .collect(),
                 refresh: RefreshScheduler::new(timings),
@@ -218,7 +231,7 @@ impl MemoryController {
     pub fn access(&mut self, location: DramAddress, is_write: bool, now: Cycle) -> AccessOutcome {
         let org = &self.config.organization;
         let flat_bank = location.flat_bank(org.banks_per_group, org.bank_groups);
-        let timings = self.config.timings.clone();
+        let timings = &self.config.timings;
         let t_mro = self.t_mro;
         let idle_timeout = self.config.idle_row_timeout;
         let closed_page = matches!(self.config.page_policy, PagePolicy::Closed);
@@ -230,8 +243,8 @@ impl MemoryController {
         while let Some(due_at) = channel.refresh.take_due(now) {
             let refresh_at = due_at.max(channel.refresh_block_until);
             for unit in &mut channel.banks {
-                if let Some(closed) = unit.bank.refresh(refresh_at, &timings) {
-                    unit.handle_closure(&closed, &timings);
+                if let Some(closed) = unit.bank.refresh(refresh_at, timings) {
+                    unit.handle_closure(&closed, timings);
                 }
                 // In-DRAM trackers mitigate "under REF" (Appendix B) at no extra cost.
                 unit.in_dram_mitigation_opportunity(refresh_at);
@@ -257,9 +270,9 @@ impl MemoryController {
             if deadline != Cycle::MAX && earliest > deadline {
                 let closed = unit
                     .bank
-                    .precharge(deadline, &timings)
+                    .precharge(deadline, timings)
                     .expect("policy closure is tRAS-legal by construction");
-                unit.handle_closure(&closed, &timings);
+                unit.handle_closure(&closed, timings);
             }
         }
 
@@ -273,24 +286,24 @@ impl MemoryController {
             Some(_) => {
                 // Conflict: precharge the old row (respecting tRAS), then activate.
                 let pre_at =
-                    earliest.max(unit.bank.earliest_precharge(&timings).unwrap_or(earliest));
+                    earliest.max(unit.bank.earliest_precharge(timings).unwrap_or(earliest));
                 let closed = unit
                     .bank
-                    .precharge(pre_at, &timings)
+                    .precharge(pre_at, timings)
                     .expect("precharge time respects tRAS");
-                unit.handle_closure(&closed, &timings);
+                unit.handle_closure(&closed, timings);
                 unit.bank.stats_mut().row_conflicts += 1;
                 // The tFAW/4 spacing rule limits the channel's aggregate ACT rate.
                 let act_ready =
                     (pre_at + timings.t_pre).max(channel.last_demand_act + timings.t_faw / 4);
-                let act_at = unit.activate(location.row, act_ready, &timings, rfm_enabled);
+                let act_at = unit.activate(location.row, act_ready, timings, rfm_enabled);
                 channel.last_demand_act = act_at;
                 (RowBufferOutcome::Conflict, act_at + timings.t_act)
             }
             None => {
                 unit.bank.stats_mut().row_misses += 1;
                 let act_ready = earliest.max(channel.last_demand_act + timings.t_faw / 4);
-                let act_at = unit.activate(location.row, act_ready, &timings, rfm_enabled);
+                let act_at = unit.activate(location.row, act_ready, timings, rfm_enabled);
                 channel.last_demand_act = act_at;
                 (RowBufferOutcome::Miss, act_at + timings.t_act)
             }
@@ -309,11 +322,11 @@ impl MemoryController {
         if closed_page {
             let pre_at = completed_at.max(
                 unit.bank
-                    .earliest_precharge(&timings)
+                    .earliest_precharge(timings)
                     .unwrap_or(completed_at),
             );
-            if let Ok(closed) = unit.bank.precharge(pre_at, &timings) {
-                unit.handle_closure(&closed, &timings);
+            if let Ok(closed) = unit.bank.precharge(pre_at, timings) {
+                unit.handle_closure(&closed, timings);
             }
         }
 

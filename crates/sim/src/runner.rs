@@ -2,11 +2,18 @@
 //!
 //! Every performance figure of the paper has the same structure: run a set of
 //! workloads under a set of memory-controller configurations and report performance
-//! normalized to a baseline configuration. [`ExperimentRunner`] caches baseline runs so
-//! sweeps stay cheap, and [`run_configuration`] is the single entry point the bench
-//! binaries use.
+//! normalized to a baseline configuration. [`ExperimentRunner::run_sweep`] is the
+//! engine behind the figure binaries: it computes each workload's baseline run
+//! exactly once, shares the frozen baseline table across every configuration, and
+//! executes the `(workload, configuration)` cells on a thread pool
+//! (`IMPRESS_THREADS`, default: all cores) with deterministic, input-ordered results —
+//! a parallel sweep is bit-for-bit identical to a serial one.
+//! [`ExperimentRunner::run_normalized`] remains for one-off cells and caches
+//! baselines incrementally.
 
 use std::collections::HashMap;
+
+use impress_exec::par_map_with;
 
 use impress_core::config::ProtectionConfig;
 use impress_dram::timing::Cycle;
@@ -137,7 +144,16 @@ impl ExperimentRunner {
             self.baseline_cache.insert(cache_key.clone(), output);
         }
         let baseline_output = self.baseline_cache.get(&cache_key).expect("just inserted");
+        self.normalize(workload, baseline_output, configuration)
+    }
 
+    /// Builds the normalized result of one already-run cell against a baseline output.
+    fn normalize(
+        &self,
+        workload: &str,
+        baseline_output: &RunOutput,
+        configuration: &Configuration,
+    ) -> NormalizedResult {
         let output = self.run_raw(workload, configuration);
         let class = WorkloadMix::by_name(workload, self.seed)
             .expect("workload exists")
@@ -154,6 +170,64 @@ impl ExperimentRunner {
         }
     }
 
+    /// Runs the full `workloads` × `configurations` sweep in parallel, normalizing
+    /// every cell against `baseline`.
+    ///
+    /// Baseline runs are computed once per workload (in parallel), frozen into a
+    /// read-only table, and shared by every configuration. The returned nesting is
+    /// `result[configuration][workload]`, matching the argument order; the contents
+    /// are bit-for-bit identical for any worker count, including 1.
+    ///
+    /// Uses [`impress_exec::thread_count`] workers (the `IMPRESS_THREADS` knob);
+    /// [`ExperimentRunner::run_sweep_with_threads`] pins an explicit count.
+    pub fn run_sweep(
+        &self,
+        workloads: &[&str],
+        baseline: &Configuration,
+        configurations: &[Configuration],
+    ) -> Vec<Vec<NormalizedResult>> {
+        self.run_sweep_with_threads(
+            impress_exec::thread_count(),
+            workloads,
+            baseline,
+            configurations,
+        )
+    }
+
+    /// [`ExperimentRunner::run_sweep`] with an explicit worker count (1 = serial).
+    pub fn run_sweep_with_threads(
+        &self,
+        threads: usize,
+        workloads: &[&str],
+        baseline: &Configuration,
+        configurations: &[Configuration],
+    ) -> Vec<Vec<NormalizedResult>> {
+        // Phase 1: one baseline run per workload, computed in parallel. The table is
+        // immutable from here on — every configuration reads the same baselines.
+        let baselines: Vec<RunOutput> =
+            par_map_with(threads, workloads, |w| self.run_raw(w, baseline));
+
+        run_cells(threads, workloads.len(), configurations.len(), |c, w| {
+            self.normalize(workloads[w], &baselines[w], &configurations[c])
+        })
+    }
+
+    /// Runs `workloads` under each configuration in parallel, returning the raw
+    /// outputs as `result[configuration][workload]` (no normalization) — the sweep
+    /// entry point for figures that aggregate activation counts or energy.
+    pub fn run_sweep_raw(
+        &self,
+        workloads: &[&str],
+        configurations: &[Configuration],
+    ) -> Vec<Vec<RunOutput>> {
+        run_cells(
+            impress_exec::thread_count(),
+            workloads.len(),
+            configurations.len(),
+            |c, w| self.run_raw(workloads[w], &configurations[c]),
+        )
+    }
+
     /// Geometric mean of the normalized performance of a slice of results, filtered by
     /// workload class (`None` averages everything).
     pub fn gmean_by_class(results: &[NormalizedResult], class: Option<LocalityClass>) -> f64 {
@@ -164,6 +238,27 @@ impl ExperimentRunner {
             .collect();
         geometric_mean(&values)
     }
+}
+
+/// Shared sweep-cell executor: runs `f(configuration_index, workload_index)` for every
+/// cell on the pool, flattened configuration-major so the dynamic scheduler balances
+/// uneven workloads, and regroups results as `out[configuration][workload]`.
+fn run_cells<R: Send>(
+    threads: usize,
+    workloads: usize,
+    configurations: usize,
+    f: impl Fn(usize, usize) -> R + Sync,
+) -> Vec<Vec<R>> {
+    let cells: Vec<(usize, usize)> = (0..configurations)
+        .flat_map(|c| (0..workloads).map(move |w| (c, w)))
+        .collect();
+    let results = par_map_with(threads, &cells, |&(c, w)| f(c, w));
+    let mut per_configuration: Vec<Vec<R>> = Vec::with_capacity(configurations);
+    let mut it = results.into_iter();
+    for _ in 0..configurations {
+        per_configuration.push(it.by_ref().take(workloads).collect());
+    }
+    per_configuration
 }
 
 #[cfg(test)]
@@ -217,6 +312,74 @@ mod tests {
             "normalized = {}",
             result.normalized_performance
         );
+    }
+
+    #[test]
+    fn sweep_matches_run_normalized() {
+        let r = runner();
+        let base = Configuration::unprotected();
+        let tight = Configuration::with_tmro("tMRO=66ns", ns_to_cycles(66));
+        let sweep = r.run_sweep(&["gcc", "copy"], &base, std::slice::from_ref(&tight));
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep[0].len(), 2);
+
+        let mut serial = runner();
+        for (i, w) in ["gcc", "copy"].iter().enumerate() {
+            let expect = serial.run_normalized(w, &base, &tight);
+            assert_eq!(sweep[0][i].workload, expect.workload);
+            assert_eq!(
+                sweep[0][i].normalized_performance.to_bits(),
+                expect.normalized_performance.to_bits(),
+                "sweep cell {w} differs from run_normalized"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let r = runner();
+        let base = Configuration::unprotected();
+        let configs = vec![
+            Configuration::with_tmro("tMRO=36ns", ns_to_cycles(36)),
+            Configuration::protected(
+                "Graphene+ImPress-P",
+                ProtectionConfig::paper_default(
+                    TrackerChoice::Graphene,
+                    DefenseKind::impress_p_default(),
+                ),
+            ),
+        ];
+        let workloads = ["gcc", "copy", "mcf"];
+        let serial = r.run_sweep_with_threads(1, &workloads, &base, &configs);
+        let parallel = r.run_sweep_with_threads(4, &workloads, &base, &configs);
+        for (sc, pc) in serial.iter().zip(&parallel) {
+            for (s, p) in sc.iter().zip(pc) {
+                assert_eq!(s.workload, p.workload);
+                assert_eq!(s.configuration, p.configuration);
+                assert_eq!(
+                    s.normalized_performance.to_bits(),
+                    p.normalized_performance.to_bits()
+                );
+                assert_eq!(
+                    s.output.performance.elapsed_cycles,
+                    p.output.performance.elapsed_cycles
+                );
+                assert_eq!(s.output.memory.banks, p.output.memory.banks);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_raw_matches_run_raw() {
+        let r = runner();
+        let cfg = Configuration::unprotected();
+        let raw = r.run_sweep_raw(&["wrf"], std::slice::from_ref(&cfg));
+        let direct = r.run_raw("wrf", &cfg);
+        assert_eq!(
+            raw[0][0].performance.elapsed_cycles,
+            direct.performance.elapsed_cycles
+        );
+        assert_eq!(raw[0][0].memory.banks, direct.memory.banks);
     }
 
     #[test]

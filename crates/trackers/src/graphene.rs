@@ -128,22 +128,34 @@ impl Graphene {
 impl RowTracker for Graphene {
     fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        // Misra-Gries update.
-        let slot = if let Some(i) = self.table.iter().position(|e| e.valid && e.row == row) {
-            i
-        } else if let Some(i) = self.table.iter().position(|e| !e.valid) {
-            self.table[i] = Entry {
-                row,
-                count: self.spillover,
-                valid: true,
+        // Misra-Gries update: one branch-light pass records the matching entry, the
+        // first invalid entry and the first spillover-replaceable entry (the seed did
+        // three separate scans; the selection priority and chosen slots are identical).
+        let spillover_raw = self.spillover.raw();
+        let mut matched = usize::MAX;
+        let mut first_invalid = usize::MAX;
+        let mut first_replaceable = usize::MAX;
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid && e.row == row {
+                matched = i;
+                break;
+            }
+            if !e.valid {
+                first_invalid = first_invalid.min(i);
+            } else if e.count.raw() <= spillover_raw {
+                first_replaceable = first_replaceable.min(i);
+            }
+        }
+        let slot = if matched != usize::MAX {
+            matched
+        } else if first_invalid != usize::MAX || first_replaceable != usize::MAX {
+            // An invalid entry is claimed outright; otherwise replace an entry whose
+            // count does not exceed the spillover count.
+            let i = if first_invalid != usize::MAX {
+                first_invalid
+            } else {
+                first_replaceable
             };
-            i
-        } else if let Some(i) = self
-            .table
-            .iter()
-            .position(|e| e.count.raw() <= self.spillover.raw())
-        {
-            // Replace an entry whose count equals the spillover count.
             self.table[i] = Entry {
                 row,
                 count: self.spillover,

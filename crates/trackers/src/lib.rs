@@ -40,6 +40,7 @@
 
 pub mod analysis;
 pub mod eact;
+pub mod flat;
 pub mod graphene;
 pub mod mint;
 pub mod mithril;
@@ -49,6 +50,7 @@ pub mod storage;
 pub mod tracker;
 
 pub use eact::{Eact, EactCounter};
+pub use flat::FlatCounterTable;
 pub use graphene::Graphene;
 pub use mint::Mint;
 pub use mithril::Mithril;

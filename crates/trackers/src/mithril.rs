@@ -118,25 +118,39 @@ impl Mithril {
 impl RowTracker for Mithril {
     fn record(&mut self, row: RowId, eact: Eact, _now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        if let Some(e) = self.table.iter_mut().find(|e| e.valid && e.row == row) {
-            e.count.add(eact);
-        } else if let Some(e) = self.table.iter_mut().find(|e| !e.valid) {
+        // One pass records the matching entry, the first invalid entry and the first
+        // minimum-count entry (the seed did three separate scans; the selection
+        // priority and chosen slots are identical).
+        let mut matched = usize::MAX;
+        let mut first_invalid = usize::MAX;
+        let mut min_idx = 0usize;
+        let mut min_raw = u64::MAX;
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid && e.row == row {
+                matched = i;
+                break;
+            }
+            if !e.valid {
+                first_invalid = first_invalid.min(i);
+            } else if e.count.raw() < min_raw {
+                min_raw = e.count.raw();
+                min_idx = i;
+            }
+        }
+        if matched != usize::MAX {
+            self.table[matched].count.add(eact);
+        } else if first_invalid != usize::MAX {
             let mut count = self.spillover;
             count.add(eact);
-            *e = Entry {
+            self.table[first_invalid] = Entry {
                 row,
                 count,
                 valid: true,
             };
-        } else if let Some(e) = self
-            .table
-            .iter_mut()
-            .min_by_key(|e| e.count.raw())
-            .filter(|e| e.count.raw() <= self.spillover.raw())
-        {
+        } else if min_raw <= self.spillover.raw() {
             let mut count = self.spillover;
             count.add(eact);
-            *e = Entry {
+            self.table[min_idx] = Entry {
                 row,
                 count,
                 valid: true,

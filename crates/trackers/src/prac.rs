@@ -6,15 +6,16 @@
 //! directly: reserve 7 bits of the per-row counter for the fractional part of EACT.
 //!
 //! This module models PRAC as an idealized per-row counter table (the full array would
-//! be one counter per row; the model stores only touched rows).
-
-use std::collections::HashMap;
+//! be one counter per row; the model stores only touched rows, in an open-addressed
+//! [`FlatCounterTable`] so the per-activation path is a single linear probe instead of
+//! a SipHash `HashMap` lookup).
 
 use impress_dram::address::RowId;
 use impress_dram::timing::Cycle;
 
 use crate::analysis::prac_counter_bits;
-use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
+use crate::eact::{Eact, CANONICAL_FRAC_BITS};
+use crate::flat::FlatCounterTable;
 use crate::storage::StorageEstimate;
 use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
 
@@ -27,7 +28,7 @@ pub struct Prac {
     alert_threshold: u64,
     frac_bits: u32,
     rows_per_bank: u32,
-    counters: HashMap<RowId, EactCounter>,
+    counters: FlatCounterTable,
     mitigations: u64,
 }
 
@@ -45,7 +46,7 @@ impl Prac {
             alert_threshold: (threshold / 2).max(1),
             frac_bits,
             rows_per_bank,
-            counters: HashMap::new(),
+            counters: FlatCounterTable::new(),
             mitigations: 0,
         }
     }
@@ -57,7 +58,7 @@ impl Prac {
 
     /// The current activation count of `row` (whole activations).
     pub fn count(&self, row: RowId) -> u64 {
-        self.counters.get(&row).map_or(0, |c| c.activations())
+        self.counters.get(row).activations()
     }
 
     fn quantize(&self, eact: Eact) -> Eact {
@@ -74,10 +75,9 @@ impl Prac {
 impl RowTracker for Prac {
     fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        let counter = self.counters.entry(row).or_default();
-        counter.add(eact);
+        let counter = self.counters.add(row, eact);
         if counter.reached(self.alert_threshold) {
-            *counter = EactCounter::ZERO;
+            self.counters.reset(row);
             self.mitigations += 1;
             Some(MitigationRequest {
                 aggressor: row,

@@ -62,18 +62,39 @@ impl MitigationRequest {
     /// uses 2, i.e. four victim rows per mitigation).
     ///
     /// Victims beyond the edge of the bank (underflow/overflow) are skipped.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should use
+    /// [`MitigationRequest::victims_into`] (reusable buffer) or
+    /// [`MitigationRequest::victim_count`] (count only) instead.
     pub fn victims(&self, blast_radius: u32, rows_per_bank: u32) -> Vec<RowId> {
         let mut rows = Vec::with_capacity(2 * blast_radius as usize);
+        self.victims_into(blast_radius, rows_per_bank, &mut rows);
+        rows
+    }
+
+    /// Appends the victim rows to `out` instead of allocating (the caller clears and
+    /// reuses the buffer across mitigations).
+    pub fn victims_into(&self, blast_radius: u32, rows_per_bank: u32, out: &mut Vec<RowId>) {
         for d in 1..=blast_radius {
             if let Some(below) = self.aggressor.checked_sub(d) {
-                rows.push(below);
+                out.push(below);
             }
             let above = self.aggressor + d;
             if above < rows_per_bank {
-                rows.push(above);
+                out.push(above);
             }
         }
-        rows
+    }
+
+    /// Number of victim rows [`MitigationRequest::victims`] would return, without
+    /// materializing them — what the controller needs to charge mitigation time.
+    pub fn victim_count(&self, blast_radius: u32, rows_per_bank: u32) -> u64 {
+        let mut count = 0u64;
+        for d in 1..=blast_radius {
+            count += u64::from(self.aggressor.checked_sub(d).is_some());
+            count += u64::from(self.aggressor + d < rows_per_bank);
+        }
+        count
     }
 }
 

@@ -13,7 +13,7 @@ use impress_repro::sim::{Configuration, ExperimentRunner};
 
 fn main() {
     let timings = DramTimings::ddr5();
-    let mut runner = ExperimentRunner::new().with_requests_per_core(8_000);
+    let runner = ExperimentRunner::new().with_requests_per_core(8_000);
 
     let defenses = [
         ("No-RP", DefenseKind::NoRp),
@@ -37,22 +37,45 @@ fn main() {
             format!("{}+No-RP", tracker.label()),
             ProtectionConfig::paper_default(tracker, DefenseKind::NoRp),
         );
+        // Build the valid configurations, then run them as one parallel sweep over
+        // both probe workloads (the baseline runs are computed once and shared).
+        let valid: Vec<(&str, DefenseKind)> = defenses
+            .iter()
+            .filter(|(_, defense)| {
+                ProtectionConfig::paper_default(tracker, *defense)
+                    .validate()
+                    .is_ok()
+            })
+            .copied()
+            .collect();
+        let configs: Vec<Configuration> = valid
+            .iter()
+            .map(|(label, defense)| {
+                Configuration::protected(
+                    format!("{}+{label}", tracker.label()),
+                    ProtectionConfig::paper_default(tracker, *defense),
+                )
+            })
+            .collect();
+        let sweep = runner.run_sweep(&["mcf", "copy"], &baseline, &configs);
+        // Print in the original defenses[] order, slotting incompatible rows where
+        // the seed printed them.
+        let mut results = valid.iter().zip(sweep);
         for (label, defense) in defenses {
-            let protection = ProtectionConfig::paper_default(tracker, defense);
-            if protection.validate().is_err() {
+            if ProtectionConfig::paper_default(tracker, defense)
+                .validate()
+                .is_err()
+            {
                 println!("{}\t{label}\t-\t-\t-\tincompatible", tracker.label());
                 continue;
             }
-            let config =
-                Configuration::protected(format!("{}+{label}", tracker.label()), protection);
-            let spec = runner.run_normalized("mcf", &baseline, &config);
-            let stream = runner.run_normalized("copy", &baseline, &config);
+            let (_, row) = results.next().expect("one sweep row per valid defense");
             let storage = storage_for(tracker, defense);
             println!(
                 "{}\t{label}\t{:.3}\t{:.3}\t{:.1}\t{}",
                 tracker.label(),
-                spec.normalized_performance,
-                stream.normalized_performance,
+                row[0].normalized_performance,
+                row[1].normalized_performance,
                 storage.kib_per_channel,
                 defense.compatible_with_in_dram()
             );

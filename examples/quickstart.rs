@@ -55,10 +55,14 @@ fn main() {
     //    unprotected baseline.
     println!();
     println!("== Performance check: STREAM copy under Graphene + ImPress-P ==");
-    let mut runner = ExperimentRunner::new().with_requests_per_core(10_000);
+    let runner = ExperimentRunner::new().with_requests_per_core(10_000);
     let baseline = Configuration::unprotected();
     let protected = Configuration::protected("Graphene+ImPress-P", config);
-    let result = runner.run_normalized("copy", &baseline, &protected);
+    // One-cell parallel sweep: the same entry point the figure binaries use.
+    let result = runner
+        .run_sweep(&["copy"], &baseline, std::slice::from_ref(&protected))
+        .remove(0)
+        .remove(0);
     println!(
         "normalized performance: {:.3} (row-buffer hit rate {:.2})",
         result.normalized_performance,

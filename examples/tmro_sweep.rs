@@ -2,6 +2,9 @@
 //! time barely affects SPEC-like workloads but visibly slows STREAM-like workloads —
 //! and show how the same limit changes the tolerated threshold (Figure 4).
 //!
+//! The whole sweep runs on the parallel experiment engine (`IMPRESS_THREADS` controls
+//! the worker count); results are identical at any thread count.
+//!
 //! Run with: `cargo run --release --example tmro_sweep`
 
 use impress_repro::core::rowpress_data::{relative_threshold_for_tmro, TMRO_SWEEP_NS};
@@ -9,17 +12,22 @@ use impress_repro::dram::timing::ns_to_cycles;
 use impress_repro::sim::{Configuration, ExperimentRunner};
 
 fn main() {
-    let mut runner = ExperimentRunner::new().with_requests_per_core(8_000);
+    let runner = ExperimentRunner::new().with_requests_per_core(8_000);
     let baseline = Configuration::unprotected();
+    let workloads = ["gcc", "mcf", "copy", "triad"];
+    let configs: Vec<Configuration> = TMRO_SWEEP_NS
+        .iter()
+        .map(|&ns| Configuration::with_tmro(format!("tMRO={ns}ns"), ns_to_cycles(ns)))
+        .collect();
+
+    let sweep = runner.run_sweep(&workloads, &baseline, &configs);
 
     println!("tMRO_ns\tperf(gcc)\tperf(mcf)\tperf(copy)\tperf(triad)\tT*_relative");
-    for &tmro_ns in &TMRO_SWEEP_NS {
-        let config = Configuration::with_tmro(format!("tMRO={tmro_ns}ns"), ns_to_cycles(tmro_ns));
-        let mut row = Vec::new();
-        for workload in ["gcc", "mcf", "copy", "triad"] {
-            let r = runner.run_normalized(workload, &baseline, &config);
-            row.push(format!("{:.3}", r.normalized_performance));
-        }
+    for (&tmro_ns, results) in TMRO_SWEEP_NS.iter().zip(sweep) {
+        let row: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:.3}", r.normalized_performance))
+            .collect();
         println!(
             "{tmro_ns}\t{}\t{:.3}",
             row.join("\t"),

@@ -14,6 +14,7 @@
 //! * [`workloads`] — synthetic SPEC-like and STREAM-like trace generators.
 //! * [`memctrl`] — the DDR5 memory controller (FR-FCFS, page policies, tMRO, mitigations).
 //! * [`sim`] — the multi-core trace-driven system simulator and performance metrics.
+//! * [`exec`] — the scoped thread pool behind the parallel experiment sweeps.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench/` for the
 //! harnesses that regenerate every table and figure of the paper.
@@ -21,6 +22,7 @@
 pub use impress_attacks as attacks;
 pub use impress_core as core;
 pub use impress_dram as dram;
+pub use impress_exec as exec;
 pub use impress_memctrl as memctrl;
 pub use impress_sim as sim;
 pub use impress_trackers as trackers;
