@@ -11,20 +11,26 @@ use std::hint::black_box;
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system_run");
     group.sample_size(10);
+    let build = || {
+        let protection = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        );
+        let config = SystemConfig {
+            requests_per_core: 2_000,
+            controller: ControllerConfig::baseline().with_protection(protection),
+            ..SystemConfig::baseline()
+        };
+        let mix = WorkloadMix::by_name("copy", 1).unwrap();
+        System::new(config, mix)
+    };
     group.bench_function("copy_graphene_impress_p_2k_requests", |b| {
-        b.iter(|| {
-            let protection = ProtectionConfig::paper_default(
-                TrackerChoice::Graphene,
-                DefenseKind::impress_p_default(),
-            );
-            let config = SystemConfig {
-                requests_per_core: 2_000,
-                controller: ControllerConfig::baseline().with_protection(protection),
-                ..SystemConfig::baseline()
-            };
-            let mix = WorkloadMix::by_name("copy", 1).unwrap();
-            black_box(System::new(config, mix).run().performance.elapsed_cycles)
-        });
+        b.iter(|| black_box(build().run().performance.elapsed_cycles));
+    });
+    // Same run with the channel shards on two workers (bit-identical output; this
+    // pair measures the epoch-pool overhead/speedup on this host).
+    group.bench_function("copy_graphene_impress_p_2k_requests_sharded", |b| {
+        b.iter(|| black_box(build().run_with_threads(2).performance.elapsed_cycles));
     });
     group.finish();
 }

@@ -147,6 +147,26 @@ fn bench_graphene_scan(c: &mut Criterion) {
             black_box(single.record((i % 4096) as u32, eact, i * 128))
         });
     });
+
+    // Match-path pair: a hot set smaller than the table, where every record after
+    // warm-up matches a tracked row. The seed scanned O(entries) to find it; the
+    // row→slot index answers in O(1).
+    let mut reference_hot = ThreeScanGraphene::new(&config);
+    group.bench_function("match_three_scan_seed", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(reference_hot.record((i % 128) as u32, eact))
+        });
+    });
+    let mut indexed_hot = Graphene::new(config.clone());
+    group.bench_function("match_slot_index", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(indexed_hot.record((i % 128) as u32, eact, i * 128))
+        });
+    });
     group.finish();
 }
 

@@ -1,11 +1,17 @@
-//! `perf_report`: reproducible wall-clock benchmark of the sweep engine.
+//! `perf_report`: reproducible wall-clock benchmark of both parallelism axes.
 //!
-//! Times the canonical figure sweep (the unprotected baseline plus every
-//! Graphene/PARA defense configuration over the figure workload set) twice — once on
-//! 1 thread (the serial path) and once on `IMPRESS_THREADS` workers — verifies the
-//! two result sets are bit-for-bit identical, measures per-tracker activation
-//! throughput, and emits machine-readable JSON so the repository's performance
-//! trajectory can be tracked PR over PR.
+//! Measures and gates:
+//!
+//! 1. **Sweep-level parallelism** — times the canonical figure sweep (the unprotected
+//!    baseline plus every Graphene/PARA defense configuration over the figure
+//!    workload set) once on 1 thread and once on `IMPRESS_THREADS` workers, and
+//!    verifies the result sets are bit-for-bit identical.
+//! 2. **Channel-level (intra-run) parallelism** — times individual epoch-phased
+//!    `System` runs of a four-channel protected system with shards executed inline
+//!    vs. on `IMPRESS_THREADS` workers, and verifies the outputs are bit-for-bit
+//!    identical.
+//! 3. **Tracker record throughput** — per-tracker activation records/second on a
+//!    synthetic hot-set stream (now exercising the O(1) row→slot match path).
 //!
 //! Usage:
 //!
@@ -14,17 +20,22 @@
 //! ```
 //!
 //! * `--quick`: CI-sized run (shorter simulations, fewer tracker records).
-//! * `--out PATH`: where to write the JSON report (default `BENCH_PR2.json`).
+//! * `--out PATH`: where to write the JSON report (default `BENCH_PR3.json`).
 //!
-//! Exit code is non-zero if the parallel sweep does not reproduce the serial sweep
-//! exactly, so CI can use this binary as a determinism gate as well as a benchmark.
+//! Exit code is non-zero if either determinism check fails, so CI uses this binary
+//! as a determinism gate as well as a benchmark.
 
 use std::time::Instant;
 
 use impress_bench::{defense_configurations, figure_workloads};
-use impress_core::config::TrackerChoice;
-use impress_sim::{Configuration, ExperimentRunner, NormalizedResult};
+use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+use impress_dram::organization::DramOrganization;
+use impress_memctrl::ControllerConfig;
+use impress_sim::{
+    Configuration, ExperimentRunner, NormalizedResult, RunOutput, System, SystemConfig,
+};
 use impress_trackers::{Eact, Graphene, Mint, Mithril, Para, Prac, RowTracker};
+use impress_workloads::WorkloadMix;
 
 /// Requests per core for the canonical sweep (quick mode shrinks the simulations so
 /// the whole report fits in a CI smoke job).
@@ -35,6 +46,14 @@ const QUICK_REQUESTS_PER_CORE: u64 = 2_000;
 const FULL_TRACKER_RECORDS: u64 = 4_000_000;
 const QUICK_TRACKER_RECORDS: u64 = 400_000;
 
+/// Workloads for the intra-run shard measurement (one latency-bound, two
+/// bandwidth-bound — the shapes with the least and most work per epoch).
+const SHARDED_WORKLOADS: [&str; 3] = ["mcf", "copy", "add_triad"];
+
+/// Channels in the intra-run measurement system (wider than the 2-channel baseline
+/// so the shard axis has headroom).
+const SHARDED_CHANNELS: u8 = 4;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -43,7 +62,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
 
     let requests_per_core = if quick {
         QUICK_REQUESTS_PER_CORE
@@ -55,7 +74,9 @@ fn main() {
     } else {
         FULL_TRACKER_RECORDS
     };
+    let threads = impress_exec::thread_count();
 
+    // ---- Axis 1: sweep-level parallelism -------------------------------------
     // The canonical sweep: every valid Graphene and PARA defense configuration at the
     // paper's TRH = 4K, normalized to the unprotected baseline, over the figure
     // workload set.
@@ -65,7 +86,6 @@ fn main() {
     let mut configurations = defense_configurations(TrackerChoice::Graphene, 4_000);
     configurations.extend(defense_configurations(TrackerChoice::Para, 4_000));
 
-    let threads = impress_exec::thread_count();
     let cells = configurations.len() * workloads.len();
     eprintln!(
         "perf_report: {} workloads x {} configurations ({cells} cells + {} baselines), \
@@ -85,11 +105,64 @@ fn main() {
     let parallel = runner.run_sweep_with_threads(threads, &workloads, &baseline, &configurations);
     let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
 
-    let identical = sweeps_identical(&serial, &parallel);
-    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let sweep_identical = sweeps_identical(&serial, &parallel);
+    let sweep_speedup = serial_ms / parallel_ms.max(1e-9);
 
-    // Per-tracker activation throughput: a synthetic record stream over a hot set of
-    // 4K rows (the same shape as the criterion micro-benchmarks).
+    // ---- Axis 2: channel-level (intra-run) parallelism -----------------------
+    let sharded_system = |workload: &str| {
+        let protection = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        );
+        let controller = ControllerConfig {
+            organization: DramOrganization {
+                channels: SHARDED_CHANNELS,
+                ..DramOrganization::baseline()
+            },
+            ..ControllerConfig::baseline()
+        }
+        .with_protection(protection);
+        let config = SystemConfig {
+            requests_per_core,
+            controller,
+            ..SystemConfig::baseline()
+        };
+        let mix = WorkloadMix::by_name(workload, 0x5AA5).expect("known workload");
+        System::new(config, mix)
+    };
+
+    eprintln!(
+        "perf_report: intra-run shard axis ({SHARDED_CHANNELS} channels, \
+         {} workloads, 1 vs {threads} threads)...",
+        SHARDED_WORKLOADS.len()
+    );
+    let mut sharded_identical = true;
+    let mut inline_ms_total = 0.0f64;
+    let mut sharded_ms_total = 0.0f64;
+    for workload in SHARDED_WORKLOADS {
+        let inline_start = Instant::now();
+        let inline = sharded_system(workload).run_with_threads(1);
+        let inline_ms = inline_start.elapsed().as_secs_f64() * 1e3;
+
+        let sharded_start = Instant::now();
+        let sharded = sharded_system(workload).run_with_threads(threads);
+        let sharded_ms = sharded_start.elapsed().as_secs_f64() * 1e3;
+
+        let identical = runs_identical(&inline, &sharded);
+        sharded_identical &= identical;
+        inline_ms_total += inline_ms;
+        sharded_ms_total += sharded_ms;
+        eprintln!(
+            "perf_report:   {workload}: inline {inline_ms:.0} ms, sharded {sharded_ms:.0} ms \
+             (x{:.2}), identical: {identical}",
+            inline_ms / sharded_ms.max(1e-9)
+        );
+    }
+    let shard_speedup = inline_ms_total / sharded_ms_total.max(1e-9);
+
+    // ---- Axis 3: tracker record throughput -----------------------------------
+    // A synthetic record stream over a hot set of 4K rows (the same shape as the
+    // criterion micro-benchmarks); with the row→slot index the match path is O(1).
     let mut trackers: Vec<(&str, Box<dyn RowTracker>)> = vec![
         ("graphene", Box::new(Graphene::for_threshold(4_000))),
         ("para", Box::new(Para::for_threshold(4_000))),
@@ -100,27 +173,49 @@ fn main() {
     let mut tracker_lines = Vec::new();
     for (name, tracker) in &mut trackers {
         let eact = Eact::from_f64(1.5, 7);
+        // Churn stream: 4K distinct rows, larger than any table — every Graphene/
+        // Mithril record is a miss, so this measures the eviction path.
         let start = Instant::now();
-        let mut mitigations = 0u64;
+        let mut churn_mitigations = 0u64;
         for i in 0..tracker_records {
             let row = (i % 4096) as u32;
             if tracker.record(row, eact, i * 128).is_some() {
-                mitigations += 1;
+                churn_mitigations += 1;
             }
         }
-        let secs = start.elapsed().as_secs_f64();
-        let mrps = tracker_records as f64 / secs / 1e6;
-        eprintln!("perf_report: {name}: {mrps:.1} M records/s ({mitigations} mitigations)");
+        let churn_mrps = tracker_records as f64 / start.elapsed().as_secs_f64() / 1e6;
+        // Hot stream: 128 rows, smaller than every table — after warm-up each record
+        // is a match, so this measures the O(1) row→slot index path. Reset the
+        // tracker first (as a refresh window would): a churn-saturated spillover
+        // counter would otherwise make every hot match mitigate, roll back to a
+        // replaceable count and be evicted — thrashing the eviction path and
+        // measuring the wrong thing.
+        tracker.on_refresh_window(tracker_records * 128);
+        let start = Instant::now();
+        let mut hot_mitigations = 0u64;
+        for i in 0..tracker_records {
+            let row = (i % 128) as u32;
+            if tracker.record(row, eact, i * 128).is_some() {
+                hot_mitigations += 1;
+            }
+        }
+        let hot_mrps = tracker_records as f64 / start.elapsed().as_secs_f64() / 1e6;
+        eprintln!(
+            "perf_report: {name}: churn {churn_mrps:.1} M records/s \
+             ({churn_mitigations} mitigations), hot {hot_mrps:.1} M records/s \
+             ({hot_mitigations} mitigations)"
+        );
         tracker_lines.push(format!(
             "    {{ \"tracker\": \"{name}\", \"records\": {tracker_records}, \
-             \"million_records_per_sec\": {mrps:.3} }}"
+             \"million_records_per_sec\": {churn_mrps:.3}, \
+             \"million_records_per_sec_hot\": {hot_mrps:.3} }}"
         ));
     }
 
     let json = format!(
         "{{\n\
-         \x20 \"schema_version\": 1,\n\
-         \x20 \"pr\": 2,\n\
+         \x20 \"schema_version\": 2,\n\
+         \x20 \"pr\": 3,\n\
          \x20 \"binary\": \"perf_report\",\n\
          \x20 \"mode\": \"{mode}\",\n\
          \x20 \"host\": {{ \"available_cpus\": {cpus}, \"threads_used\": {threads} }},\n\
@@ -131,8 +226,18 @@ fn main() {
          \x20   \"requests_per_core\": {requests_per_core},\n\
          \x20   \"serial_ms\": {serial_ms:.1},\n\
          \x20   \"parallel_ms\": {parallel_ms:.1},\n\
-         \x20   \"speedup\": {speedup:.3},\n\
-         \x20   \"parallel_identical_to_serial\": {identical}\n\
+         \x20   \"speedup\": {sweep_speedup:.3},\n\
+         \x20   \"parallel_identical_to_serial\": {sweep_identical}\n\
+         \x20 }},\n\
+         \x20 \"sharded_run\": {{\n\
+         \x20   \"channels\": {channels},\n\
+         \x20   \"workloads\": [{sharded_workloads}],\n\
+         \x20   \"requests_per_core\": {requests_per_core},\n\
+         \x20   \"shard_threads\": {threads},\n\
+         \x20   \"inline_ms\": {inline_ms_total:.1},\n\
+         \x20   \"sharded_ms\": {sharded_ms_total:.1},\n\
+         \x20   \"speedup\": {shard_speedup:.3},\n\
+         \x20   \"sharded_identical_to_serial\": {sharded_identical}\n\
          \x20 }},\n\
          \x20 \"tracker_throughput\": [\n{tracker_json}\n  ]\n\
          }}\n",
@@ -140,18 +245,42 @@ fn main() {
         cpus = std::thread::available_parallelism().map_or(1, usize::from),
         n_workloads = workloads.len(),
         n_configs = configurations.len(),
+        channels = SHARDED_CHANNELS,
+        sharded_workloads = SHARDED_WORKLOADS
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
         tracker_json = tracker_lines.join(",\n"),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
 
     println!(
-        "serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {threads} threads \
-         (speedup {speedup:.2}x), identical: {identical} -> {out_path}"
+        "sweep: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms on {threads} threads \
+         (x{sweep_speedup:.2}, identical: {sweep_identical}); \
+         sharded run: inline {inline_ms_total:.0} ms, sharded {sharded_ms_total:.0} ms \
+         (x{shard_speedup:.2}, identical: {sharded_identical}) -> {out_path}"
     );
-    if !identical {
+    if !sweep_identical {
         eprintln!("perf_report: ERROR: parallel sweep diverged from serial sweep");
         std::process::exit(1);
     }
+    if !sharded_identical {
+        eprintln!("perf_report: ERROR: sharded run diverged from inline run");
+        std::process::exit(1);
+    }
+}
+
+/// Bit-for-bit comparison of two run outputs.
+fn runs_identical(a: &RunOutput, b: &RunOutput) -> bool {
+    a.performance.elapsed_cycles == b.performance.elapsed_cycles
+        && a.performance
+            .per_core_ipc
+            .iter()
+            .zip(&b.performance.per_core_ipc)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.memory == b.memory
+        && a.energy.total_nj().to_bits() == b.energy.total_nj().to_bits()
 }
 
 /// Bit-for-bit comparison of two sweep result sets.

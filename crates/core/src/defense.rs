@@ -47,7 +47,10 @@ impl TrackedActivation {
 /// `Vec`: these methods sit in the innermost activation loop of the simulator, and the
 /// caller ([`BankMitigationEngine`](crate::engine::BankMitigationEngine)) reuses one
 /// scratch buffer for the whole run.
-pub trait RowPressDefense: fmt::Debug {
+///
+/// `Send` is a supertrait because defenses live inside `ChannelShard`s, which the
+/// epoch-phased system loop moves across worker threads between refresh epochs.
+pub trait RowPressDefense: fmt::Debug + Send {
     /// Called when the bank activates `row` at cycle `now`; appends the activations the
     /// tracker should record immediately to `out`.
     fn on_activate(&mut self, row: RowId, now: Cycle, out: &mut Vec<TrackedActivation>);

@@ -106,6 +106,20 @@ impl ChannelStats {
         self.total_latency += other.total_latency;
         self.bus_busy_cycles += other.bus_busy_cycles;
     }
+
+    /// Merges per-shard statistics into one system-wide total.
+    ///
+    /// This is the reduction used by the memory controller and by the epoch-phased
+    /// system loop after running channel shards on separate workers; every additive
+    /// field is a plain sum (order-independent), and `banks.max_open_cycles` takes
+    /// the maximum across shards.
+    pub fn merged<I: IntoIterator<Item = ChannelStats>>(parts: I) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for part in parts {
+            total.merge(&part);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +167,118 @@ mod tests {
         c.requests = 4;
         c.total_latency = 400;
         assert!((c.average_latency() - 100.0).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random `BankStats` (no RNG dependency in this crate).
+    fn synthetic_bank_stats(seed: u64) -> BankStats {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 10_000
+        };
+        BankStats {
+            activations: next(),
+            precharges: next(),
+            reads: next(),
+            writes: next(),
+            row_hits: next(),
+            row_misses: next(),
+            row_conflicts: next(),
+            refreshes: next(),
+            rfm_commands: next(),
+            mitigative_activations: next(),
+            total_open_cycles: next(),
+            max_open_cycles: next(),
+        }
+    }
+
+    fn synthetic_channel_stats(seed: u64) -> ChannelStats {
+        ChannelStats {
+            banks: synthetic_bank_stats(seed),
+            requests: seed * 3 + 1,
+            total_latency: seed * 1_000 + 7,
+            bus_busy_cycles: seed * 8,
+        }
+    }
+
+    #[test]
+    fn bank_stats_sum_is_independent_of_grouping() {
+        // Shard-merge arithmetic: summing per-shard partial sums must equal summing
+        // the parts directly, for any grouping of the parts.
+        let parts: Vec<BankStats> = (0..12).map(synthetic_bank_stats).collect();
+        let mut whole = BankStats::default();
+        for p in &parts {
+            whole += *p;
+        }
+        for split in [1, 2, 3, 5, 12] {
+            let mut regrouped = BankStats::default();
+            for chunk in parts.chunks(split) {
+                let mut partial = BankStats::default();
+                for p in chunk {
+                    partial += *p;
+                }
+                regrouped += partial;
+            }
+            assert_eq!(regrouped, whole, "split = {split}");
+        }
+    }
+
+    #[test]
+    fn channel_merged_round_trips_sharded_totals() {
+        // A system split into N channel shards must report the same totals as the
+        // same events accounted in one monolithic ChannelStats.
+        let shards: Vec<ChannelStats> = (1..=8).map(synthetic_channel_stats).collect();
+        let total = ChannelStats::merged(shards.iter().copied());
+
+        let mut expected = ChannelStats::default();
+        for s in &shards {
+            expected.banks += s.banks;
+            expected.requests += s.requests;
+            expected.total_latency += s.total_latency;
+            expected.bus_busy_cycles += s.bus_busy_cycles;
+        }
+        assert_eq!(total, expected);
+
+        // Merging is order-independent for every additive field and for the max.
+        let reversed = ChannelStats::merged(shards.iter().rev().copied());
+        assert_eq!(total, reversed);
+
+        // max_open_cycles is a maximum, not a sum.
+        let max_open = shards
+            .iter()
+            .map(|s| s.banks.max_open_cycles)
+            .max()
+            .unwrap();
+        assert_eq!(total.banks.max_open_cycles, max_open);
+    }
+
+    #[test]
+    fn merged_of_nothing_is_default() {
+        assert_eq!(
+            ChannelStats::merged(std::iter::empty()),
+            ChannelStats::default()
+        );
+        let one = synthetic_channel_stats(9);
+        assert_eq!(ChannelStats::merged([one]), one);
+    }
+
+    #[test]
+    fn average_latency_survives_merge() {
+        let a = ChannelStats {
+            requests: 10,
+            total_latency: 1_000,
+            ..ChannelStats::default()
+        };
+        let b = ChannelStats {
+            requests: 30,
+            total_latency: 1_200,
+            ..ChannelStats::default()
+        };
+        let merged = ChannelStats::merged([a, b]);
+        // The merged average is the request-weighted average of the parts.
+        assert!((merged.average_latency() - 55.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! * runs inline (no threads spawned) when one worker is requested or the input has
 //!   at most one item, keeping the serial path truly serial.
 //!
+//! For *intra-run* parallelism — the epoch-phased sharded system loop, which needs
+//! thousands of tiny fork-join rounds per simulation — [`epoch_scope`] provides a
+//! persistent pool: workers are spawned once, park in a spin/yield loop between
+//! rounds, and claim tasks from the same dynamic atomic index as [`par_map`]. A
+//! round costs a couple of atomic operations instead of a thread spawn, which is
+//! what makes barriers every few dozen simulated cycles affordable.
+//!
 //! The worker count defaults to the machine's available parallelism and is
 //! overridden with the `IMPRESS_THREADS` environment variable.
 
@@ -22,7 +29,8 @@
 #![warn(missing_debug_implementations)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Environment variable overriding the worker count used by [`par_map`].
 pub const THREADS_ENV: &str = "IMPRESS_THREADS";
@@ -131,6 +139,236 @@ where
         .collect()
 }
 
+/// Spin iterations before a parked worker starts yielding its time slice (keeps
+/// round-trip latency low on idle cores without starving oversubscribed hosts).
+const SPINS_BEFORE_YIELD: u32 = 128;
+
+/// Synchronization state shared between an epoch-scope driver and its workers.
+struct EpochSync {
+    /// Round generation counter; the driver bumps it to start a round.
+    epoch: AtomicU64,
+    /// Dynamic claim index for the current round (the `par_map` idiom).
+    claim: AtomicUsize,
+    /// Tasks completed in the current round.
+    done: AtomicUsize,
+    /// Set when the driver is finished or unwinding: workers exit.
+    stop: AtomicBool,
+    /// Set when a worker's task panicked (the round is abandoned).
+    panicked: AtomicBool,
+    /// First panic payload, re-raised on the driver thread.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl EpochSync {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            claim: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+}
+
+/// Ensures workers are released even if the driver unwinds.
+struct StopGuard<'a>(&'a EpochSync);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Handle to a running epoch pool, passed to the driver closure of [`epoch_scope`].
+///
+/// Each [`EpochScope::run_epoch`] call executes `execute(i)` exactly once for every
+/// task index `i in 0..tasks` and returns only when all of them have finished — a
+/// reusable fork-join barrier. Tasks of one round are claimed dynamically, so uneven
+/// per-task costs balance across workers; successive rounds reuse the same parked
+/// worker threads.
+pub struct EpochScope<'a, F: Fn(usize) + Sync> {
+    execute: &'a F,
+    tasks: usize,
+    /// `None` in inline (single-threaded) mode.
+    sync: Option<&'a EpochSync>,
+}
+
+impl<F: Fn(usize) + Sync> std::fmt::Debug for EpochScope<'_, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochScope")
+            .field("tasks", &self.tasks)
+            .field("parallel", &self.sync.is_some())
+            .finish()
+    }
+}
+
+impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
+    /// Runs one round: every task index is executed exactly once, on this thread and
+    /// any parked workers, and the call returns after the last task completes.
+    ///
+    /// If a task panics on a worker, the panic is re-raised here; if a task panics on
+    /// the driver thread it unwinds naturally (workers are released either way).
+    pub fn run_epoch(&self) {
+        let Some(sync) = self.sync else {
+            // Inline mode: the serial path stays truly serial (no atomics, no locks).
+            for i in 0..self.tasks {
+                (self.execute)(i);
+            }
+            return;
+        };
+        // Reset order matters: `done` strictly before `claim`. A straggler worker
+        // still in the previous round's claim loop may claim from the freshly reset
+        // counter before the epoch bump; because its claim (Acquire) synchronizes
+        // with the `claim` reset (Release, below), its `done` increment is
+        // guaranteed to land after this `done` reset and is never lost. Resetting
+        // in the opposite order would let such an increment be wiped, leaving the
+        // round one task short and the wait loop below spinning forever.
+        sync.done.store(0, Ordering::Relaxed);
+        sync.claim.store(0, Ordering::Release);
+        sync.epoch.fetch_add(1, Ordering::Release);
+        // The driver participates in the round; its own panics unwind normally (the
+        // scope's StopGuard releases the workers).
+        loop {
+            if sync.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = sync.claim.fetch_add(1, Ordering::Acquire);
+            if i >= self.tasks {
+                break;
+            }
+            (self.execute)(i);
+            sync.done.fetch_add(1, Ordering::Release);
+        }
+        let mut spins = 0u32;
+        while sync.done.load(Ordering::Acquire) < self.tasks {
+            if sync.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            spins += 1;
+            if spins < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if sync.panicked.load(Ordering::Acquire) {
+            sync.stop.store(true, Ordering::Release);
+            let payload = sync.payload.lock().expect("payload mutex").take();
+            match payload {
+                Some(p) => resume_unwind(p),
+                None => panic!("epoch worker panicked"),
+            }
+        }
+    }
+
+    /// Number of tasks executed per round.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// `true` when rounds actually fan out to worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.sync.is_some()
+    }
+}
+
+fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Park until the driver starts a new round (or shuts the pool down).
+        let mut spins = 0u32;
+        loop {
+            if sync.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let e = sync.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            spins += 1;
+            if spins < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Claim loop. A straggler that observes a round late simply joins whichever
+        // round is current — claim indices are unique per round, so no task can run
+        // twice and `done` counts every task exactly once (the Acquire claim pairs
+        // with the driver's Release reset: any claim drawn from a freshly reset
+        // counter is ordered after that round's `done` reset).
+        loop {
+            if sync.stop.load(Ordering::Acquire) || sync.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = sync.claim.fetch_add(1, Ordering::Acquire);
+            if i >= tasks {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| execute(i))) {
+                Ok(()) => {
+                    sync.done.fetch_add(1, Ordering::Release);
+                }
+                Err(p) => {
+                    let mut slot = sync.payload.lock().expect("payload mutex");
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                    drop(slot);
+                    sync.panicked.store(true, Ordering::Release);
+                    sync.stop.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `driver` with a persistent pool of `threads` workers that repeatedly execute
+/// `execute(0..tasks)` on demand (one [`EpochScope::run_epoch`] call per round).
+///
+/// This is the fork-join substrate for epoch-phased simulation: [`par_map`] pays a
+/// thread spawn per call, which is fine for sweep cells that run for milliseconds but
+/// ruinous for the thousands of micro-rounds of a sharded `System` run. Here the
+/// workers are spawned once for the lifetime of `driver` and a round costs a few
+/// atomic operations.
+///
+/// With `threads <= 1` or `tasks <= 1` no threads are spawned and rounds execute
+/// inline on the caller — the serial path stays serial. Results are deterministic by
+/// construction for any thread count as long as the tasks are independent (the
+/// sharded run loop guarantees this by giving each task exclusive state).
+pub fn epoch_scope<F, D, R>(threads: usize, tasks: usize, execute: F, driver: D) -> R
+where
+    F: Fn(usize) + Sync,
+    D: FnOnce(&EpochScope<'_, F>) -> R,
+{
+    let threads = threads.max(1).min(tasks.max(1));
+    if threads == 1 || tasks <= 1 {
+        return driver(&EpochScope {
+            execute: &execute,
+            tasks,
+            sync: None,
+        });
+    }
+    let sync = EpochSync::new();
+    let execute = &execute;
+    let sync_ref = &sync;
+    std::thread::scope(|scope| {
+        for _ in 0..threads - 1 {
+            scope.spawn(move || epoch_worker(sync_ref, execute, tasks));
+        }
+        let _guard = StopGuard(sync_ref);
+        driver(&EpochScope {
+            execute,
+            tasks,
+            sync: Some(sync_ref),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +433,78 @@ mod tests {
             }
             x
         });
+    }
+
+    /// Drives `rounds` epochs over `tasks` accumulator cells and returns the cells.
+    fn run_epochs(threads: usize, tasks: usize, rounds: u64) -> Vec<u64> {
+        let cells: Vec<Mutex<u64>> = (0..tasks).map(|i| Mutex::new(i as u64)).collect();
+        let cells_ref = &cells;
+        epoch_scope(
+            threads,
+            tasks,
+            move |i| {
+                let mut cell = cells_ref[i].lock().unwrap();
+                *cell = cell
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64);
+            },
+            |scope| {
+                for _ in 0..rounds {
+                    scope.run_epoch();
+                }
+            },
+        );
+        cells.into_iter().map(|c| c.into_inner().unwrap()).collect()
+    }
+
+    #[test]
+    fn epoch_rounds_match_inline_execution() {
+        let expect = run_epochs(1, 5, 2_000);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_epochs(threads, 5, 2_000), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn many_tiny_epochs_do_not_deadlock() {
+        // The sharded system loop runs tens of thousands of rounds per simulation;
+        // exercise the park/claim handshake hard enough to catch lost wakeups.
+        let out = run_epochs(4, 3, 20_000);
+        assert_eq!(out, run_epochs(1, 3, 20_000));
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        epoch_scope(
+            8,
+            1,
+            |i| assert_eq!(i, 0),
+            |scope| {
+                assert!(!scope.is_parallel());
+                assert_eq!(scope.tasks(), 1);
+                scope.run_epoch();
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch boom")]
+    fn epoch_worker_panic_propagates() {
+        let counter = AtomicU64::new(0);
+        let counter_ref = &counter;
+        epoch_scope(
+            4,
+            8,
+            move |i| {
+                if i == 5 && counter_ref.load(Ordering::Relaxed) >= 3 {
+                    panic!("epoch boom");
+                }
+            },
+            |scope| loop {
+                counter_ref.fetch_add(1, Ordering::Relaxed);
+                scope.run_epoch();
+            },
+        );
     }
 
     #[test]

@@ -1,211 +1,56 @@
-//! The DDR5 memory controller model.
+//! The DDR5 memory controller: a thin router over per-channel [`ChannelShard`]s.
 //!
-//! The controller services one request at a time per bank (requests arrive in program
-//! order from the system model), keeps rows open according to the configured page
-//! policy, issues periodic REF and RFM commands, and routes every activation and row
-//! closure through the per-bank [`BankMitigationEngine`] so that the deployed
-//! Rowhammer/Row-Press defense sees exactly the events it would see in hardware.
-//! Mitigative refreshes requested by memory-controller trackers occupy the bank for
-//! four `tRC` (blast radius 2) before the pending demand activation proceeds.
+//! All DRAM state-machine logic (row-buffer management, refresh, RFM, the per-bank
+//! mitigation engines and the cost of mitigative refreshes) lives in
+//! [`crate::shard::ChannelShard`]; the controller's job is to decode physical
+//! addresses, route each request to the owning shard, and merge the per-shard
+//! [`ChannelStats`] into system-wide totals. Keeping the router this thin is what
+//! lets the system simulator take the shards apart (`into_parts`) and drive them on
+//! separate workers between refresh epochs.
 
-use impress_core::engine::BankMitigationEngine;
 use impress_dram::address::{DramAddress, PhysicalAddress};
-use impress_dram::bank::{Bank, ClosedRow};
 use impress_dram::error::DramError;
-use impress_dram::refresh::RefreshScheduler;
-use impress_dram::rfm::RfmCounter;
 use impress_dram::stats::{BankStats, ChannelStats};
-use impress_dram::timing::{Cycle, DramTimings};
-use impress_trackers::MitigationRequest;
+use impress_dram::timing::Cycle;
 
-use crate::config::{ControllerConfig, PagePolicy};
-use crate::request::{AccessOutcome, RowBufferOutcome};
+use crate::config::ControllerConfig;
+use crate::request::AccessOutcome;
+use crate::shard::ChannelShard;
 
-/// Per-bank state: the DRAM bank plus its defense engine and RFM counter.
-struct BankUnit {
-    bank: Bank,
-    engine: Option<BankMitigationEngine>,
-    rfm: RfmCounter,
-    /// Cycle of the last demand access serviced by this bank (for the idle-row timeout).
-    last_use: Cycle,
-    /// Reusable scratch for tracker mitigation requests, so the activation/closure
-    /// hot path performs no allocation in steady state.
-    mitigation_buf: Vec<MitigationRequest>,
-}
-
-impl std::fmt::Debug for BankUnit {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BankUnit")
-            .field("bank", &self.bank.index())
-            .field("protected", &self.engine.is_some())
-            .finish()
-    }
-}
-
-impl BankUnit {
-    /// Applies a batch of memory-controller mitigations (victim refreshes) starting at
-    /// `from`, returning the cycle at which the bank becomes available again.
-    fn apply_mc_mitigations(
-        &mut self,
-        requests: &[MitigationRequest],
-        from: Cycle,
-        timings: &DramTimings,
-    ) -> Cycle {
-        let mut t = from;
-        for request in requests {
-            // Blast radius 2: four victim rows, each refreshed with an ACT+PRE pair.
-            let victims = request.victim_count(2, u32::MAX).max(1);
-            for _ in 0..victims {
-                // Each victim refresh bumps the bank's mitigative-activation counter.
-                self.bank.victim_refresh(t, timings);
-                t += timings.t_rc;
-            }
-        }
-        t
-    }
-
-    /// Routes a row closure through the defense engine and applies any resulting
-    /// mitigations immediately (they occupy the bank after the precharge).
-    fn handle_closure(&mut self, closed: &ClosedRow, timings: &DramTimings) {
-        let Some(engine) = self.engine.as_mut() else {
-            return;
-        };
-        // Move the scratch buffer out so the engine and the bank can be borrowed in
-        // sequence; `mem::take` leaves an empty (allocation-free) Vec behind.
-        let mut requests = std::mem::take(&mut self.mitigation_buf);
-        requests.clear();
-        engine.on_close_into(closed, &mut requests);
-        if !requests.is_empty() {
-            self.apply_mc_mitigations(&requests, closed.closed_at + timings.t_pre, timings);
-        }
-        self.mitigation_buf = requests;
-    }
-
-    /// Gives the in-DRAM tracker its mitigation opportunity (under REF or RFM) and
-    /// records the victim refreshes it performs (they are absorbed by the command's
-    /// own execution time).
-    fn in_dram_mitigation_opportunity(&mut self, now: Cycle) {
-        let request = match self.engine.as_mut() {
-            Some(engine) => engine.on_rfm(now),
-            None => return,
-        };
-        if let Some(request) = request {
-            let victims = request.victim_count(2, u32::MAX).max(1);
-            self.bank.stats_mut().mitigative_activations += victims;
-        }
-    }
-
-    /// Activates `row` at or after `earliest`, issuing any owed RFM first and applying
-    /// tracker mitigations (which delay the demand activation). Returns the ACT cycle.
-    fn activate(
-        &mut self,
-        row: impress_dram::address::RowId,
-        earliest: Cycle,
-        timings: &DramTimings,
-        rfm_enabled: bool,
-    ) -> Cycle {
-        // Issue an owed RFM first: it blocks the bank for tRFM and gives the in-DRAM
-        // tracker its mitigation window.
-        if rfm_enabled && self.rfm.rfm_due() {
-            let rfm_at = earliest.max(self.bank.busy_until());
-            if let Some(closed) = self.bank.refresh_management(rfm_at, timings) {
-                self.handle_closure(&closed, timings);
-            }
-            self.rfm.on_rfm_issued(rfm_at);
-            self.in_dram_mitigation_opportunity(rfm_at);
-        }
-
-        let act_at = earliest.max(self.bank.next_act_allowed(timings));
-
-        // Tell the defense about the activation; memory-controller trackers may request
-        // mitigations, which the controller schedules right after the demand ACT (they
-        // occupy the bank and delay *subsequent* accesses, not this one).
-        let mut requests = std::mem::take(&mut self.mitigation_buf);
-        requests.clear();
-        if let Some(engine) = self.engine.as_mut() {
-            engine.on_activate_into(row, act_at, &mut requests);
-        }
-
-        self.bank
-            .activate(row, act_at, timings)
-            .expect("activation time respects tRC by construction");
-
-        if !requests.is_empty() {
-            self.apply_mc_mitigations(&requests, act_at + timings.t_ras, timings);
-        }
-        self.mitigation_buf = requests;
-
-        if rfm_enabled {
-            self.rfm.on_activation();
-        }
-        act_at
-    }
-}
-
-/// One memory channel: banks, refresh scheduling and a shared data bus.
-#[derive(Debug)]
-struct ChannelController {
-    banks: Vec<BankUnit>,
-    refresh: RefreshScheduler,
-    /// Cycle until which the channel data bus is busy.
-    bus_free: Cycle,
-    /// Cycle until which all banks are blocked by an in-flight REF.
-    refresh_block_until: Cycle,
-    /// Time of the most recent demand ACT on this channel (for the tFAW/4 spacing rule).
-    last_demand_act: Cycle,
-    stats: ChannelStats,
-}
-
-/// The memory controller for the whole system (all channels).
+/// The memory controller for the whole system: one [`ChannelShard`] per channel.
 #[derive(Debug)]
 pub struct MemoryController {
     config: ControllerConfig,
-    channels: Vec<ChannelController>,
-    t_mro: Option<Cycle>,
+    shards: Vec<ChannelShard>,
 }
 
 impl MemoryController {
     /// Builds a controller (and its per-bank defense engines) from a configuration.
     pub fn new(config: ControllerConfig) -> Self {
-        let timings = &config.timings;
-        let banks_per_channel = config.organization.banks_per_channel();
-        let rfm_threshold = config
-            .protection
-            .as_ref()
-            .map(|p| p.effective_rfm_threshold(timings))
-            .unwrap_or(80);
-        let channels = (0..config.organization.channels)
-            .map(|_| ChannelController {
-                banks: (0..banks_per_channel)
-                    .map(|i| BankUnit {
-                        bank: Bank::new(i),
-                        engine: config
-                            .protection
-                            .as_ref()
-                            .map(|p| BankMitigationEngine::new(p, timings)),
-                        rfm: RfmCounter::new(rfm_threshold),
-                        last_use: 0,
-                        mitigation_buf: Vec::with_capacity(8),
-                    })
-                    .collect(),
-                refresh: RefreshScheduler::new(timings),
-                bus_free: 0,
-                refresh_block_until: 0,
-                last_demand_act: 0,
-                stats: ChannelStats::default(),
-            })
+        let shards = (0..config.organization.channels)
+            .map(|index| ChannelShard::new(index, &config))
             .collect();
-        let t_mro = config.page_policy.t_mro();
-        Self {
-            config,
-            channels,
-            t_mro,
-        }
+        Self { config, shards }
     }
 
     /// The controller's configuration.
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// The per-channel shards, in channel order (read-only: per-channel statistics
+    /// and organization inspection). Mutation goes through [`Self::access`] or, for
+    /// the epoch-phased loop, [`Self::into_parts`] — handing out `&mut` shards here
+    /// would let callers reorder per-channel request streams and silently void the
+    /// serial-equivalence guarantee.
+    pub fn shards(&self) -> &[ChannelShard] {
+        &self.shards
+    }
+
+    /// Decomposes the controller into its configuration and shards, the form the
+    /// epoch-phased system loop needs to execute channels on separate workers.
+    pub fn into_parts(self) -> (ControllerConfig, Vec<ChannelShard>) {
+        (self.config, self.shards)
     }
 
     /// Services a demand access to a physical address arriving at `now`.
@@ -229,130 +74,12 @@ impl MemoryController {
 
     /// Services a demand access to an already-decoded DRAM location arriving at `now`.
     pub fn access(&mut self, location: DramAddress, is_write: bool, now: Cycle) -> AccessOutcome {
-        let org = &self.config.organization;
-        let flat_bank = location.flat_bank(org.banks_per_group, org.bank_groups);
-        let timings = &self.config.timings;
-        let t_mro = self.t_mro;
-        let idle_timeout = self.config.idle_row_timeout;
-        let closed_page = matches!(self.config.page_policy, PagePolicy::Closed);
-        let rfm_enabled = self.config.rfm_enabled;
-        let channel = &mut self.channels[location.channel as usize];
-
-        // 1. Periodic refresh: issue any REF commands that have become due, back-dated
-        //    to their due times (the channel was free when they became due).
-        while let Some(due_at) = channel.refresh.take_due(now) {
-            let refresh_at = due_at.max(channel.refresh_block_until);
-            for unit in &mut channel.banks {
-                if let Some(closed) = unit.bank.refresh(refresh_at, timings) {
-                    unit.handle_closure(&closed, timings);
-                }
-                // In-DRAM trackers mitigate "under REF" (Appendix B) at no extra cost.
-                unit.in_dram_mitigation_opportunity(refresh_at);
-            }
-            channel.refresh_block_until = refresh_at + timings.t_rfc;
-        }
-
-        let unit = &mut channel.banks[flat_bank];
-        let earliest = now.max(channel.refresh_block_until);
-
-        // 2. Enforce the maximum row-open time (ExPress) and the idle-row timeout: if
-        //    the open row has exceeded either, the policy already closed it at the
-        //    corresponding deadline.
-        if let Some(opened_at) = unit.bank.opened_at() {
-            let mut deadline = Cycle::MAX;
-            if let Some(t_mro) = t_mro {
-                deadline = deadline.min(opened_at + t_mro.max(timings.t_ras));
-            }
-            if let Some(timeout) = idle_timeout {
-                deadline = deadline
-                    .min(unit.last_use.max(opened_at).max(opened_at + timings.t_ras) + timeout);
-            }
-            if deadline != Cycle::MAX && earliest > deadline {
-                let closed = unit
-                    .bank
-                    .precharge(deadline, timings)
-                    .expect("policy closure is tRAS-legal by construction");
-                unit.handle_closure(&closed, timings);
-            }
-        }
-
-        // 3. Classify the access and compute its timing.
-        let open_row = unit.bank.open_row();
-        let (outcome, data_start) = match open_row {
-            Some(row) if row == location.row => {
-                unit.bank.stats_mut().row_hits += 1;
-                (RowBufferOutcome::Hit, earliest)
-            }
-            Some(_) => {
-                // Conflict: precharge the old row (respecting tRAS), then activate.
-                let pre_at =
-                    earliest.max(unit.bank.earliest_precharge(timings).unwrap_or(earliest));
-                let closed = unit
-                    .bank
-                    .precharge(pre_at, timings)
-                    .expect("precharge time respects tRAS");
-                unit.handle_closure(&closed, timings);
-                unit.bank.stats_mut().row_conflicts += 1;
-                // The tFAW/4 spacing rule limits the channel's aggregate ACT rate.
-                let act_ready =
-                    (pre_at + timings.t_pre).max(channel.last_demand_act + timings.t_faw / 4);
-                let act_at = unit.activate(location.row, act_ready, timings, rfm_enabled);
-                channel.last_demand_act = act_at;
-                (RowBufferOutcome::Conflict, act_at + timings.t_act)
-            }
-            None => {
-                unit.bank.stats_mut().row_misses += 1;
-                let act_ready = earliest.max(channel.last_demand_act + timings.t_faw / 4);
-                let act_at = unit.activate(location.row, act_ready, timings, rfm_enabled);
-                channel.last_demand_act = act_at;
-                (RowBufferOutcome::Miss, act_at + timings.t_act)
-            }
-        };
-
-        unit.bank
-            .access(location.row, is_write, data_start)
-            .expect("row is open at data_start by construction");
-
-        // 4. Data transfer on the shared channel bus (CAS latency + burst).
-        let bus_start = (data_start + timings.t_cas).max(channel.bus_free);
-        let completed_at = bus_start + timings.t_burst;
-        channel.bus_free = completed_at;
-
-        // 5. Closed-page policy precharges immediately after the access.
-        if closed_page {
-            let pre_at = completed_at.max(
-                unit.bank
-                    .earliest_precharge(timings)
-                    .unwrap_or(completed_at),
-            );
-            if let Ok(closed) = unit.bank.precharge(pre_at, timings) {
-                unit.handle_closure(&closed, timings);
-            }
-        }
-
-        unit.last_use = completed_at;
-        channel.stats.requests += 1;
-        channel.stats.total_latency += completed_at.saturating_sub(now);
-        channel.stats.bus_busy_cycles += timings.t_burst;
-
-        AccessOutcome {
-            completed_at,
-            outcome,
-            location,
-        }
+        self.shards[location.channel as usize].access(location, is_write, now)
     }
 
     /// Aggregated statistics across all channels and banks.
     pub fn stats(&self) -> ChannelStats {
-        let mut total = ChannelStats::default();
-        for channel in &self.channels {
-            let mut per_channel = channel.stats;
-            for unit in &channel.banks {
-                per_channel.banks += *unit.bank.stats();
-            }
-            total.merge(&per_channel);
-        }
-        total
+        ChannelStats::merged(self.shards.iter().map(ChannelShard::stats))
     }
 
     /// Total demand activations across the system.
@@ -379,7 +106,10 @@ impl MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PagePolicy;
+    use crate::request::RowBufferOutcome;
     use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+    use impress_dram::timing::DramTimings;
 
     fn decoded(cfg: &ControllerConfig, line: u64) -> DramAddress {
         cfg.mapping

@@ -5,8 +5,11 @@
 //!
 //! * per-bank row-buffer management with open-page, closed-page, or open-page with a
 //!   maximum row-open time (the ExPress tMRO knob swept in Figure 3) — [`config`];
-//! * demand-access timing (hit / miss / conflict), per-channel data-bus contention and
-//!   periodic refresh — [`controller`];
+//! * a self-contained per-channel unit of concurrency carrying banks, refresh, the
+//!   data bus, per-channel statistics and the channel's slice of defense/tracker
+//!   state — [`shard`];
+//! * a thin routing layer that decodes addresses, forwards each request to its
+//!   [`ChannelShard`] and merges per-shard statistics — [`controller`];
 //! * RFM issue every `RFMTH` activations, giving in-DRAM trackers their mitigation
 //!   window;
 //! * integration of the per-bank [`impress_core::BankMitigationEngine`], including the
@@ -24,7 +27,9 @@
 pub mod config;
 pub mod controller;
 pub mod request;
+pub mod shard;
 
 pub use config::{ControllerConfig, PagePolicy};
 pub use controller::MemoryController;
 pub use request::{AccessOutcome, MemRequest, RowBufferOutcome};
+pub use shard::ChannelShard;

@@ -23,6 +23,9 @@ pub struct CoreModel {
     mlp: usize,
     /// Completion times of outstanding misses.
     outstanding: BinaryHeap<Reverse<Cycle>>,
+    /// Misses issued in the current epoch whose completion times are not yet known
+    /// (epoch-phased mode): they occupy MLP window slots but are not in `outstanding`.
+    pending: usize,
     /// Cycle at which the core's front-end is ready to issue its next miss.
     front_end_ready: f64,
     /// Number of misses issued so far.
@@ -45,6 +48,7 @@ impl CoreModel {
             think_gap,
             mlp,
             outstanding: BinaryHeap::new(),
+            pending: 0,
             front_end_ready: 0.0,
             issued: 0,
             last_completion: 0,
@@ -94,6 +98,82 @@ impl CoreModel {
     pub fn finish_time(&self) -> Cycle {
         self.last_completion
             .max(self.front_end_ready.ceil() as Cycle)
+    }
+
+    // ---- Epoch-phased (sharded) issue API -------------------------------------
+    //
+    // The epoch-phased system loop issues misses whose completion times are only
+    // computed later (when the channel shards execute). The three methods below are
+    // the split form of `on_issue`/`next_issue_time` for that mode; driven under the
+    // documented contract, the core's observable state evolves bit-for-bit as if the
+    // serial loop had called `on_issue` with the eventual completion times.
+
+    /// Number of issues currently awaiting [`CoreModel::resolve_pending`].
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The earliest cycle this core can issue its next miss, **if** that cycle is
+    /// provably below `horizon`; `None` means the next issue is at or beyond
+    /// `horizon` (and may depend on completions that are not yet known).
+    ///
+    /// Contract: every pending (unresolved) issue must be guaranteed to complete at
+    /// or after `horizon`. The epoch-phased loop guarantees this by capping the
+    /// epoch window at the minimum access latency of the memory system: an access
+    /// issued inside the window cannot complete inside it. Under that contract the
+    /// returned cycle is *exact* — identical to what [`CoreModel::next_issue_time`]
+    /// would return with full knowledge of the pending completions:
+    ///
+    /// * window not full: the answer is `front_end_ready`, which never depends on
+    ///   completions;
+    /// * window full with the oldest *resolved* completion below `horizon`: pending
+    ///   completions are all `>= horizon`, so the oldest entry overall is that
+    ///   resolved one;
+    /// * otherwise every candidate for the oldest completion is `>= horizon`, so the
+    ///   next issue is too — deferred to the next epoch, where it becomes exact.
+    pub fn next_issue_before(&self, horizon: Cycle) -> Option<Cycle> {
+        let front_end = self.front_end_ready.ceil() as Cycle;
+        let t = if self.outstanding.len() + self.pending >= self.mlp {
+            match self.outstanding.peek() {
+                Some(Reverse(oldest)) if *oldest < horizon => front_end.max(*oldest),
+                _ => return None,
+            }
+        } else {
+            front_end
+        };
+        (t < horizon).then_some(t)
+    }
+
+    /// Records that a miss was issued at `now` with a not-yet-known completion time.
+    ///
+    /// Identical to [`CoreModel::on_issue`] except that the completion is registered
+    /// later via [`CoreModel::resolve_pending`]. Retiring completed misses here only
+    /// inspects resolved entries, which is exact under the epoch contract: pending
+    /// completions are `>= horizon > now`, so the serial loop would not retire them
+    /// at `now` either.
+    pub fn on_issue_pending(&mut self, now: Cycle) {
+        while let Some(Reverse(t)) = self.outstanding.peek() {
+            if *t <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+        self.pending += 1;
+        self.issued += 1;
+        self.front_end_ready = (now as f64).max(self.front_end_ready) + self.think_gap;
+    }
+
+    /// Resolves the completion time of one pending issue (in issue order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending issue to resolve.
+    pub fn resolve_pending(&mut self, completes_at: Cycle) {
+        assert!(self.pending > 0, "resolve_pending without a pending issue");
+        self.pending -= 1;
+        self.outstanding.push(Reverse(completes_at));
+        self.last_completion = self.last_completion.max(completes_at);
     }
 }
 
@@ -146,5 +226,83 @@ mod tests {
     #[should_panic(expected = "MLP")]
     fn zero_mlp_is_rejected() {
         let _ = CoreModel::new(0, 1.0, 0);
+    }
+
+    /// Synthetic memory latency: deterministic, uneven, always >= `min_lat`.
+    fn synth_latency(min_lat: Cycle, i: u64) -> Cycle {
+        min_lat + (i * 37) % 150
+    }
+
+    #[test]
+    fn epoch_phased_issue_matches_serial_issue() {
+        // One core driven by the serial API and one by the epoch-phased API against
+        // the same deterministic memory must issue at identical cycles and agree on
+        // every observable at every epoch barrier.
+        let min_lat = 46;
+        for (think_gap, mlp) in [(0.0, 1), (2.5, 12), (41.7, 3), (160.0, 2)] {
+            let mut serial = CoreModel::new(0, think_gap, mlp);
+            let mut epoch = CoreModel::new(0, think_gap, mlp);
+            let total = 500u64;
+            let mut serial_times = Vec::new();
+            for i in 0..total {
+                let t = serial.next_issue_time();
+                serial.on_issue(t, t + synth_latency(min_lat, i));
+                serial_times.push(t);
+            }
+            let mut epoch_times = Vec::new();
+            let mut i = 0u64;
+            while i < total {
+                assert_eq!(epoch.pending(), 0);
+                let horizon = epoch.next_issue_time() + min_lat;
+                let mut batch = Vec::new();
+                while i < total {
+                    let Some(t) = epoch.next_issue_before(horizon) else {
+                        break;
+                    };
+                    epoch.on_issue_pending(t);
+                    batch.push((t, i));
+                    epoch_times.push(t);
+                    i += 1;
+                }
+                assert!(!batch.is_empty(), "an epoch must issue at least once");
+                for (t, idx) in batch {
+                    epoch.resolve_pending(t + synth_latency(min_lat, idx));
+                }
+                // At every barrier, the epoch core's state agrees with a serial core
+                // replayed over the same prefix of issues.
+                let mut replay = CoreModel::new(0, think_gap, mlp);
+                for (idx, &t) in serial_times.iter().take(i as usize).enumerate() {
+                    replay.on_issue(t, t + synth_latency(min_lat, idx as u64));
+                }
+                assert_eq!(epoch.next_issue_time(), replay.next_issue_time());
+                assert_eq!(epoch.finish_time(), replay.finish_time());
+            }
+            assert_eq!(epoch_times, serial_times, "think_gap={think_gap} mlp={mlp}");
+            assert_eq!(epoch.finish_time(), serial.finish_time());
+            assert_eq!(epoch.issued(), serial.issued());
+        }
+    }
+
+    #[test]
+    fn next_issue_before_defers_when_completion_unknown() {
+        let mut core = CoreModel::new(0, 1.0, 2);
+        core.on_issue_pending(0);
+        core.on_issue_pending(1);
+        // Window full, both completions unknown: the next issue cannot be computed
+        // inside any horizon.
+        assert_eq!(core.next_issue_before(1_000_000), None);
+        core.resolve_pending(100);
+        core.resolve_pending(200);
+        // Resolved: oldest completion is 100, front end is ready at 2.
+        assert_eq!(core.next_issue_time(), 100);
+        assert_eq!(core.next_issue_before(101), Some(100));
+        assert_eq!(core.next_issue_before(100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending issue")]
+    fn resolve_without_pending_panics() {
+        let mut core = CoreModel::new(0, 1.0, 2);
+        core.resolve_pending(10);
     }
 }

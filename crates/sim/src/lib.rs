@@ -5,6 +5,8 @@
 //!
 //! * a throughput-oriented core model (ROB-limited memory-level parallelism, fixed
 //!   retire rate) — [`core_model`];
+//! * the epoch-phased sharded run loop (issue → execute channel shards in parallel →
+//!   merge), bit-for-bit identical to a serial run at any thread count — [`sharded`];
 //! * the shared-LLC substrate with SRRIP replacement — [`llc`];
 //! * the DDR5 memory controller from `impress_memctrl`, including the Row-Press
 //!   defense under test;
@@ -24,6 +26,7 @@ pub mod core_model;
 pub mod llc;
 pub mod metrics;
 pub mod runner;
+pub mod sharded;
 pub mod system;
 
 pub use config::SystemConfig;

@@ -90,10 +90,19 @@ pub struct NormalizedResult {
 }
 
 /// Runs workloads under configurations and normalizes against a baseline configuration.
+///
+/// Two independent parallelism axes are available: *sweep-level* (cells of a
+/// `workloads × configurations` grid run on the pool — [`ExperimentRunner::run_sweep`])
+/// and *channel-level* (each individual run executes its channel shards on the epoch
+/// pool — [`ExperimentRunner::with_shard_threads`]). Results are bit-for-bit
+/// identical along both axes at any thread count, so they compose freely; the
+/// default is sweep-level only, which keeps every worker busy without
+/// oversubscribing.
 #[derive(Debug)]
 pub struct ExperimentRunner {
     system: SystemConfig,
     seed: u64,
+    shard_threads: usize,
     baseline_cache: HashMap<String, RunOutput>,
 }
 
@@ -109,6 +118,7 @@ impl ExperimentRunner {
         Self {
             system: SystemConfig::baseline(),
             seed: 0x1A7E_2024,
+            shard_threads: 1,
             baseline_cache: HashMap::new(),
         }
     }
@@ -116,6 +126,18 @@ impl ExperimentRunner {
     /// Overrides the number of requests each core issues per run (simulation length).
     pub fn with_requests_per_core(mut self, requests: u64) -> Self {
         self.system.requests_per_core = requests;
+        self
+    }
+
+    /// Executes each individual run's channel shards on up to `threads` workers (the
+    /// epoch-phased loop; clamped to the channel count, `1` = inline).
+    ///
+    /// Outputs are bit-for-bit identical for every value, so this is purely a
+    /// scheduling knob: prefer it over sweep-level parallelism when the sweep has
+    /// fewer cells than the machine has cores (e.g. a single long run of a
+    /// many-channel system).
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = threads.max(1);
         self
     }
 
@@ -127,7 +149,7 @@ impl ExperimentRunner {
             .system
             .clone()
             .with_controller(configuration.controller_config());
-        System::new(config, mix).run()
+        System::new(config, mix).run_with_threads(self.shard_threads)
     }
 
     /// Runs `workload` under `baseline` (cached) and `configuration`, returning the

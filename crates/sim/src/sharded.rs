@@ -1,0 +1,111 @@
+//! The epoch-phased shard driver behind [`crate::System::run_with_threads`].
+//!
+//! A run is a sequence of *epochs*. Each epoch covers the issue-time window
+//! `[T, T + L)` where `T` is the earliest cycle any core can issue and `L` is the
+//! guaranteed minimum access latency of the memory system
+//! ([`ChannelShard::min_access_latency`], `tCAS + tBURST`). The window length is the
+//! load-bearing choice: an access issued inside the window completes at or after
+//! `T + L`, i.e. strictly outside it, so **no core-timing feedback ever crosses an
+//! epoch boundary**. That gives the loop three phases:
+//!
+//! 1. **Issue** — replay the serial scheduler exactly: repeatedly pick the
+//!    lowest-numbered core with the minimal next issue time below the window end
+//!    ([`crate::CoreModel::next_issue_before`], which is exact under the window
+//!    invariant), draw its next access from the workload mix, decode the address and
+//!    append it to the owning channel's queue. The global issue order is recorded.
+//! 2. **Execute** — run every channel shard over its queue. Channels share no state,
+//!    and each shard sees its requests in the same order and at the same cycles as a
+//!    serial controller would, so this phase parallelizes freely across the
+//!    `impress-exec` epoch pool ([`impress_exec::epoch_scope`], honoring
+//!    `IMPRESS_THREADS` via [`crate::System::run_sharded`]) — with results that are
+//!    bit-for-bit identical at *any* worker count, including the inline 1-thread
+//!    path.
+//! 3. **Merge** — walk the recorded issue order and feed each completion time back to
+//!    its core ([`crate::CoreModel::resolve_pending`]). After the merge every
+//!    completion is resolved, which re-establishes the issue-phase invariant for the
+//!    next epoch.
+//!
+//! Because phase 1 reproduces the serial issue schedule exactly and each shard's
+//! request sequence is the serial per-channel sequence, the whole loop is bit-for-bit
+//! identical to the pre-shard serial `System::run` — `tests/sharded_determinism.rs`
+//! pins this against a literal transcription of that loop.
+
+use std::sync::Mutex;
+
+use impress_dram::address::DramAddress;
+use impress_dram::timing::Cycle;
+use impress_memctrl::ChannelShard;
+
+/// One demand access routed to a channel queue during the issue phase.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedAccess {
+    pub location: DramAddress,
+    pub is_write: bool,
+    /// Cycle at which the access reaches the controller (its exact issue time).
+    pub at: Cycle,
+}
+
+/// A channel shard plus its epoch queue and completion buffer.
+///
+/// The buffers are swapped with driver-owned vectors around each epoch, so the
+/// steady-state loop performs no allocation.
+#[derive(Debug)]
+pub(crate) struct ShardTask {
+    pub shard: ChannelShard,
+    pub queue: Vec<QueuedAccess>,
+    pub completions: Vec<Cycle>,
+    /// The epoch window length; only used to check the window invariant.
+    min_latency: Cycle,
+}
+
+impl ShardTask {
+    pub fn new(shard: ChannelShard, min_latency: Cycle) -> Self {
+        Self {
+            shard,
+            queue: Vec::new(),
+            completions: Vec::new(),
+            min_latency,
+        }
+    }
+
+    /// Executes the queued accesses in order, recording each completion time.
+    pub fn execute(&mut self) {
+        let Self {
+            shard,
+            queue,
+            completions,
+            min_latency,
+        } = self;
+        completions.clear();
+        for q in queue.iter() {
+            let outcome = shard.access(q.location, q.is_write, q.at);
+            debug_assert!(
+                outcome.completed_at >= q.at + *min_latency,
+                "access completed inside its epoch window: issued {} completed {} (L = {})",
+                q.at,
+                outcome.completed_at,
+                min_latency
+            );
+            completions.push(outcome.completed_at);
+        }
+    }
+}
+
+/// The shard tasks of one run, each behind a `Mutex` so the epoch pool's workers can
+/// claim them dynamically. A task is locked by exactly one thread at a time (the
+/// claim index hands each task to one worker per epoch; the driver only touches
+/// tasks between epochs), so the locks are always uncontended — they exist to make
+/// the sharing safe, not to arbitrate.
+pub(crate) type ShardTasks = Vec<Mutex<ShardTask>>;
+
+pub(crate) fn make_tasks(shards: Vec<ChannelShard>, min_latency: Cycle) -> ShardTasks {
+    shards
+        .into_iter()
+        .map(|shard| Mutex::new(ShardTask::new(shard, min_latency)))
+        .collect()
+}
+
+/// Locks a task; the lock is uncontended by construction (see [`ShardTasks`]).
+pub(crate) fn lock_task(tasks: &ShardTasks, index: usize) -> std::sync::MutexGuard<'_, ShardTask> {
+    tasks[index].lock().expect("shard task mutex poisoned")
+}

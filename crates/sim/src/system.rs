@@ -1,13 +1,21 @@
 //! The multi-core system model: cores + workload mix + memory controller.
+//!
+//! [`System::run`] executes the epoch-phased loop described in [`crate::sharded`]:
+//! cores route requests to per-channel queues (issue phase), the channel shards
+//! execute independently (execute phase — on the `impress-exec` epoch pool when more
+//! than one thread is requested), and core timing feedback is reconciled at the
+//! epoch barrier (merge phase). The output is bit-for-bit identical for any thread
+//! count, and identical to the pre-shard serial loop.
 
 use impress_dram::energy::{EnergyBreakdown, EnergyModel};
 use impress_dram::stats::ChannelStats;
-use impress_memctrl::MemoryController;
+use impress_memctrl::{ChannelShard, MemoryController};
 use impress_workloads::WorkloadMix;
 
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
 use crate::metrics::PerformanceResult;
+use crate::sharded::{lock_task, make_tasks, QueuedAccess};
 
 /// Everything a simulation run produces: performance, memory statistics and energy.
 #[derive(Debug, Clone)]
@@ -74,60 +82,156 @@ impl System {
 
     /// Runs the workload until every core has issued its request quota, returning the
     /// run's performance, memory statistics and energy.
-    pub fn run(mut self) -> RunOutput {
-        let quota = self.config.requests_per_core;
-        let mut remaining: u64 = quota * self.cores.len() as u64;
+    ///
+    /// Runs the epoch-phased loop on a single thread (the shard execute phase is
+    /// inlined); see [`System::run_sharded`] for intra-run channel parallelism. The
+    /// output is identical either way.
+    pub fn run(self) -> RunOutput {
+        self.run_with_threads(1)
+    }
 
-        while remaining > 0 {
-            // Pick the core that can issue earliest (and still has budget).
-            let mut best: Option<(usize, u64)> = None;
-            for core in &self.cores {
-                if core.issued() >= quota {
-                    continue;
+    /// Runs with the channel shards of each epoch executed on `IMPRESS_THREADS`
+    /// workers (default: all available cores) — [`System::run_with_threads`] with
+    /// [`impress_exec::thread_count`].
+    pub fn run_sharded(self) -> RunOutput {
+        self.run_with_threads(impress_exec::thread_count())
+    }
+
+    /// Runs the epoch-phased loop with up to `threads` workers executing channel
+    /// shards (clamped to the channel count; `1` executes inline).
+    ///
+    /// The result is **bit-for-bit identical for every `threads` value**: the issue
+    /// phase replays the serial scheduler exactly, shards share no state, and the
+    /// merge phase resolves completions in global issue order. See [`crate::sharded`]
+    /// for the argument.
+    pub fn run_with_threads(self, threads: usize) -> RunOutput {
+        let System {
+            config,
+            mut cores,
+            mut mix,
+            controller,
+        } = self;
+        let quota = config.requests_per_core;
+        let mut remaining: u64 = quota * cores.len() as u64;
+
+        let (controller_config, shards) = controller.into_parts();
+        let min_latency = ChannelShard::min_access_latency(&controller_config.timings);
+        let tasks = make_tasks(shards, min_latency);
+        let channels = tasks.len();
+
+        let tasks_ref = &tasks;
+        let cores_ref = &mut cores;
+        let mix_ref = &mut mix;
+        let mapping = controller_config.mapping;
+        let organization = &controller_config.organization;
+
+        impress_exec::epoch_scope(
+            threads,
+            channels,
+            move |i| lock_task(tasks_ref, i).execute(),
+            |scope| {
+                // Driver-owned buffers, swapped with the shard tasks around each
+                // epoch: the steady-state loop performs no allocation.
+                let mut order: Vec<(usize, usize)> = Vec::new();
+                let mut queues: Vec<Vec<QueuedAccess>> =
+                    (0..channels).map(|_| Vec::new()).collect();
+                let mut completions: Vec<Vec<u64>> = (0..channels).map(|_| Vec::new()).collect();
+                let mut cursors: Vec<usize> = vec![0; channels];
+
+                while remaining > 0 {
+                    // ---- Barrier state: every prior completion is resolved. ----
+                    let epoch_start = cores_ref
+                        .iter()
+                        .filter(|c| c.issued() < quota)
+                        .map(CoreModel::next_issue_time)
+                        .min()
+                        .expect("remaining > 0 implies an eligible core");
+                    let horizon = epoch_start + min_latency;
+
+                    // ---- Issue phase: replay the serial scheduler inside the window.
+                    order.clear();
+                    loop {
+                        let mut best: Option<(usize, u64)> = None;
+                        for core in cores_ref.iter() {
+                            if core.issued() >= quota {
+                                continue;
+                            }
+                            let Some(t) = core.next_issue_before(horizon) else {
+                                continue;
+                            };
+                            if best.is_none_or(|(_, bt)| t < bt) {
+                                best = Some((core.id(), t));
+                            }
+                        }
+                        let Some((core_id, now)) = best else {
+                            break;
+                        };
+                        let access = mix_ref.next_access(core_id);
+                        let location = mapping
+                            .decode(access.address, organization)
+                            .expect("workload addresses are within the configured capacity");
+                        let channel = location.channel as usize;
+                        queues[channel].push(QueuedAccess {
+                            location,
+                            is_write: access.is_write,
+                            at: now,
+                        });
+                        order.push((core_id, channel));
+                        cores_ref[core_id].on_issue_pending(now);
+                        remaining -= 1;
+                    }
+                    debug_assert!(!order.is_empty(), "every epoch issues at least once");
+
+                    // ---- Execute phase: shards run independently (possibly on the
+                    // epoch pool); each sees its serial per-channel request sequence.
+                    for (channel, queue) in queues.iter_mut().enumerate() {
+                        std::mem::swap(&mut lock_task(tasks_ref, channel).queue, queue);
+                    }
+                    scope.run_epoch();
+                    for channel in 0..channels {
+                        let mut task = lock_task(tasks_ref, channel);
+                        std::mem::swap(&mut task.completions, &mut completions[channel]);
+                        std::mem::swap(&mut task.queue, &mut queues[channel]);
+                        queues[channel].clear();
+                    }
+
+                    // ---- Merge phase: feed completions back in global issue order.
+                    cursors.fill(0);
+                    for &(core_id, channel) in &order {
+                        let completed_at = completions[channel][cursors[channel]];
+                        cursors[channel] += 1;
+                        cores_ref[core_id].resolve_pending(completed_at);
+                    }
                 }
-                let t = core.next_issue_time();
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((core.id(), t));
-                }
-            }
-            let (core_id, now) = best.expect("remaining > 0 implies an eligible core");
+            },
+        );
 
-            let access = self.mix.next_access(core_id);
-            let outcome = self
-                .controller
-                .access_physical(access.address, access.is_write, now)
-                .expect("workload addresses are within the configured capacity");
-            self.cores[core_id].on_issue(now, outcome.completed_at);
-            remaining -= 1;
-        }
+        let shards: Vec<ChannelShard> = tasks
+            .into_iter()
+            .map(|task| task.into_inner().expect("shard task mutex poisoned").shard)
+            .collect();
+        let memory = ChannelStats::merged(shards.iter().map(ChannelShard::stats));
 
-        let elapsed = self
-            .cores
-            .iter()
-            .map(CoreModel::finish_time)
-            .max()
-            .unwrap_or(0);
-        let per_core_ipc = self
-            .cores
+        let elapsed = cores.iter().map(CoreModel::finish_time).max().unwrap_or(0);
+        let per_core_ipc = cores
             .iter()
             .enumerate()
             .map(|(i, core)| {
-                let instructions = core.issued() as f64 * self.mix.instructions_per_miss(i);
+                let instructions = core.issued() as f64 * mix.instructions_per_miss(i);
                 let cycles = core.finish_time().max(1) as f64;
                 instructions / cycles
             })
             .collect();
 
-        let memory = self.controller.stats();
         let energy = EnergyModel::ddr5().energy(
             &memory.banks,
             elapsed,
-            self.controller.total_banks(),
-            &self.config.controller.timings,
+            controller_config.organization.total_banks(),
+            &controller_config.timings,
         );
 
         RunOutput {
-            workload: self.mix.name().to_string(),
+            workload: mix.name().to_string(),
             performance: PerformanceResult {
                 per_core_ipc,
                 elapsed_cycles: elapsed,
@@ -185,6 +289,52 @@ mod tests {
         let b = System::new(quick_config(1_000), WorkloadMix::by_name("wrf", 7).unwrap()).run();
         assert_eq!(a.performance.elapsed_cycles, b.performance.elapsed_cycles);
         assert_eq!(a.memory.banks.activations, b.memory.banks.activations);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_at_any_thread_count() {
+        let reference =
+            System::new(quick_config(1_500), WorkloadMix::by_name("mcf", 3).unwrap()).run();
+        for threads in [2, 3, 8] {
+            let out = System::new(quick_config(1_500), WorkloadMix::by_name("mcf", 3).unwrap())
+                .run_with_threads(threads);
+            assert_eq!(
+                out.performance.elapsed_cycles, reference.performance.elapsed_cycles,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                out.performance.per_core_ipc,
+                reference.performance.per_core_ipc
+            );
+            assert_eq!(out.memory, reference.memory);
+            assert_eq!(
+                out.energy.total_nj().to_bits(),
+                reference.energy.total_nj().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_under_protection() {
+        use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+        let protected = || {
+            let protection = ProtectionConfig::paper_default(
+                TrackerChoice::Para,
+                DefenseKind::impress_p_default(),
+            );
+            quick_config(1_200)
+                .with_controller(ControllerConfig::baseline().with_protection(protection))
+        };
+        let serial =
+            System::new(protected(), WorkloadMix::by_name("copy", 5).unwrap()).run_with_threads(1);
+        let sharded =
+            System::new(protected(), WorkloadMix::by_name("copy", 5).unwrap()).run_sharded();
+        assert_eq!(
+            serial.performance.elapsed_cycles,
+            sharded.performance.elapsed_cycles
+        );
+        assert_eq!(serial.memory, sharded.memory);
+        assert!(serial.memory.banks.mitigative_activations > 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use impress_dram::DramTimings;
 
 use crate::analysis::{graphene_entries, graphene_internal_threshold};
 use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
+use crate::index::RowSlotIndex;
 use crate::storage::{StorageEstimate, COUNTER_BITS, ROW_ADDRESS_BITS};
 use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
 
@@ -69,6 +70,9 @@ impl GrapheneConfig {
 pub struct Graphene {
     config: GrapheneConfig,
     table: Vec<Entry>,
+    /// O(1) row → slot map over the valid table entries (pure acceleration of the
+    /// match path; eviction decisions still scan the table — see [`crate::index`]).
+    index: RowSlotIndex,
     spillover: EactCounter,
     mitigations: u64,
 }
@@ -89,9 +93,11 @@ impl Graphene {
             };
             config.entries
         ];
+        let index = RowSlotIndex::for_entries(config.entries);
         Self {
             config,
             table,
+            index,
             spillover: EactCounter::ZERO,
             mitigations: 0,
         }
@@ -109,10 +115,9 @@ impl Graphene {
 
     /// Current counter value for `row` (whole activations), if tracked.
     pub fn tracked_count(&self, row: RowId) -> Option<u64> {
-        self.table
-            .iter()
-            .find(|e| e.valid && e.row == row)
-            .map(|e| e.count.activations())
+        self.index
+            .get(row)
+            .map(|slot| self.table[slot].count.activations())
     }
 
     fn quantize(&self, eact: Eact) -> Eact {
@@ -128,44 +133,46 @@ impl Graphene {
 impl RowTracker for Graphene {
     fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        // Misra-Gries update: one branch-light pass records the matching entry, the
-        // first invalid entry and the first spillover-replaceable entry (the seed did
-        // three separate scans; the selection priority and chosen slots are identical).
-        let spillover_raw = self.spillover.raw();
-        let mut matched = usize::MAX;
-        let mut first_invalid = usize::MAX;
-        let mut first_replaceable = usize::MAX;
-        for (i, e) in self.table.iter().enumerate() {
-            if e.valid && e.row == row {
-                matched = i;
-                break;
+        // Misra-Gries update. The match path is O(1) via the row → slot index; only
+        // when the row is absent does the eviction decision scan the table for the
+        // first invalid entry (claimed outright) or, failing that, the first entry
+        // whose count does not exceed the spillover count — exactly the slots the
+        // seed's three-scan version selected, so behavior is bit-identical.
+        let slot = if let Some(slot) = self.index.get(row) {
+            slot
+        } else {
+            let spillover_raw = self.spillover.raw();
+            let mut first_invalid = usize::MAX;
+            let mut first_replaceable = usize::MAX;
+            for (i, e) in self.table.iter().enumerate() {
+                if !e.valid {
+                    // Invalid entries take priority over replaceable ones wherever
+                    // they sit, so the scan can stop at the first one.
+                    first_invalid = i;
+                    break;
+                }
+                if e.count.raw() <= spillover_raw && first_replaceable == usize::MAX {
+                    first_replaceable = i;
+                }
             }
-            if !e.valid {
-                first_invalid = first_invalid.min(i);
-            } else if e.count.raw() <= spillover_raw {
-                first_replaceable = first_replaceable.min(i);
-            }
-        }
-        let slot = if matched != usize::MAX {
-            matched
-        } else if first_invalid != usize::MAX || first_replaceable != usize::MAX {
-            // An invalid entry is claimed outright; otherwise replace an entry whose
-            // count does not exceed the spillover count.
             let i = if first_invalid != usize::MAX {
                 first_invalid
-            } else {
+            } else if first_replaceable != usize::MAX {
+                // Evict: the replaced row leaves the index, the new row enters it.
+                self.index.remove(self.table[first_replaceable].row);
                 first_replaceable
+            } else {
+                // No entry to replace: the activation goes to the spillover counter.
+                self.spillover.add(eact);
+                return None;
             };
             self.table[i] = Entry {
                 row,
                 count: self.spillover,
                 valid: true,
             };
+            self.index.insert(row, i);
             i
-        } else {
-            // No entry to replace: the activation goes to the spillover counter.
-            self.spillover.add(eact);
-            return None;
         };
 
         self.table[slot].count.add(eact);
@@ -191,6 +198,7 @@ impl RowTracker for Graphene {
             e.valid = false;
             e.count = EactCounter::ZERO;
         }
+        self.index.clear();
         self.spillover = EactCounter::ZERO;
     }
 

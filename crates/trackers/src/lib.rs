@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod eact;
 pub mod flat;
 pub mod graphene;
+pub mod index;
 pub mod mint;
 pub mod mithril;
 pub mod para;
@@ -52,6 +53,7 @@ pub mod tracker;
 pub use eact::{Eact, EactCounter};
 pub use flat::FlatCounterTable;
 pub use graphene::Graphene;
+pub use index::RowSlotIndex;
 pub use mint::Mint;
 pub use mithril::Mithril;
 pub use para::Para;

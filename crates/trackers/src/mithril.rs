@@ -15,6 +15,7 @@ use impress_dram::timing::Cycle;
 
 use crate::analysis::mithril_entries;
 use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
+use crate::index::RowSlotIndex;
 use crate::storage::{StorageEstimate, COUNTER_BITS, ROW_ADDRESS_BITS};
 use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
 
@@ -67,6 +68,9 @@ impl MithrilConfig {
 pub struct Mithril {
     config: MithrilConfig,
     table: Vec<Entry>,
+    /// O(1) row → slot map over the valid table entries (pure acceleration of the
+    /// match path; eviction decisions still scan the table — see [`crate::index`]).
+    index: RowSlotIndex,
     spillover: EactCounter,
     mitigations: u64,
 }
@@ -87,9 +91,11 @@ impl Mithril {
             };
             config.entries
         ];
+        let index = RowSlotIndex::for_entries(config.entries);
         Self {
             config,
             table,
+            index,
             spillover: EactCounter::ZERO,
             mitigations: 0,
         }
@@ -118,28 +124,30 @@ impl Mithril {
 impl RowTracker for Mithril {
     fn record(&mut self, row: RowId, eact: Eact, _now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        // One pass records the matching entry, the first invalid entry and the first
-        // minimum-count entry (the seed did three separate scans; the selection
-        // priority and chosen slots are identical).
-        let mut matched = usize::MAX;
+        // The match path is O(1) via the row → slot index; only when the row is
+        // absent does the eviction decision scan the table for the first invalid
+        // entry or, failing that, the first minimum-count entry — exactly the slots
+        // the seed's three-scan version selected, so behavior is bit-identical.
+        if let Some(slot) = self.index.get(row) {
+            self.table[slot].count.add(eact);
+            return None;
+        }
         let mut first_invalid = usize::MAX;
         let mut min_idx = 0usize;
         let mut min_raw = u64::MAX;
         for (i, e) in self.table.iter().enumerate() {
-            if e.valid && e.row == row {
-                matched = i;
+            if !e.valid {
+                // Invalid entries take priority over the minimum-count eviction
+                // wherever they sit, so the scan can stop at the first one.
+                first_invalid = i;
                 break;
             }
-            if !e.valid {
-                first_invalid = first_invalid.min(i);
-            } else if e.count.raw() < min_raw {
+            if e.count.raw() < min_raw {
                 min_raw = e.count.raw();
                 min_idx = i;
             }
         }
-        if matched != usize::MAX {
-            self.table[matched].count.add(eact);
-        } else if first_invalid != usize::MAX {
+        if first_invalid != usize::MAX {
             let mut count = self.spillover;
             count.add(eact);
             self.table[first_invalid] = Entry {
@@ -147,14 +155,17 @@ impl RowTracker for Mithril {
                 count,
                 valid: true,
             };
+            self.index.insert(row, first_invalid);
         } else if min_raw <= self.spillover.raw() {
             let mut count = self.spillover;
             count.add(eact);
+            self.index.remove(self.table[min_idx].row);
             self.table[min_idx] = Entry {
                 row,
                 count,
                 valid: true,
             };
+            self.index.insert(row, min_idx);
         } else {
             self.spillover.add(eact);
         }
@@ -186,6 +197,7 @@ impl RowTracker for Mithril {
             e.valid = false;
             e.count = EactCounter::ZERO;
         }
+        self.index.clear();
         self.spillover = EactCounter::ZERO;
     }
 

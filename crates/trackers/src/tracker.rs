@@ -105,7 +105,10 @@ impl MitigationRequest {
 /// (Graphene, PARA) return mitigation requests directly from [`RowTracker::record`];
 /// in-DRAM trackers (Mithril, MINT) return them from [`RowTracker::on_rfm`], which the
 /// controller calls every `RFMTH` activations.
-pub trait RowTracker: fmt::Debug {
+///
+/// `Send` is a supertrait because trackers live inside per-bank engines owned by
+/// `ChannelShard`s, which the epoch-phased system loop executes on worker threads.
+pub trait RowTracker: fmt::Debug + Send {
     /// Records that `row` accrued `eact` equivalent activations at cycle `now`.
     ///
     /// Returns a mitigation request if the tracker decides the row must be mitigated

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use impress_trackers::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
 use impress_trackers::graphene::GrapheneConfig;
 use impress_trackers::mithril::MithrilConfig;
-use impress_trackers::{Graphene, Mithril, MitigationRequest, Prac, RowTracker};
+use impress_trackers::{Graphene, Mithril, MitigationRequest, Prac, RowSlotIndex, RowTracker};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -237,6 +237,14 @@ impl ReferenceMithril {
             identified_at: now,
         })
     }
+
+    fn on_refresh_window(&mut self) {
+        for e in &mut self.table {
+            e.valid = false;
+            e.count = EactCounter::ZERO;
+        }
+        self.spillover = EactCounter::ZERO;
+    }
 }
 
 /// A random activation stream: mostly a small hot set (to exercise matches and
@@ -327,6 +335,122 @@ proptest! {
                 .find(|e| e.valid && e.row == row)
                 .map(|e| e.count.activations());
             prop_assert_eq!(optimized.tracked_count(row), refcount);
+        }
+    }
+
+    /// The row → slot index behaves exactly like a `HashMap<RowId, usize>` under
+    /// tracker-shaped operation streams: inserts of absent rows, removals (present
+    /// and absent), lookups, and full clears. Exercises backward-shift deletion by
+    /// keeping the key universe small relative to the index capacity.
+    #[test]
+    fn row_slot_index_matches_hashmap_reference(
+        seed in 0u64..1_000_000,
+        entries in 1usize..64,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut index = RowSlotIndex::for_entries(entries);
+        let mut model: HashMap<RowId, usize> = HashMap::new();
+        let universe = (entries as u32) * 4;
+        for _step in 0..2_000u32 {
+            let row = rng.gen_range(0..universe);
+            match rng.gen_range(0..100u32) {
+                // Insert (only when absent and the table has room, as trackers do).
+                0..=44 if !model.contains_key(&row) && model.len() < entries => {
+                    let slot = rng.gen_range(0..entries as u32) as usize;
+                    index.insert(row, slot);
+                    model.insert(row, slot);
+                }
+                // Remove, present or not.
+                45..=84 => {
+                    let was_present = model.remove(&row).is_some();
+                    prop_assert_eq!(index.remove(row), was_present);
+                }
+                // Occasional refresh-window reset.
+                85..=86 => {
+                    index.clear();
+                    model.clear();
+                }
+                // Lookup of a random row.
+                _ => {}
+            }
+            prop_assert_eq!(index.get(row), model.get(&row).copied());
+            prop_assert_eq!(index.len(), model.len());
+        }
+        // Full sweep: every key in the universe agrees.
+        for row in 0..universe {
+            prop_assert_eq!(index.get(row), model.get(&row).copied());
+        }
+    }
+
+    /// Eviction-churn worst case for the indexed Graphene: every row is cold
+    /// (universe >> entries, no hot set), so nearly every record evicts a table
+    /// entry and rewrites the index. Behavior must still match the three-scan
+    /// reference exactly.
+    #[test]
+    fn graphene_index_matches_reference_under_eviction_churn(
+        seed in 0u64..1_000_000,
+        entries in 4usize..32,
+    ) {
+        let config = GrapheneConfig {
+            threshold: 300,
+            internal_threshold: 100,
+            entries,
+            frac_bits: 7,
+        };
+        let mut optimized = Graphene::new(config.clone());
+        let mut reference = ReferenceGraphene::new(&config);
+        let universe = (entries as u32) * 16;
+        for (i, (row, eact, reset)) in stream(seed, 3_000, universe, universe)
+            .into_iter()
+            .enumerate()
+        {
+            let now = i as u64 * 128;
+            if reset {
+                optimized.on_refresh_window(now);
+                reference.on_refresh_window();
+            }
+            prop_assert_eq!(optimized.record(row, eact, now), reference.record(row, eact, now));
+        }
+        for row in 0..universe {
+            let refcount = reference
+                .table
+                .iter()
+                .find(|e| e.valid && e.row == row)
+                .map(|e| e.count.activations());
+            prop_assert_eq!(optimized.tracked_count(row), refcount);
+        }
+    }
+
+    /// Same eviction-churn pinning for the indexed Mithril, including RFM-time
+    /// hottest-row selection between churn bursts.
+    #[test]
+    fn mithril_index_matches_reference_under_eviction_churn(
+        seed in 0u64..1_000_000,
+        entries in 4usize..32,
+    ) {
+        let config = MithrilConfig {
+            threshold: 4_000,
+            rfm_threshold: 80,
+            entries,
+            frac_bits: 7,
+        };
+        let mut optimized = Mithril::new(config.clone());
+        let mut reference = ReferenceMithril::new(&config);
+        let universe = (entries as u32) * 16;
+        for (i, (row, eact, reset)) in stream(seed, 3_000, universe, universe)
+            .into_iter()
+            .enumerate()
+        {
+            let now = i as u64 * 128;
+            if reset {
+                optimized.on_refresh_window(now);
+                reference.on_refresh_window();
+            }
+            prop_assert_eq!(optimized.record(row, eact, now), None);
+            reference.record(row, eact);
+            if i % 80 == 79 {
+                prop_assert_eq!(optimized.on_rfm(now), reference.on_rfm(now));
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_repro::core::Alpha;
 use impress_repro::dram::DramTimings;
+use impress_repro::sim::{Configuration, ExperimentRunner};
 use impress_repro::workloads::WorkloadMix;
 
 /// The 20 workloads of §III-A in the paper's figure order: ten SPEC2017 traces
@@ -99,6 +100,48 @@ fn every_defense_tracker_combination_constructs() {
                 expected_invalid,
                 "unexpected validate() outcome for {tracker:?} + {defense:?}"
             );
+        }
+    }
+}
+
+/// Cross-crate contract for the sharded simulation core: a DefenseKind×TrackerChoice
+/// sweep executed through the epoch-phased run loop with more than one shard thread
+/// must be bit-identical to the plain (inline) sweep. Under the CI race-check jobs
+/// this whole suite also runs with `IMPRESS_THREADS=4`, which routes the
+/// `run_sweep`/`run_sharded` defaults through the same pool.
+#[test]
+fn defense_tracker_sweep_runs_through_the_epoch_phased_loop() {
+    let threads = impress_repro::exec::thread_count().max(2);
+    let baseline = Configuration::unprotected();
+    let configurations: Vec<Configuration> = ALL_TRACKERS
+        .iter()
+        .map(|&tracker| {
+            Configuration::protected(
+                format!("{tracker:?}+ImPress-P"),
+                ProtectionConfig::paper_default(tracker, DefenseKind::impress_p_default()),
+            )
+        })
+        .collect();
+
+    let plain = ExperimentRunner::new()
+        .with_requests_per_core(500)
+        .run_sweep_with_threads(1, &["gcc"], &baseline, &configurations);
+    let epoch_phased = ExperimentRunner::new()
+        .with_requests_per_core(500)
+        .with_shard_threads(threads)
+        .run_sweep_with_threads(threads, &["gcc"], &baseline, &configurations);
+
+    assert_eq!(plain.len(), ALL_TRACKERS.len());
+    for (pc, sc) in plain.iter().zip(&epoch_phased) {
+        for (p, s) in pc.iter().zip(sc) {
+            assert_eq!(p.configuration, s.configuration);
+            assert_eq!(
+                p.normalized_performance.to_bits(),
+                s.normalized_performance.to_bits(),
+                "{} diverged through the epoch-phased loop",
+                p.configuration
+            );
+            assert_eq!(p.output.memory, s.output.memory);
         }
     }
 }
