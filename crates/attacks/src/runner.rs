@@ -1,6 +1,7 @@
 //! Replays attack patterns against a mitigation engine and measures the attacker-visible
 //! slowdown (the simulated counterpart of the analytic models in [`crate::analytic`]).
 
+use impress_core::clm::ChargeLossModel;
 use impress_core::config::ProtectionConfig;
 use impress_core::engine::BankMitigationEngine;
 use impress_dram::bank::ClosedRow;
@@ -20,6 +21,10 @@ pub struct AttackPerformanceReport {
     pub mitigation_cycles: Cycle,
     /// Number of mitigations triggered.
     pub mitigations: u64,
+    /// Total Unified-CLM damage (in RH units) the replayed rounds inflict on each
+    /// immediately adjacent victim row, ignoring refreshes — the attack's gross
+    /// charge budget, evaluated with the vectorized batch kernel.
+    pub aggressor_charge_units: f64,
 }
 
 impl AttackPerformanceReport {
@@ -32,6 +37,16 @@ impl AttackPerformanceReport {
             self.mitigation_cycles as f64 / self.baseline_cycles as f64
         }
     }
+
+    /// Mean CLM damage per round, in RH units (1.0 = a pure Rowhammer round; larger
+    /// means the pattern leans on Row-Press open time).
+    pub fn charge_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.aggressor_charge_units / self.rounds as f64
+        }
+    }
 }
 
 /// Replays attack patterns against a single protected bank, accounting only for the
@@ -40,59 +55,89 @@ impl AttackPerformanceReport {
 #[derive(Debug)]
 pub struct AttackRunner {
     engine: BankMitigationEngine,
+    clm: ChargeLossModel,
     timings: DramTimings,
     /// Cycles added per mitigation: blast radius 2 → 4 victim refreshes of tRC each.
     mitigation_cost: Cycle,
 }
 
 impl AttackRunner {
-    /// Creates a runner for the given protection configuration.
+    /// Creates a runner for the given protection configuration, using the paper's
+    /// conservative α = 1 as the ground-truth damage model for charge accounting.
     pub fn new(config: &ProtectionConfig, timings: &DramTimings) -> Self {
         Self {
             engine: BankMitigationEngine::new(config, timings),
+            clm: ChargeLossModel::new(1.0, timings),
             timings: timings.clone(),
             mitigation_cost: 4 * timings.t_rc,
         }
     }
 
-    /// Replays `rounds` rounds of `pattern` and reports the attacker-visible slowdown.
+    /// Replays `rounds` rounds of `pattern` and reports the attacker-visible slowdown
+    /// plus the pattern's gross CLM charge budget.
+    ///
+    /// Rounds are consumed in chunks: the open times of a whole chunk are clamped
+    /// and pushed through [`ChargeLossModel::charge_loss_batch`] up front (patterns
+    /// are pure functions of the round index, so this reorders no observable
+    /// work), then the event loop interleaves the precomputed damages with the
+    /// mitigation machinery.
     pub fn run(&mut self, pattern: &dyn AttackPattern, rounds: u64) -> AttackPerformanceReport {
+        /// Rounds evaluated per batch kernel call.
+        const CHUNK: usize = 256;
         let mut now: Cycle = 0;
         let mut baseline: Cycle = 0;
         let mut mitigation_cycles: Cycle = 0;
         let mut mitigations = 0u64;
+        let mut charge_units = 0.0f64;
 
-        for i in 0..rounds {
-            let access = pattern.round(i);
-            let t_on = access.t_on.max(self.timings.t_ras);
-            let round_time = t_on + self.timings.t_pre;
-            baseline += round_time;
+        let mut rows = [0u32; CHUNK];
+        let mut open = [0 as Cycle; CHUNK];
+        let mut charge = [0.0f64; CHUNK];
 
-            let handle = |requests: Vec<impress_trackers::MitigationRequest>,
-                          now: &mut Cycle,
-                          mitigation_cycles: &mut Cycle,
-                          mitigations: &mut u64| {
-                for _ in requests {
-                    *now += self.mitigation_cost;
-                    *mitigation_cycles += self.mitigation_cost;
-                    *mitigations += 1;
-                }
-            };
+        let mut next_round = 0u64;
+        while next_round < rounds {
+            let filled = ((rounds - next_round) as usize).min(CHUNK);
+            for (k, slot) in open.iter_mut().enumerate().take(filled) {
+                let access = pattern.round(next_round + k as u64);
+                rows[k] = access.row;
+                *slot = access.t_on.max(self.timings.t_ras);
+            }
+            self.clm
+                .charge_loss_batch(&open[..filled], &mut charge[..filled]);
 
-            let opened_at = now;
-            let reqs = self.engine.on_activate(access.row, opened_at);
-            handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+            for k in 0..filled {
+                let t_on = open[k];
+                let round_time = t_on + self.timings.t_pre;
+                baseline += round_time;
+                charge_units += charge[k];
 
-            let closed_at = opened_at + t_on;
-            let closed = ClosedRow {
-                row: access.row,
-                open_cycles: t_on,
-                opened_at,
-                closed_at,
-            };
-            now = closed_at + self.timings.t_pre;
-            let reqs = self.engine.on_close(&closed);
-            handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+                let handle = |requests: Vec<impress_trackers::MitigationRequest>,
+                              now: &mut Cycle,
+                              mitigation_cycles: &mut Cycle,
+                              mitigations: &mut u64| {
+                    for _ in requests {
+                        *now += self.mitigation_cost;
+                        *mitigation_cycles += self.mitigation_cost;
+                        *mitigations += 1;
+                    }
+                };
+
+                let opened_at = now;
+                let reqs = self.engine.on_activate(rows[k], opened_at);
+                handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+
+                let closed_at = opened_at + t_on;
+                let closed = ClosedRow {
+                    row: rows[k],
+                    open_cycles: t_on,
+                    opened_at,
+                    closed_at,
+                };
+                now = closed_at + self.timings.t_pre;
+                let reqs = self.engine.on_close(&closed);
+                handle(reqs, &mut now, &mut mitigation_cycles, &mut mitigations);
+            }
+            next_round += filled as u64;
         }
 
         AttackPerformanceReport {
@@ -100,6 +145,7 @@ impl AttackRunner {
             baseline_cycles: baseline,
             mitigation_cycles,
             mitigations,
+            aggressor_charge_units: charge_units,
         }
     }
 }
@@ -208,5 +254,36 @@ mod tests {
             runner.run(&pattern, 40_000).slowdown()
         };
         assert!(slowdown_at(200) <= slowdown_at(0) + 0.01);
+    }
+
+    #[test]
+    fn charge_accounting_matches_scalar_clm() {
+        // The batch-evaluated charge budget must equal the sequential scalar sum,
+        // bitwise, including across chunk boundaries (rounds not a CHUNK multiple).
+        let t = timings();
+        let cfg = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        );
+        let clm = ChargeLossModel::new(1.0, &t);
+        for rounds in [1u64, 255, 256, 1_000] {
+            let pattern = CombinedPattern::new(300, 16, &t);
+            let mut runner = AttackRunner::new(&cfg, &t);
+            let report = runner.run(&pattern, rounds);
+            let scalar: f64 = (0..rounds)
+                .map(|i| clm.charge_loss(pattern.round(i).t_on.max(t.t_ras)))
+                .sum();
+            assert_eq!(
+                report.aggressor_charge_units.to_bits(),
+                scalar.to_bits(),
+                "rounds = {rounds}"
+            );
+            assert!(report.charge_per_round() >= 1.0);
+        }
+        // A pure Rowhammer pattern costs exactly 1 RH unit per round.
+        let hammer = CombinedPattern::new(300, 0, &t);
+        let mut runner = AttackRunner::new(&cfg, &t);
+        let report = runner.run(&hammer, 500);
+        assert_eq!(report.charge_per_round(), 1.0);
     }
 }

@@ -23,6 +23,27 @@ fn bench_charge_model(c: &mut Criterion) {
         b.iter(|| black_box(clm.pattern_charge_loss(pattern.iter().copied())));
     });
 
+    // Before/after pair for the vectorized kernel: the scalar loop above vs the
+    // chunked batch kernel (and its accumulate variant) over the same 1000 open
+    // times. The batch results are bitwise-identical per element.
+    c.bench_function("clm_batch_1000_accesses", |b| {
+        let pattern: Vec<u64> = (0..1000u64).map(|i| 96 + (i * 131) % 50_000).collect();
+        let mut out = vec![0.0f64; pattern.len()];
+        b.iter(|| {
+            clm.charge_loss_batch(black_box(&pattern), &mut out);
+            black_box(out.iter().sum::<f64>())
+        });
+    });
+
+    c.bench_function("clm_accumulate_1000_accesses", |b| {
+        let pattern: Vec<u64> = (0..1000u64).map(|i| 96 + (i * 131) % 50_000).collect();
+        let mut acc = vec![0.0f64; pattern.len()];
+        b.iter(|| {
+            clm.charge_loss_accumulate(black_box(&pattern), &mut acc);
+            black_box(acc[0])
+        });
+    });
+
     c.bench_function("eact_from_open_time", |b| {
         let mut t = 96u64;
         b.iter(|| {

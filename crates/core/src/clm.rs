@@ -61,6 +61,10 @@ pub struct ChargeLossModel {
     alpha: f64,
     t_ras: Cycle,
     t_rc: Cycle,
+    /// Cached `α / tRC` — the leakage slope per cycle of extra open time. The
+    /// scalar and batch kernels both evaluate `1 + extra * loss_per_cycle`, so
+    /// they agree bitwise by construction (and the scalar path saves a division).
+    loss_per_cycle: f64,
 }
 
 impl ChargeLossModel {
@@ -79,6 +83,7 @@ impl ChargeLossModel {
             alpha,
             t_ras: timings.t_ras,
             t_rc: timings.t_rc,
+            loss_per_cycle: alpha / timings.t_rc as f64,
         }
     }
 
@@ -97,7 +102,76 @@ impl ChargeLossModel {
     /// never do less than one unit of damage).
     pub fn charge_loss(&self, t_on: Cycle) -> ChargeLoss {
         let extra = t_on.saturating_sub(self.t_ras);
-        1.0 + self.alpha * extra as f64 / self.t_rc as f64
+        1.0 + extra as f64 * self.loss_per_cycle
+    }
+
+    /// Writes `TCL(open_times[i])` into `out[i]` for every element — the batch form
+    /// of [`ChargeLossModel::charge_loss`], bitwise-identical to it per element.
+    ///
+    /// The kernel is chunked and branch-free (`saturating_sub` lowers to a
+    /// compare-select, the fused inner loop has no data-dependent control flow),
+    /// so LLVM auto-vectorizes it; the security harness and the attack runner use
+    /// it to evaluate victim damage for whole access batches at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn charge_loss_batch(&self, open_times: &[Cycle], out: &mut [f64]) {
+        self.batch_kernel::<false>(open_times, out);
+    }
+
+    /// Accumulating variant of [`ChargeLossModel::charge_loss_batch`]:
+    /// `out[i] += TCL(open_times[i])` — the shape of a victim-charge update, where
+    /// each slot carries charge accumulated by earlier accesses. Same chunked,
+    /// branch-free kernel; each element's contribution is bitwise-identical to
+    /// `charge_loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn charge_loss_accumulate(&self, open_times: &[Cycle], out: &mut [f64]) {
+        self.batch_kernel::<true>(open_times, out);
+    }
+
+    /// The one copy of the chunked loop behind both batch entry points;
+    /// `ACCUMULATE` selects store vs add-assign at compile time so each
+    /// instantiation stays branch-free and auto-vectorizable.
+    #[inline]
+    fn batch_kernel<const ACCUMULATE: bool>(&self, open_times: &[Cycle], out: &mut [f64]) {
+        assert_eq!(
+            open_times.len(),
+            out.len(),
+            "charge-loss batch kernel: input and output lengths differ"
+        );
+        const LANES: usize = 8;
+        let t_ras = self.t_ras;
+        let slope = self.loss_per_cycle;
+        let tcl = |t: Cycle| 1.0 + t.saturating_sub(t_ras) as f64 * slope;
+        let mut out_chunks = out.chunks_exact_mut(LANES);
+        let mut in_chunks = open_times.chunks_exact(LANES);
+        for (o, t) in (&mut out_chunks).zip(&mut in_chunks) {
+            // Fixed-size views give the optimizer exact trip counts per chunk.
+            let o: &mut [f64; LANES] = o.try_into().expect("chunk is LANES wide");
+            let t: &[Cycle; LANES] = t.try_into().expect("chunk is LANES wide");
+            for k in 0..LANES {
+                if ACCUMULATE {
+                    o[k] += tcl(t[k]);
+                } else {
+                    o[k] = tcl(t[k]);
+                }
+            }
+        }
+        for (o, t) in out_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(in_chunks.remainder())
+        {
+            if ACCUMULATE {
+                *o += tcl(*t);
+            } else {
+                *o = tcl(*t);
+            }
+        }
     }
 
     /// Total charge loss of a Rowhammer pattern of `activations` minimum-length
@@ -246,6 +320,61 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn negative_alpha_is_rejected() {
         let _ = model(-0.1);
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        // Every chunk width (full LANES chunks plus every remainder length) and a
+        // value mix spanning below-tRAS, exactly-tRAS and far-beyond open times.
+        let m = model(0.48);
+        for len in 0usize..40 {
+            let open: Vec<u64> = (0..len as u64).map(|i| (i * 7919) % 300_000).collect();
+            let mut out = vec![f64::NAN; len];
+            m.charge_loss_batch(&open, &mut out);
+            for (i, &t) in open.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    m.charge_loss(t).to_bits(),
+                    "len={len} i={i} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_the_scalar_contribution_bitwise() {
+        let m = model(1.0);
+        let open: Vec<u64> = (0..23u64).map(|i| 96 + i * 1_000).collect();
+        let base: Vec<f64> = (0..23).map(|i| i as f64 * 0.625).collect();
+        let mut acc = base.clone();
+        m.charge_loss_accumulate(&open, &mut acc);
+        for i in 0..open.len() {
+            assert_eq!(
+                acc[i].to_bits(),
+                (base[i] + m.charge_loss(open[i])).to_bits(),
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_pattern_charge_loss() {
+        let m = model(0.35);
+        let open: Vec<u64> = (0..1_000u64).map(|i| 96 + (i * 131) % 50_000).collect();
+        let mut out = vec![0.0; open.len()];
+        m.charge_loss_batch(&open, &mut out);
+        // Sequential sum of the batch outputs is the sequential scalar sum.
+        let batch_total: f64 = out.iter().sum();
+        let scalar_total = m.pattern_charge_loss(open.iter().copied());
+        assert_eq!(batch_total.to_bits(), scalar_total.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn batch_length_mismatch_is_rejected() {
+        let m = model(0.5);
+        let mut out = [0.0; 3];
+        m.charge_loss_batch(&[1, 2], &mut out);
     }
 
     proptest! {

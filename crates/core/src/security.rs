@@ -163,17 +163,32 @@ impl SecurityHarness {
         }
     }
 
-    /// Replays a single aggressor access, advancing time and applying any mitigations.
-    pub fn apply(&mut self, access: AggressorAccess) {
-        // The open time is bounded below by tRAS, above by the refresh-postponement
-        // limit of the DDR specification, and (under ExPress) by the enforced tMRO.
-        let mut t_on = access.t_on.clamp(
+    /// The open time the harness actually replays for a requested `t_on`: bounded
+    /// below by tRAS, above by the refresh-postponement limit of the DDR
+    /// specification, and (under ExPress) by the enforced tMRO. Pure and
+    /// state-independent, so whole patterns can be clamped ahead of replay.
+    fn clamped_t_on(&self, t_on: Cycle) -> Cycle {
+        let t_on = t_on.clamp(
             self.timings.t_ras,
             (1 + self.timings.max_postponed_ref as u64) * self.timings.t_refi,
         );
-        if let Some(t_mro) = self.engine.max_row_open() {
-            t_on = t_on.min(t_mro);
+        match self.engine.max_row_open() {
+            Some(t_mro) => t_on.min(t_mro),
+            None => t_on,
         }
+    }
+
+    /// Replays a single aggressor access, advancing time and applying any mitigations.
+    pub fn apply(&mut self, access: AggressorAccess) {
+        let t_on = self.clamped_t_on(access.t_on);
+        self.apply_clamped(access.row, t_on, self.clm.charge_loss(t_on));
+    }
+
+    /// Replays one access whose open time is already clamped and whose CLM damage
+    /// is already evaluated (the batched [`SecurityHarness::run`] path computes
+    /// both for whole chunks at once via
+    /// [`ChargeLossModel::charge_loss_batch`]).
+    fn apply_clamped(&mut self, row: RowId, t_on: Cycle, charge: f64) {
         self.accesses += 1;
 
         // Periodic refresh: executes (and costs tRFC) whenever its deadline passes.
@@ -192,7 +207,7 @@ impl SecurityHarness {
         }
 
         let opened_at = self.now;
-        for m in self.engine.on_activate(access.row, opened_at) {
+        for m in self.engine.on_activate(row, opened_at) {
             self.mitigations += 1;
             self.refresh_victims(m.aggressor);
             // A mitigation costs the attacker 4 victim activations worth of time.
@@ -201,13 +216,13 @@ impl SecurityHarness {
 
         let closed_at = opened_at + t_on;
         let closed = ClosedRow {
-            row: access.row,
+            row,
             open_cycles: t_on,
             opened_at,
             closed_at,
         };
-        // Ground-truth damage of this access.
-        self.damage_victims(access.row, self.clm.charge_loss(t_on));
+        // Ground-truth damage of this access (pre-evaluated, possibly in batch).
+        self.damage_victims(row, charge);
         self.now = closed_at + self.timings.t_pre;
 
         for m in self.engine.on_close(&closed) {
@@ -229,15 +244,48 @@ impl SecurityHarness {
 
     /// Replays a whole pattern (repeated until `duration` cycles have elapsed or the
     /// pattern iterator ends) and reports the outcome.
+    ///
+    /// The pattern is consumed in chunks: each chunk's open times are clamped and
+    /// fed through the vectorized [`ChargeLossModel::charge_loss_batch`] kernel
+    /// before the event-by-event replay, which only has to interleave the
+    /// precomputed damages with the mitigation machinery. Clamping is
+    /// state-independent and the batch kernel is bitwise-identical to the scalar
+    /// one, so the outcome is exactly that of calling
+    /// [`SecurityHarness::apply`] per access.
     pub fn run<I>(&mut self, pattern: I, duration: Cycle) -> SecurityReport
     where
         I: IntoIterator<Item = AggressorAccess>,
     {
-        for access in pattern {
-            if self.now >= duration {
+        /// Accesses evaluated per batch kernel call.
+        const CHUNK: usize = 128;
+        let mut rows = [0 as RowId; CHUNK];
+        let mut open = [0 as Cycle; CHUNK];
+        let mut charge = [0.0f64; CHUNK];
+        let mut pattern = pattern.into_iter();
+        'outer: loop {
+            let mut filled = 0;
+            while filled < CHUNK {
+                let Some(access) = pattern.next() else {
+                    break;
+                };
+                rows[filled] = access.row;
+                open[filled] = self.clamped_t_on(access.t_on);
+                filled += 1;
+            }
+            if filled == 0 {
                 break;
             }
-            self.apply(access);
+            self.clm
+                .charge_loss_batch(&open[..filled], &mut charge[..filled]);
+            for i in 0..filled {
+                if self.now >= duration {
+                    break 'outer;
+                }
+                self.apply_clamped(rows[i], open[i], charge[i]);
+            }
+            if filled < CHUNK {
+                break;
+            }
         }
         self.report()
     }
@@ -355,6 +403,49 @@ mod tests {
             "MINT + ImPress-P must contain Row-Press (charge = {})",
             report.max_unmitigated_charge
         );
+    }
+
+    #[test]
+    fn batched_run_is_bitwise_identical_to_per_access_apply() {
+        // The chunked/vectorized run path must reproduce the scalar event loop
+        // exactly, including across chunk boundaries and under ExPress clamping.
+        let t = timings();
+        for (tracker, defense, count) in [
+            (
+                TrackerChoice::Graphene,
+                DefenseKind::impress_p_default(),
+                300,
+            ),
+            (TrackerChoice::Para, DefenseKind::NoRp, 500),
+            (
+                TrackerChoice::Graphene,
+                DefenseKind::express_paper_baseline(&t),
+                129,
+            ),
+        ] {
+            let pattern: Vec<AggressorAccess> = (0..count)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        AggressorAccess::hammer(400 + (i % 5))
+                    } else {
+                        AggressorAccess::press(400 + (i % 5), t.t_ras + (i as u64 * 977) % 40_000)
+                    }
+                })
+                .collect();
+            let mut batched = harness(tracker, defense, 0.48);
+            let batched_report = batched.run(pattern.iter().copied(), u64::MAX);
+            let mut scalar = harness(tracker, defense, 0.48);
+            for &a in &pattern {
+                scalar.apply(a);
+            }
+            let scalar_report = scalar.report();
+            assert_eq!(
+                batched_report.max_unmitigated_charge.to_bits(),
+                scalar_report.max_unmitigated_charge.to_bits(),
+                "{tracker:?}"
+            );
+            assert_eq!(batched_report, scalar_report, "{tracker:?}");
+        }
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //!
 //! For *intra-run* parallelism — the epoch-phased sharded system loop, which needs
 //! thousands of tiny fork-join rounds per simulation — [`epoch_scope`] provides a
-//! persistent pool: workers are spawned once, park in a spin/yield loop between
-//! rounds, and claim tasks from the same dynamic atomic index as [`par_map`]. A
-//! round costs a couple of atomic operations instead of a thread spawn, which is
-//! what makes barriers every few dozen simulated cycles affordable.
+//! persistent pool: workers are spawned once, wait between rounds with a bounded
+//! spin, then a bounded yield, then a `Condvar` park (so round-trip latency stays
+//! low in a hot loop while idle workers cost nothing during a run's serial
+//! issue/merge phases or on oversubscribed hosts), and claim tasks from the same
+//! dynamic atomic index as [`par_map`]. A hot round costs a couple of atomic
+//! operations instead of a thread spawn, which is what makes barriers every few
+//! dozen simulated cycles affordable.
 //!
 //! The worker count defaults to the machine's available parallelism and is
 //! overridden with the `IMPRESS_THREADS` environment variable.
@@ -28,9 +31,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Environment variable overriding the worker count used by [`par_map`].
 pub const THREADS_ENV: &str = "IMPRESS_THREADS";
@@ -139,9 +143,15 @@ where
         .collect()
 }
 
-/// Spin iterations before a parked worker starts yielding its time slice (keeps
+/// Spin iterations before a waiting worker starts yielding its time slice (keeps
 /// round-trip latency low on idle cores without starving oversubscribed hosts).
 const SPINS_BEFORE_YIELD: u32 = 128;
+
+/// Spin + yield iterations before a between-rounds worker parks on the pool's
+/// `Condvar`. Below this threshold a new round is picked up within nanoseconds;
+/// beyond it the driver is in a long serial phase (issue/merge of a big epoch, or
+/// finished with the pool entirely) and a parked worker costs the host nothing.
+const SPINS_BEFORE_PARK: u32 = SPINS_BEFORE_YIELD + 64;
 
 /// Synchronization state shared between an epoch-scope driver and its workers.
 struct EpochSync {
@@ -157,6 +167,15 @@ struct EpochSync {
     panicked: AtomicBool,
     /// First panic payload, re-raised on the driver thread.
     payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Workers currently parked on `wake`. Incremented/decremented only with
+    /// `park_lock` held, so a round-starter that takes the lock observes every
+    /// committed park (see the handshake argument on [`EpochScope::run_epoch`]).
+    parked: AtomicUsize,
+    /// Guards the park/wake handshake; deliberately holds no data — the state it
+    /// orders lives in the atomics above.
+    park_lock: Mutex<()>,
+    /// Parked workers wait here for a new round (or shutdown).
+    wake: Condvar,
 }
 
 impl EpochSync {
@@ -168,6 +187,26 @@ impl EpochSync {
             stop: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
             payload: Mutex::new(None),
+            parked: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Publishes `publish` (an epoch bump or a stop flag) under the park lock and
+    /// wakes any parked workers.
+    ///
+    /// Holding the lock across the store is what makes the park handshake
+    /// lost-wakeup-free: a worker parks only after re-checking the epoch/stop
+    /// state *with the lock held*, so either the worker sees this store and never
+    /// waits, or its park is visible to `parked` here and gets the notification.
+    fn publish_and_wake(&self, publish: impl FnOnce()) {
+        let guard = self.park_lock.lock().expect("park lock poisoned");
+        publish();
+        let any_parked = self.parked.load(Ordering::Relaxed) > 0;
+        drop(guard);
+        if any_parked {
+            self.wake.notify_all();
         }
     }
 }
@@ -177,7 +216,13 @@ struct StopGuard<'a>(&'a EpochSync);
 
 impl Drop for StopGuard<'_> {
     fn drop(&mut self) {
+        // This runs during unwinding too, so tolerate a poisoned lock instead of
+        // aborting: the `Err` branch of `lock()` still holds the guard, so the
+        // store is ordered against parking workers either way.
+        let guard = self.0.park_lock.lock();
         self.0.stop.store(true, Ordering::Release);
+        drop(guard);
+        self.0.wake.notify_all();
     }
 }
 
@@ -193,6 +238,8 @@ pub struct EpochScope<'a, F: Fn(usize) + Sync> {
     tasks: usize,
     /// `None` in inline (single-threaded) mode.
     sync: Option<&'a EpochSync>,
+    /// Rounds completed so far (the statistics hook for epoch-phased drivers).
+    rounds: Cell<u64>,
 }
 
 impl<F: Fn(usize) + Sync> std::fmt::Debug for EpochScope<'_, F> {
@@ -211,6 +258,7 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
     /// If a task panics on a worker, the panic is re-raised here; if a task panics on
     /// the driver thread it unwinds naturally (workers are released either way).
     pub fn run_epoch(&self) {
+        self.rounds.set(self.rounds.get() + 1);
         let Some(sync) = self.sync else {
             // Inline mode: the serial path stays truly serial (no atomics, no locks).
             for i in 0..self.tasks {
@@ -227,7 +275,12 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
         // round one task short and the wait loop below spinning forever.
         sync.done.store(0, Ordering::Relaxed);
         sync.claim.store(0, Ordering::Release);
-        sync.epoch.fetch_add(1, Ordering::Release);
+        // The epoch bump is published under the park lock so a worker that is
+        // about to park cannot miss it (see EpochSync::publish_and_wake); spinning
+        // and yielding workers pick it up straight from the atomic.
+        sync.publish_and_wake(|| {
+            sync.epoch.fetch_add(1, Ordering::Release);
+        });
         // The driver participates in the round; its own panics unwind normally (the
         // scope's StopGuard releases the workers).
         loop {
@@ -268,6 +321,12 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
         self.tasks
     }
 
+    /// Number of rounds run so far — the statistics hook epoch-phased drivers use
+    /// to cross-check their own round accounting.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds.get()
+    }
+
     /// `true` when rounds actually fan out to worker threads.
     pub fn is_parallel(&self) -> bool {
         self.sync.is_some()
@@ -277,7 +336,10 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
 fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize) {
     let mut seen = 0u64;
     loop {
-        // Park until the driver starts a new round (or shuts the pool down).
+        // Wait until the driver starts a new round (or shuts the pool down):
+        // bounded spin (round already being launched), then bounded yield
+        // (driver briefly busy), then a Condvar park (driver in a long serial
+        // phase — the worker must cost the host nothing).
         let mut spins = 0u32;
         loop {
             if sync.stop.load(Ordering::Acquire) {
@@ -291,8 +353,25 @@ fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize
             spins += 1;
             if spins < SPINS_BEFORE_YIELD {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < SPINS_BEFORE_PARK {
                 std::thread::yield_now();
+            } else {
+                // Park. The re-check of stop/epoch happens with the lock held:
+                // any round start or shutdown is published under this same lock
+                // (EpochSync::publish_and_wake, StopGuard), so either we observe
+                // it here and skip the wait, or our `parked` increment is visible
+                // to the publisher and we receive its notification — no window
+                // for a lost wakeup.
+                let mut guard = sync.park_lock.lock().expect("park lock poisoned");
+                sync.parked.fetch_add(1, Ordering::Relaxed);
+                while !sync.stop.load(Ordering::Acquire)
+                    && sync.epoch.load(Ordering::Acquire) == seen
+                {
+                    guard = sync.wake.wait(guard).expect("park condvar poisoned");
+                }
+                sync.parked.fetch_sub(1, Ordering::Relaxed);
+                drop(guard);
+                // Loop around to re-read stop/epoch on the normal path.
             }
         }
         // Claim loop. A straggler that observes a round late simply joins whichever
@@ -318,8 +397,12 @@ fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize
                         *slot = Some(p);
                     }
                     drop(slot);
-                    sync.panicked.store(true, Ordering::Release);
-                    sync.stop.store(true, Ordering::Release);
+                    // Publish the shutdown under the park lock so parked siblings
+                    // wake promptly instead of waiting for the driver's StopGuard.
+                    sync.publish_and_wake(|| {
+                        sync.panicked.store(true, Ordering::Release);
+                        sync.stop.store(true, Ordering::Release);
+                    });
                     break;
                 }
             }
@@ -351,6 +434,7 @@ where
             execute: &execute,
             tasks,
             sync: None,
+            rounds: Cell::new(0),
         });
     }
     let sync = EpochSync::new();
@@ -365,6 +449,7 @@ where
             execute,
             tasks,
             sync: Some(sync_ref),
+            rounds: Cell::new(0),
         })
     })
 }
@@ -471,6 +556,67 @@ mod tests {
         // exercise the park/claim handshake hard enough to catch lost wakeups.
         let out = run_epochs(4, 3, 20_000);
         assert_eq!(out, run_epochs(1, 3, 20_000));
+    }
+
+    /// Like [`run_epochs`], but the driver stalls between some rounds long enough
+    /// for every worker to walk the full spin → yield → park ladder, so each
+    /// stalled round exercises a genuine Condvar wakeup.
+    fn run_epochs_with_stalls(
+        threads: usize,
+        tasks: usize,
+        rounds: u64,
+        stall_every: u64,
+    ) -> Vec<u64> {
+        let cells: Vec<Mutex<u64>> = (0..tasks).map(|i| Mutex::new(i as u64)).collect();
+        let cells_ref = &cells;
+        epoch_scope(
+            threads,
+            tasks,
+            move |i| {
+                let mut cell = cells_ref[i].lock().unwrap();
+                *cell = cell
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64);
+            },
+            |scope| {
+                for r in 0..rounds {
+                    if r % stall_every == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(500));
+                    }
+                    scope.run_epoch();
+                }
+                assert_eq!(scope.rounds_run(), rounds);
+            },
+        );
+        cells.into_iter().map(|c| c.into_inner().unwrap()).collect()
+    }
+
+    #[test]
+    fn parked_workers_wake_for_every_round() {
+        // Bursts of back-to-back rounds separated by driver stalls: workers park
+        // during each stall and must be woken for the next burst. A lost wakeup
+        // hangs the next run_epoch (its done-wait never completes) and fails the
+        // test by timeout.
+        let expect = run_epochs_with_stalls(1, 4, 3_000, 97);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run_epochs_with_stalls(threads, 4, 3_000, 97),
+                expect,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_round_handshake_survives_a_stress_run() {
+        // Many epochs x few tasks x more threads than this container has cores:
+        // the shape the ROADMAP flagged as the risk case for the spin/park
+        // handshake. Stalls are interleaved so both the hot (spin) path and the
+        // cold (park/wake) path run tens of thousands of times.
+        let expect = run_epochs(1, 2, 40_000);
+        assert_eq!(run_epochs(2, 2, 40_000), expect);
+        let expect = run_epochs_with_stalls(1, 3, 10_000, 211);
+        assert_eq!(run_epochs_with_stalls(3, 3, 10_000, 211), expect);
     }
 
     #[test]

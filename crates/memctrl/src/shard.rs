@@ -235,11 +235,31 @@ impl ChannelShard {
     /// Guaranteed lower bound on the latency of any demand access serviced by a
     /// shard: the data transfer alone takes `tCAS + tBURST` after arrival.
     ///
-    /// The epoch-phased run loop relies on this bound to size its issue windows: no
-    /// access issued inside a window of this length can complete within the window,
-    /// so core timing feedback never crosses an epoch boundary.
+    /// This per-access bound is the contract the epoch-phased run loop's
+    /// dependency-bounded horizons are built on: an access issued at `t` cannot
+    /// complete before `t + min_access_latency`, so a core whose MLP window is
+    /// full of not-yet-executed issues provably cannot issue again before its
+    /// oldest pending issue time plus this latency. (The PR 3 fixed-window loop
+    /// used the same bound globally — no completion inside a window of this
+    /// length; the adaptive loop needs it per access.) [`ChannelShard::access`]
+    /// asserts the bound on every outcome in debug builds.
     pub fn min_access_latency(timings: &DramTimings) -> Cycle {
         (timings.t_cas + timings.t_burst).max(1)
+    }
+
+    /// Guaranteed minimum spacing between consecutive demand-access completions
+    /// on one channel: the data bus is serialized, so each completion occupies it
+    /// for `tBURST` and the next completion cannot land earlier than that.
+    ///
+    /// Together with [`ChannelShard::min_access_latency`] this gives the
+    /// epoch-phased run loop a *conveyor* lower bound: the `k`-th access queued on
+    /// a channel whose last known completion is `C` cannot complete before
+    /// `C + k * min_completion_spacing`. Under load that bound reaches far beyond
+    /// the per-access latency bound (the channel has a backlog of bus slots), and
+    /// it is what lets the adaptive horizon keep cores provably exact while they
+    /// drain deep MLP windows. Asserted per access in debug builds.
+    pub fn min_completion_spacing(timings: &DramTimings) -> Cycle {
+        timings.t_burst
     }
 
     /// Services a demand access to `location` arriving at `now`.
@@ -333,6 +353,13 @@ impl ChannelShard {
         // 4. Data transfer on the shared channel bus (CAS latency + burst).
         let bus_start = (data_start + timings.t_cas).max(self.bus_free);
         let completed_at = bus_start + timings.t_burst;
+        debug_assert!(
+            completed_at >= self.bus_free + Self::min_completion_spacing(timings),
+            "completion at {completed_at} inside the bus conveyor bound \
+             (previous completion {}, spacing {})",
+            self.bus_free,
+            Self::min_completion_spacing(timings)
+        );
         self.bus_free = completed_at;
 
         // 5. Closed-page policy precharges immediately after the access.
@@ -352,6 +379,11 @@ impl ChannelShard {
         self.stats.total_latency += completed_at.saturating_sub(now);
         self.stats.bus_busy_cycles += timings.t_burst;
 
+        debug_assert!(
+            completed_at >= now + Self::min_access_latency(timings),
+            "access at {now} completed at {completed_at}, inside the published \
+             per-access latency lower bound"
+        );
         AccessOutcome {
             completed_at,
             outcome,

@@ -9,9 +9,26 @@
 //! normalize away) is captured.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use impress_dram::timing::Cycle;
+
+/// What a core can prove about its next issue time while some of its in-flight
+/// misses have unresolved completion times (epoch-phased mode).
+///
+/// Returned by [`CoreModel::next_issue_bound`]; see that method for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueBound {
+    /// The next issue time is exact: it is provably independent of every unresolved
+    /// completion, so a serial scheduler with full knowledge would compute the same
+    /// cycle.
+    Exact(Cycle),
+    /// The next issue time depends on an unresolved completion. It cannot occur
+    /// before the carried cycle — the earliest any pending completion can land
+    /// (each pending issue carries a completion lower bound) joined with the
+    /// front-end readiness.
+    NotBefore(Cycle),
+}
 
 /// The state of one simulated core.
 #[derive(Debug)]
@@ -21,11 +38,15 @@ pub struct CoreModel {
     think_gap: f64,
     /// Maximum outstanding misses.
     mlp: usize,
-    /// Completion times of outstanding misses.
+    /// Completion times of outstanding misses whose completions are known.
     outstanding: BinaryHeap<Reverse<Cycle>>,
-    /// Misses issued in the current epoch whose completion times are not yet known
-    /// (epoch-phased mode): they occupy MLP window slots but are not in `outstanding`.
-    pending: usize,
+    /// Completion-time lower bounds of misses issued in the current epoch whose
+    /// completion times are not yet known (epoch-phased mode): they occupy MLP
+    /// window slots but are not in `outstanding`. Front = oldest pending issue
+    /// (bounds are resolved in issue order, but are not themselves ordered — the
+    /// driver derives each from the target channel's bus conveyor, so a later
+    /// issue to an idle channel can carry a smaller bound).
+    pending_lbs: VecDeque<Cycle>,
     /// Cycle at which the core's front-end is ready to issue its next miss.
     front_end_ready: f64,
     /// Number of misses issued so far.
@@ -48,7 +69,7 @@ impl CoreModel {
             think_gap,
             mlp,
             outstanding: BinaryHeap::new(),
-            pending: 0,
+            pending_lbs: VecDeque::new(),
             front_end_ready: 0.0,
             issued: 0,
             last_completion: 0,
@@ -103,55 +124,91 @@ impl CoreModel {
     // ---- Epoch-phased (sharded) issue API -------------------------------------
     //
     // The epoch-phased system loop issues misses whose completion times are only
-    // computed later (when the channel shards execute). The three methods below are
-    // the split form of `on_issue`/`next_issue_time` for that mode; driven under the
-    // documented contract, the core's observable state evolves bit-for-bit as if the
-    // serial loop had called `on_issue` with the eventual completion times.
+    // computed later (when the channel shards execute). The methods below are the
+    // split form of `on_issue`/`next_issue_time` for that mode; driven under the
+    // documented contract, the core's observable issue schedule evolves bit-for-bit
+    // as if the serial loop had called `on_issue` with the eventual completion times.
 
     /// Number of issues currently awaiting [`CoreModel::resolve_pending`].
     pub fn pending(&self) -> usize {
-        self.pending
+        self.pending_lbs.len()
+    }
+
+    /// The minimum completion-time lower bound over the pending issues
+    /// (`Cycle::MAX` with no pending issues). The window is at most `mlp` entries,
+    /// so the scan is a handful of compares.
+    pub fn pending_completion_lower_bound(&self) -> Cycle {
+        self.pending_lbs.iter().copied().min().unwrap_or(Cycle::MAX)
+    }
+
+    /// Classifies this core's next issue time as provably exact or as bounded from
+    /// below by unresolved completions.
+    ///
+    /// Contract: every pending issue was registered via
+    /// [`CoreModel::on_issue_pending`] with a `completion_lb` that its eventual
+    /// completion time is guaranteed to meet (the epoch-phased loop uses
+    /// `issue_time + min_access_latency`), and pending issues are registered (and
+    /// later resolved) in non-decreasing issue-time order. Under that contract:
+    ///
+    /// * **window not full** (`outstanding + pending < mlp`): the serial window can
+    ///   only be emptier (a pending completion the serial loop knows about may
+    ///   already have retired), so the serial answer is also `front_end_ready` —
+    ///   exact, and never a function of completions.
+    /// * **window full, oldest resolved completion ≤ every pending lower bound**:
+    ///   the oldest entry of the serial window is that resolved completion (any
+    ///   pending completion the serial loop would instead have *retired* is below
+    ///   the front end, so the `max` with `front_end_ready` erases the
+    ///   difference) — exact.
+    /// * **otherwise** the oldest completion may be one of the pending ones:
+    ///   unknown, but provably at or after `max(front_end, min pending bound)` —
+    ///   the epoch loop uses this cycle to bound its issue horizon.
+    pub fn next_issue_bound(&self) -> IssueBound {
+        let front_end = self.front_end_ready.ceil() as Cycle;
+        if self.outstanding.len() + self.pending_lbs.len() < self.mlp {
+            return IssueBound::Exact(front_end);
+        }
+        let pending_lb = self.pending_completion_lower_bound();
+        match self.outstanding.peek() {
+            Some(Reverse(oldest)) if *oldest <= pending_lb => {
+                IssueBound::Exact(front_end.max(*oldest))
+            }
+            _ => IssueBound::NotBefore(front_end.max(pending_lb)),
+        }
     }
 
     /// The earliest cycle this core can issue its next miss, **if** that cycle is
-    /// provably below `horizon`; `None` means the next issue is at or beyond
-    /// `horizon` (and may depend on completions that are not yet known).
+    /// provably exact and below `horizon`; `None` means the next issue is at or
+    /// beyond `horizon`, or depends on completions that are not yet known.
     ///
-    /// Contract: every pending (unresolved) issue must be guaranteed to complete at
-    /// or after `horizon`. The epoch-phased loop guarantees this by capping the
-    /// epoch window at the minimum access latency of the memory system: an access
-    /// issued inside the window cannot complete inside it. Under that contract the
-    /// returned cycle is *exact* — identical to what [`CoreModel::next_issue_time`]
-    /// would return with full knowledge of the pending completions:
-    ///
-    /// * window not full: the answer is `front_end_ready`, which never depends on
-    ///   completions;
-    /// * window full with the oldest *resolved* completion below `horizon`: pending
-    ///   completions are all `>= horizon`, so the oldest entry overall is that
-    ///   resolved one;
-    /// * otherwise every candidate for the oldest completion is `>= horizon`, so the
-    ///   next issue is too — deferred to the next epoch, where it becomes exact.
+    /// This is [`CoreModel::next_issue_bound`] restricted to a fixed window —
+    /// retained for the fixed-horizon loop and its tests. Under the fixed-window
+    /// contract (every pending completion lower bound at or beyond `horizon`) the
+    /// two agree exactly.
     pub fn next_issue_before(&self, horizon: Cycle) -> Option<Cycle> {
-        let front_end = self.front_end_ready.ceil() as Cycle;
-        let t = if self.outstanding.len() + self.pending >= self.mlp {
-            match self.outstanding.peek() {
-                Some(Reverse(oldest)) if *oldest < horizon => front_end.max(*oldest),
-                _ => return None,
-            }
-        } else {
-            front_end
-        };
-        (t < horizon).then_some(t)
+        match self.next_issue_bound() {
+            IssueBound::Exact(t) if t < horizon => Some(t),
+            _ => None,
+        }
     }
 
-    /// Records that a miss was issued at `now` with a not-yet-known completion time.
+    /// Records that a miss was issued at `now` whose completion time is not yet
+    /// known but is guaranteed to be at least `completion_lb`.
     ///
     /// Identical to [`CoreModel::on_issue`] except that the completion is registered
     /// later via [`CoreModel::resolve_pending`]. Retiring completed misses here only
-    /// inspects resolved entries, which is exact under the epoch contract: pending
-    /// completions are `>= horizon > now`, so the serial loop would not retire them
-    /// at `now` either.
-    pub fn on_issue_pending(&mut self, now: Cycle) {
+    /// inspects resolved entries, which is exact for the issue schedule: a pending
+    /// completion the serial loop would retire at `now` frees a window slot, and
+    /// [`CoreModel::next_issue_bound`] already accounts for that asymmetry.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `completion_lb <= now` (an access can never
+    /// complete at or before its own issue cycle).
+    pub fn on_issue_pending(&mut self, now: Cycle, completion_lb: Cycle) {
+        debug_assert!(
+            completion_lb > now,
+            "completion lower bound {completion_lb} not after issue time {now}"
+        );
         while let Some(Reverse(t)) = self.outstanding.peek() {
             if *t <= now {
                 self.outstanding.pop();
@@ -159,7 +216,7 @@ impl CoreModel {
                 break;
             }
         }
-        self.pending += 1;
+        self.pending_lbs.push_back(completion_lb);
         self.issued += 1;
         self.front_end_ready = (now as f64).max(self.front_end_ready) + self.think_gap;
     }
@@ -168,10 +225,17 @@ impl CoreModel {
     ///
     /// # Panics
     ///
-    /// Panics if there is no pending issue to resolve.
+    /// Panics if there is no pending issue to resolve; in debug builds, panics if
+    /// the completion beats the lower bound it was registered with.
     pub fn resolve_pending(&mut self, completes_at: Cycle) {
-        assert!(self.pending > 0, "resolve_pending without a pending issue");
-        self.pending -= 1;
+        let lb = self
+            .pending_lbs
+            .pop_front()
+            .expect("resolve_pending without a pending issue");
+        debug_assert!(
+            completes_at >= lb,
+            "completion {completes_at} beats its registered lower bound {lb}"
+        );
         self.outstanding.push(Reverse(completes_at));
         self.last_completion = self.last_completion.max(completes_at);
     }
@@ -180,6 +244,7 @@ impl CoreModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn issues_are_spaced_by_think_gap_when_unconstrained() {
@@ -235,9 +300,9 @@ mod tests {
 
     #[test]
     fn epoch_phased_issue_matches_serial_issue() {
-        // One core driven by the serial API and one by the epoch-phased API against
-        // the same deterministic memory must issue at identical cycles and agree on
-        // every observable at every epoch barrier.
+        // One core driven by the serial API and one by the fixed-window epoch API
+        // against the same deterministic memory must issue at identical cycles and
+        // agree on every observable at every epoch barrier.
         let min_lat = 46;
         for (think_gap, mlp) in [(0.0, 1), (2.5, 12), (41.7, 3), (160.0, 2)] {
             let mut serial = CoreModel::new(0, think_gap, mlp);
@@ -259,7 +324,7 @@ mod tests {
                     let Some(t) = epoch.next_issue_before(horizon) else {
                         break;
                     };
-                    epoch.on_issue_pending(t);
+                    epoch.on_issue_pending(t, t + min_lat);
                     batch.push((t, i));
                     epoch_times.push(t);
                     i += 1;
@@ -286,8 +351,8 @@ mod tests {
     #[test]
     fn next_issue_before_defers_when_completion_unknown() {
         let mut core = CoreModel::new(0, 1.0, 2);
-        core.on_issue_pending(0);
-        core.on_issue_pending(1);
+        core.on_issue_pending(0, 46);
+        core.on_issue_pending(1, 47);
         // Window full, both completions unknown: the next issue cannot be computed
         // inside any horizon.
         assert_eq!(core.next_issue_before(1_000_000), None);
@@ -299,10 +364,154 @@ mod tests {
         assert_eq!(core.next_issue_before(100), None);
     }
 
+    // ---- Pending-lower-bound contract ----------------------------------------
+
+    #[test]
+    fn bound_is_exact_while_the_window_has_room() {
+        let mut core = CoreModel::new(0, 5.0, 3);
+        assert_eq!(core.next_issue_bound(), IssueBound::Exact(0));
+        core.on_issue_pending(0, 46);
+        core.on_issue_pending(5, 51);
+        // Two pending, window of three: still front-end-limited and exact.
+        assert_eq!(core.next_issue_bound(), IssueBound::Exact(10));
+        assert_eq!(core.pending_completion_lower_bound(), 46);
+    }
+
+    #[test]
+    fn window_full_of_pending_defers_to_the_oldest_bound() {
+        let mut core = CoreModel::new(0, 1.0, 2);
+        core.on_issue_pending(0, 46);
+        core.on_issue_pending(1, 47);
+        // The next issue needs a completion, and the earliest any pending
+        // completion can land is the oldest issue's bound.
+        assert_eq!(core.next_issue_bound(), IssueBound::NotBefore(46));
+        // A huge think gap dominates the pending bound.
+        let mut slow = CoreModel::new(0, 1_000.0, 2);
+        slow.on_issue_pending(0, 46);
+        slow.on_issue_pending(1_000, 1_046);
+        assert_eq!(slow.next_issue_bound(), IssueBound::NotBefore(2_000));
+    }
+
+    #[test]
+    fn resolved_oldest_below_pending_bound_stays_exact() {
+        // Window full with a mix of resolved and pending completions: exact as long
+        // as the oldest resolved completion is at or below every pending bound.
+        let mut core = CoreModel::new(0, 0.0, 2);
+        core.on_issue_pending(0, 46);
+        core.resolve_pending(60);
+        core.on_issue_pending(0, 46);
+        // outstanding = {60}, pending bound = 46: 60 > 46, so the oldest completion
+        // might be the pending one — deferred.
+        assert_eq!(core.next_issue_bound(), IssueBound::NotBefore(46));
+        core.resolve_pending(50);
+        // outstanding = {50, 60}: fully resolved, exact again.
+        assert_eq!(core.next_issue_bound(), IssueBound::Exact(50));
+        core.on_issue_pending(50, 96);
+        // outstanding = {60} (50 retired at issue), pending bound = 96: 60 <= 96,
+        // the oldest completion is provably the resolved one.
+        assert_eq!(core.next_issue_bound(), IssueBound::Exact(60));
+    }
+
+    #[test]
+    fn pending_bound_is_the_minimum_over_heterogeneous_bounds() {
+        // A later issue to an idle channel can carry a *smaller* conveyor bound
+        // than an earlier issue to a backlogged channel; the deferral bound must
+        // be the minimum, not the oldest.
+        let mut core = CoreModel::new(0, 0.0, 2);
+        core.on_issue_pending(0, 500);
+        core.on_issue_pending(3, 49);
+        assert_eq!(core.pending_completion_lower_bound(), 49);
+        assert_eq!(core.next_issue_bound(), IssueBound::NotBefore(49));
+        // Resolution order stays issue order even though the bounds are unordered.
+        core.resolve_pending(600);
+        assert_eq!(core.pending_completion_lower_bound(), 49);
+        core.resolve_pending(50);
+        assert_eq!(core.next_issue_bound(), IssueBound::Exact(50));
+    }
+
+    #[test]
+    fn resolutions_are_matched_to_bounds_in_issue_order() {
+        let mut core = CoreModel::new(0, 0.0, 4);
+        core.on_issue_pending(0, 46);
+        core.on_issue_pending(10, 56);
+        assert_eq!(core.pending(), 2);
+        assert_eq!(core.pending_completion_lower_bound(), 46);
+        core.resolve_pending(46);
+        // The remaining pending issue carries the later bound.
+        assert_eq!(core.pending(), 1);
+        assert_eq!(core.pending_completion_lower_bound(), 56);
+        core.resolve_pending(90);
+        assert_eq!(core.pending(), 0);
+        assert_eq!(core.pending_completion_lower_bound(), Cycle::MAX);
+        assert_eq!(core.finish_time(), 90);
+    }
+
     #[test]
     #[should_panic(expected = "without a pending issue")]
     fn resolve_without_pending_panics() {
         let mut core = CoreModel::new(0, 1.0, 2);
         core.resolve_pending(10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "beats its registered lower bound")]
+    fn completion_below_its_bound_is_rejected() {
+        let mut core = CoreModel::new(0, 1.0, 2);
+        core.on_issue_pending(0, 46);
+        core.resolve_pending(45);
+    }
+
+    proptest! {
+        /// The adaptive issue loop — issue while `next_issue_bound` is exact and
+        /// below every deferred core's bound, resolve at the barrier — reproduces
+        /// the serial issue schedule bit-for-bit, for any think gap, MLP and
+        /// (deterministic, bound-respecting) latency profile. This is the
+        /// single-core heart of the whole-system property pinned in
+        /// `tests/sharded_determinism.rs`.
+        #[test]
+        fn adaptive_issue_loop_matches_serial(
+            think_tenths in 0u64..2_000,
+            mlp in 1usize..16,
+            min_lat in 8u64..120,
+            spread in 0u64..300,
+        ) {
+            let think_gap = think_tenths as f64 / 10.0;
+            let latency = |i: u64| min_lat + if spread == 0 { 0 } else { (i * 131) % spread };
+            let total = 400u64;
+
+            let mut serial = CoreModel::new(0, think_gap, mlp);
+            let mut serial_times = Vec::new();
+            for i in 0..total {
+                let t = serial.next_issue_time();
+                serial.on_issue(t, t + latency(i));
+                serial_times.push(t);
+            }
+
+            let mut core = CoreModel::new(0, think_gap, mlp);
+            let mut times = Vec::new();
+            let mut i = 0u64;
+            while i < total {
+                let mut batch = Vec::new();
+                // Adaptive window: keep issuing while the next issue is provably
+                // exact. (With one core there is no cross-core horizon to respect.)
+                while i < total {
+                    let IssueBound::Exact(t) = core.next_issue_bound() else {
+                        break;
+                    };
+                    core.on_issue_pending(t, t + min_lat);
+                    batch.push((t, i));
+                    times.push(t);
+                    i += 1;
+                }
+                prop_assert!(!batch.is_empty(), "an epoch must always issue");
+                for (t, idx) in batch {
+                    core.resolve_pending(t + latency(idx));
+                }
+            }
+            prop_assert_eq!(&times, &serial_times);
+            prop_assert_eq!(core.finish_time(), serial.finish_time());
+            prop_assert_eq!(core.pending(), 0);
+        }
     }
 }

@@ -30,8 +30,9 @@ pub mod sharded;
 pub mod system;
 
 pub use config::SystemConfig;
-pub use core_model::CoreModel;
+pub use core_model::{CoreModel, IssueBound};
 pub use llc::{Llc, LlcConfig, LlcOutcome};
 pub use metrics::{geometric_mean, PerformanceResult};
 pub use runner::{Configuration, ExperimentRunner, NormalizedResult};
+pub use sharded::{EpochStats, HorizonMode};
 pub use system::{RunOutput, System};

@@ -1,18 +1,13 @@
 //! The epoch-phased shard driver behind [`crate::System::run_with_threads`].
 //!
-//! A run is a sequence of *epochs*. Each epoch covers the issue-time window
-//! `[T, T + L)` where `T` is the earliest cycle any core can issue and `L` is the
-//! guaranteed minimum access latency of the memory system
-//! ([`ChannelShard::min_access_latency`], `tCAS + tBURST`). The window length is the
-//! load-bearing choice: an access issued inside the window completes at or after
-//! `T + L`, i.e. strictly outside it, so **no core-timing feedback ever crosses an
-//! epoch boundary**. That gives the loop three phases:
+//! A run is a sequence of *epochs*, each with three phases:
 //!
 //! 1. **Issue** — replay the serial scheduler exactly: repeatedly pick the
-//!    lowest-numbered core with the minimal next issue time below the window end
-//!    ([`crate::CoreModel::next_issue_before`], which is exact under the window
-//!    invariant), draw its next access from the workload mix, decode the address and
-//!    append it to the owning channel's queue. The global issue order is recorded.
+//!    lowest-numbered core with the minimal provably-exact next issue time (a
+//!    heap-based ready queue ordered by `(cycle, core)` — see
+//!    [`crate::CoreModel::next_issue_bound`]), draw its next access from the
+//!    workload mix, decode the address and append it to the owning channel's queue.
+//!    The global issue order is recorded.
 //! 2. **Execute** — run every channel shard over its queue. Channels share no state,
 //!    and each shard sees its requests in the same order and at the same cycles as a
 //!    serial controller would, so this phase parallelizes freely across the
@@ -25,16 +20,113 @@
 //!    completion is resolved, which re-establishes the issue-phase invariant for the
 //!    next epoch.
 //!
-//! Because phase 1 reproduces the serial issue schedule exactly and each shard's
-//! request sequence is the serial per-channel sequence, the whole loop is bit-for-bit
-//! identical to the pre-shard serial `System::run` — `tests/sharded_determinism.rs`
-//! pins this against a literal transcription of that loop.
+//! How long an epoch's issue window runs is governed by a [`HorizonMode`]:
+//!
+//! * [`HorizonMode::Fixed`] caps the window at the guaranteed minimum access
+//!   latency ([`ChannelShard::min_access_latency`], `tCAS + tBURST`) past the
+//!   epoch's first issue — the PR 3 loop. No access issued inside such a window
+//!   can complete inside it, so every issue decision is trivially exact; but a run
+//!   degenerates into thousands of tiny fork-join rounds whose barrier cost eats
+//!   the shard parallelism.
+//! * [`HorizonMode::Adaptive`] (the default) bounds the window by the *dependency
+//!   structure* instead: cores keep issuing while their next issue time is provably
+//!   independent of every unresolved completion. Front-end-limited cores extend
+//!   the window freely; a core whose MLP window fills up with pending issues
+//!   contributes a horizon bound at `max(front_end, oldest_pending_issue + L)` —
+//!   the earliest cycle any of its pending completions can land, backed by the
+//!   per-access latency lower bound [`ChannelShard::min_access_latency`] asserts.
+//!   Issuing stops once every ready core's next exact issue time reaches the
+//!   minimum of those bounds. Streams and high-MLP mixes batch tens to hundreds
+//!   of issues per barrier instead of a handful.
+//!
+//! Both modes replay the serial scheduler's issue order and completion-visibility
+//! decisions exactly, so the whole loop is bit-for-bit identical to the pre-shard
+//! serial `System::run` at any `IMPRESS_THREADS` — `tests/sharded_determinism.rs`
+//! pins both modes against a literal transcription of that loop, and
+//! `crates/sim/src/core_model.rs` pins the per-core exactness argument.
 
 use std::sync::Mutex;
 
 use impress_dram::address::DramAddress;
 use impress_dram::timing::Cycle;
 use impress_memctrl::ChannelShard;
+
+/// How the epoch-phased run loop sizes its issue windows.
+///
+/// Both modes produce bit-for-bit identical simulation output (the issue schedule
+/// is the serial scheduler's either way); they differ only in how many issues are
+/// batched between barriers, i.e. in wall-clock cost. [`HorizonMode::Adaptive`] is
+/// the default; `Fixed` is retained as the reference point `perf_report` and the
+/// determinism suite compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HorizonMode {
+    /// Issue window capped at the guaranteed minimum access latency past the
+    /// epoch's first issue (the PR 3 loop).
+    Fixed,
+    /// Dependency-bounded window: issue until every eligible core's next issue
+    /// time depends on an unresolved completion.
+    #[default]
+    Adaptive,
+}
+
+/// Environment variable selecting the default [`HorizonMode`]
+/// (`fixed`/`adaptive`; anything else falls back to adaptive).
+pub const HORIZON_ENV: &str = "IMPRESS_HORIZON";
+
+impl HorizonMode {
+    /// The mode selected by the `IMPRESS_HORIZON` environment variable
+    /// (default: [`HorizonMode::Adaptive`]).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var(HORIZON_ENV).ok().as_deref())
+    }
+
+    /// Parsing behind [`HorizonMode::from_env`], split out so tests can cover it
+    /// without mutating process-global environment state (tests in one binary
+    /// run concurrently, and other tests read the variable via `System::run`).
+    fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v.trim().eq_ignore_ascii_case("fixed") => HorizonMode::Fixed,
+            _ => HorizonMode::Adaptive,
+        }
+    }
+}
+
+/// Issue-batching statistics of one epoch-phased run.
+///
+/// These describe the *scheduling* of the run (how much work each fork-join round
+/// amortized), not its simulated outcome: fixed- and adaptive-horizon runs of the
+/// same system produce identical [`crate::RunOutput`] simulation results but very
+/// different `EpochStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Fork-join rounds (epochs) the run needed.
+    pub epochs: u64,
+    /// Demand accesses issued (equals the run's total request count).
+    pub issues: u64,
+    /// Sum over epochs of the issue-window span in cycles
+    /// (`last_issue - first_issue + 1`).
+    pub window_cycles: u64,
+}
+
+impl EpochStats {
+    /// Mean demand accesses issued per epoch barrier.
+    pub fn mean_issues_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.issues as f64 / self.epochs as f64
+        }
+    }
+
+    /// Mean issue-window span per epoch, in simulated cycles.
+    pub fn mean_window_cycles(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.window_cycles as f64 / self.epochs as f64
+        }
+    }
+}
 
 /// One demand access routed to a channel queue during the issue phase.
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +146,8 @@ pub(crate) struct ShardTask {
     pub shard: ChannelShard,
     pub queue: Vec<QueuedAccess>,
     pub completions: Vec<Cycle>,
-    /// The epoch window length; only used to check the window invariant.
+    /// The per-access latency lower bound; only used to check the invariant the
+    /// adaptive horizon relies on.
     min_latency: Cycle,
 }
 
@@ -79,9 +172,18 @@ impl ShardTask {
         completions.clear();
         for q in queue.iter() {
             let outcome = shard.access(q.location, q.is_write, q.at);
+            // The per-access lower bound every pending-completion deferral is
+            // built on (`ChannelShard::access` asserts the same bound at the
+            // source): an access can never complete within `min_latency` of its
+            // issue. Unlike PR 3's fixed windows, an adaptive window may well be
+            // longer than `min_latency` — completions of early accesses can land
+            // *inside* the window — but any core whose next issue could observe
+            // such a completion was deferred at issue time, so the bound below is
+            // exactly what correctness needs.
             debug_assert!(
                 outcome.completed_at >= q.at + *min_latency,
-                "access completed inside its epoch window: issued {} completed {} (L = {})",
+                "access completed within the minimum access latency: issued {} \
+                 completed {} (lower bound {})",
                 q.at,
                 outcome.completed_at,
                 min_latency
@@ -108,4 +210,34 @@ pub(crate) fn make_tasks(shards: Vec<ChannelShard>, min_latency: Cycle) -> Shard
 /// Locks a task; the lock is uncontended by construction (see [`ShardTasks`]).
 pub(crate) fn lock_task(tasks: &ShardTasks, index: usize) -> std::sync::MutexGuard<'_, ShardTask> {
     tasks[index].lock().expect("shard task mutex poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_mode_parsing() {
+        // Exercises the parser directly rather than set_var/remove_var: tests in
+        // this binary run concurrently and others read the variable through
+        // `System::run`, so mutating the process environment here would race.
+        assert_eq!(HorizonMode::parse(Some("fixed")), HorizonMode::Fixed);
+        assert_eq!(HorizonMode::parse(Some(" FIXED ")), HorizonMode::Fixed);
+        assert_eq!(HorizonMode::parse(Some("adaptive")), HorizonMode::Adaptive);
+        assert_eq!(HorizonMode::parse(Some("nonsense")), HorizonMode::Adaptive);
+        assert_eq!(HorizonMode::parse(None), HorizonMode::Adaptive);
+    }
+
+    #[test]
+    fn epoch_stats_means() {
+        let s = EpochStats {
+            epochs: 4,
+            issues: 100,
+            window_cycles: 400,
+        };
+        assert_eq!(s.mean_issues_per_epoch(), 25.0);
+        assert_eq!(s.mean_window_cycles(), 100.0);
+        assert_eq!(EpochStats::default().mean_issues_per_epoch(), 0.0);
+        assert_eq!(EpochStats::default().mean_window_cycles(), 0.0);
+    }
 }

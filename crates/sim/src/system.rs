@@ -7,15 +7,19 @@
 //! epoch barrier (merge phase). The output is bit-for-bit identical for any thread
 //! count, and identical to the pre-shard serial loop.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use impress_dram::energy::{EnergyBreakdown, EnergyModel};
 use impress_dram::stats::ChannelStats;
+use impress_dram::timing::Cycle;
 use impress_memctrl::{ChannelShard, MemoryController};
 use impress_workloads::WorkloadMix;
 
 use crate::config::SystemConfig;
-use crate::core_model::CoreModel;
+use crate::core_model::{CoreModel, IssueBound};
 use crate::metrics::PerformanceResult;
-use crate::sharded::{lock_task, make_tasks, QueuedAccess};
+use crate::sharded::{lock_task, make_tasks, EpochStats, HorizonMode, QueuedAccess};
 
 /// Everything a simulation run produces: performance, memory statistics and energy.
 #[derive(Debug, Clone)]
@@ -28,6 +32,11 @@ pub struct RunOutput {
     pub memory: ChannelStats,
     /// DRAM energy breakdown for the run.
     pub energy: EnergyBreakdown,
+    /// Issue-batching statistics of the epoch-phased loop. Scheduling metadata
+    /// only: two runs of the same system agree on every *simulation* field above
+    /// regardless of thread count or [`HorizonMode`], but their `epoch_stats`
+    /// differ across horizon modes.
+    pub epoch_stats: EpochStats,
 }
 
 impl RunOutput {
@@ -98,13 +107,19 @@ impl System {
     }
 
     /// Runs the epoch-phased loop with up to `threads` workers executing channel
-    /// shards (clamped to the channel count; `1` executes inline).
+    /// shards (clamped to the channel count; `1` executes inline) and the horizon
+    /// mode selected by `IMPRESS_HORIZON` (default: adaptive).
     ///
-    /// The result is **bit-for-bit identical for every `threads` value**: the issue
-    /// phase replays the serial scheduler exactly, shards share no state, and the
-    /// merge phase resolves completions in global issue order. See [`crate::sharded`]
-    /// for the argument.
+    /// The result is **bit-for-bit identical for every `threads` value and either
+    /// horizon mode**: the issue phase replays the serial scheduler exactly, shards
+    /// share no state, and the merge phase resolves completions in global issue
+    /// order. See [`crate::sharded`] for the argument.
     pub fn run_with_threads(self, threads: usize) -> RunOutput {
+        self.run_with_horizon(threads, HorizonMode::from_env())
+    }
+
+    /// [`System::run_with_threads`] with an explicit [`HorizonMode`].
+    pub fn run_with_horizon(self, threads: usize, mode: HorizonMode) -> RunOutput {
         let System {
             config,
             mut cores,
@@ -116,6 +131,7 @@ impl System {
 
         let (controller_config, shards) = controller.into_parts();
         let min_latency = ChannelShard::min_access_latency(&controller_config.timings);
+        let bus_spacing = ChannelShard::min_completion_spacing(&controller_config.timings);
         let tasks = make_tasks(shards, min_latency);
         let channels = tasks.len();
 
@@ -124,6 +140,8 @@ impl System {
         let mix_ref = &mut mix;
         let mapping = controller_config.mapping;
         let organization = &controller_config.organization;
+        let mut epoch_stats = EpochStats::default();
+        let epoch_stats_ref = &mut epoch_stats;
 
         impress_exec::epoch_scope(
             threads,
@@ -137,35 +155,59 @@ impl System {
                     (0..channels).map(|_| Vec::new()).collect();
                 let mut completions: Vec<Vec<u64>> = (0..channels).map(|_| Vec::new()).collect();
                 let mut cursors: Vec<usize> = vec![0; channels];
+                // Ready queue: cores whose next issue time is provably exact,
+                // ordered by (cycle, core id) — exactly the serial scheduler's
+                // pick-the-minimum-then-lowest-core rule, O(log cores) per issue
+                // instead of the old O(cores) rescan.
+                let mut ready: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
+                // Last known completion per channel, feeding the bus-conveyor
+                // completion lower bound: the k-th access queued on a channel this
+                // epoch cannot complete before `last + k * bus_spacing`
+                // (ChannelShard::min_completion_spacing). Under load this reaches
+                // far beyond the per-access `min_latency` bound — the channel has
+                // a backlog of bus slots — which is what keeps deep-MLP cores
+                // provably exact while they drain their whole resolved window.
+                let mut last_completion: Vec<Cycle> = vec![0; channels];
 
                 while remaining > 0 {
-                    // ---- Barrier state: every prior completion is resolved. ----
-                    let epoch_start = cores_ref
-                        .iter()
-                        .filter(|c| c.issued() < quota)
-                        .map(CoreModel::next_issue_time)
-                        .min()
-                        .expect("remaining > 0 implies an eligible core");
-                    let horizon = epoch_start + min_latency;
-
-                    // ---- Issue phase: replay the serial scheduler inside the window.
-                    order.clear();
-                    loop {
-                        let mut best: Option<(usize, u64)> = None;
-                        for core in cores_ref.iter() {
-                            if core.issued() >= quota {
-                                continue;
-                            }
-                            let Some(t) = core.next_issue_before(horizon) else {
-                                continue;
-                            };
-                            if best.is_none_or(|(_, bt)| t < bt) {
-                                best = Some((core.id(), t));
+                    // ---- Barrier state: every prior completion is resolved, so
+                    // every eligible core's next issue time is exact.
+                    ready.clear();
+                    let mut horizon = Cycle::MAX;
+                    for core in cores_ref.iter() {
+                        if core.issued() >= quota {
+                            continue;
+                        }
+                        match core.next_issue_bound() {
+                            IssueBound::Exact(t) => ready.push(Reverse((t, core.id()))),
+                            IssueBound::NotBefore(_) => {
+                                unreachable!("a core cannot have pending issues at a barrier")
                             }
                         }
-                        let Some((core_id, now)) = best else {
+                    }
+                    let epoch_start = ready
+                        .peek()
+                        .map(|Reverse((t, _))| *t)
+                        .expect("remaining > 0 implies an eligible core");
+                    if mode == HorizonMode::Fixed {
+                        // The PR 3 window: no access issued below this horizon can
+                        // complete below it, so no deferral bound ever undercuts it.
+                        horizon = epoch_start + min_latency;
+                    }
+
+                    // ---- Issue phase: replay the serial scheduler inside the
+                    // (dependency-bounded) window. A core leaves the ready queue
+                    // when it issues and re-enters with its new exact time, or
+                    // lowers the horizon to its pending-completion bound when its
+                    // next issue is no longer provable — the epoch ends when the
+                    // earliest ready issue reaches the horizon.
+                    let mut last_issue = epoch_start;
+                    order.clear();
+                    while let Some(&Reverse((now, core_id))) = ready.peek() {
+                        if now >= horizon {
                             break;
-                        };
+                        }
+                        ready.pop();
                         let access = mix_ref.next_access(core_id);
                         let location = mapping
                             .decode(access.address, organization)
@@ -177,10 +219,25 @@ impl System {
                             at: now,
                         });
                         order.push((core_id, channel));
-                        cores_ref[core_id].on_issue_pending(now);
+                        last_issue = now;
+                        // Completion lower bound: the access's own minimum latency
+                        // joined with its position on the channel's bus conveyor.
+                        let conveyor =
+                            last_completion[channel] + queues[channel].len() as Cycle * bus_spacing;
+                        let core = &mut cores_ref[core_id];
+                        core.on_issue_pending(now, (now + min_latency).max(conveyor));
                         remaining -= 1;
+                        if core.issued() < quota {
+                            match core.next_issue_bound() {
+                                IssueBound::Exact(t) => ready.push(Reverse((t, core_id))),
+                                IssueBound::NotBefore(bound) => horizon = horizon.min(bound),
+                            }
+                        }
                     }
                     debug_assert!(!order.is_empty(), "every epoch issues at least once");
+                    epoch_stats_ref.epochs += 1;
+                    epoch_stats_ref.issues += order.len() as u64;
+                    epoch_stats_ref.window_cycles += last_issue - epoch_start + 1;
 
                     // ---- Execute phase: shards run independently (possibly on the
                     // epoch pool); each sees its serial per-channel request sequence.
@@ -195,14 +252,26 @@ impl System {
                         queues[channel].clear();
                     }
 
-                    // ---- Merge phase: feed completions back in global issue order.
+                    // ---- Merge phase: feed completions back in global issue order
+                    // and advance each channel's conveyor reference point.
                     cursors.fill(0);
                     for &(core_id, channel) in &order {
                         let completed_at = completions[channel][cursors[channel]];
                         cursors[channel] += 1;
                         cores_ref[core_id].resolve_pending(completed_at);
                     }
+                    for (channel, batch) in completions.iter().enumerate() {
+                        if let Some(&last) = batch.last() {
+                            debug_assert!(last >= last_completion[channel]);
+                            last_completion[channel] = last;
+                        }
+                    }
                 }
+                debug_assert_eq!(
+                    scope.rounds_run(),
+                    epoch_stats_ref.epochs,
+                    "every epoch runs exactly one pool round"
+                );
             },
         );
 
@@ -239,6 +308,7 @@ impl System {
             },
             memory,
             energy,
+            epoch_stats,
         }
     }
 }
@@ -335,6 +405,52 @@ mod tests {
         );
         assert_eq!(serial.memory, sharded.memory);
         assert!(serial.memory.banks.mitigative_activations > 0);
+    }
+
+    #[test]
+    fn adaptive_horizon_matches_fixed_horizon_bit_for_bit() {
+        use crate::sharded::HorizonMode;
+        let mk = || {
+            System::new(
+                quick_config(1_500),
+                WorkloadMix::by_name("copy", 9).unwrap(),
+            )
+        };
+        let fixed = mk().run_with_horizon(1, HorizonMode::Fixed);
+        for threads in [1usize, 4] {
+            let adaptive = mk().run_with_horizon(threads, HorizonMode::Adaptive);
+            assert_eq!(
+                adaptive.performance.elapsed_cycles, fixed.performance.elapsed_cycles,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                adaptive.performance.per_core_ipc,
+                fixed.performance.per_core_ipc
+            );
+            assert_eq!(adaptive.memory, fixed.memory);
+            assert_eq!(
+                adaptive.energy.total_nj().to_bits(),
+                fixed.energy.total_nj().to_bits()
+            );
+            // Identical simulation, very different scheduling: the adaptive loop
+            // amortizes far more issues over each barrier on a stream workload.
+            assert_eq!(adaptive.epoch_stats.issues, fixed.epoch_stats.issues);
+            assert!(
+                adaptive.epoch_stats.epochs * 4 <= fixed.epoch_stats.epochs,
+                "adaptive used {} epochs vs fixed {}",
+                adaptive.epoch_stats.epochs,
+                fixed.epoch_stats.epochs
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_stats_account_for_every_issue() {
+        let out = System::new(quick_config(800), WorkloadMix::by_name("mcf", 1).unwrap()).run();
+        assert_eq!(out.epoch_stats.issues, 8 * 800);
+        assert!(out.epoch_stats.epochs > 0);
+        assert!(out.epoch_stats.window_cycles >= out.epoch_stats.epochs);
+        assert!(out.epoch_stats.mean_issues_per_epoch() >= 1.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end determinism gate for the epoch-phased sharded run loop, mirroring
 //! `tests/parallel_determinism.rs` (which gates the *sweep-level* axis).
 //!
-//! Two properties are pinned:
+//! Three properties are pinned:
 //!
 //! 1. **Serial fidelity** — `System::run` (the epoch-phased loop) is bit-for-bit
 //!    identical to the pre-shard serial loop: one `while` over the global
@@ -11,13 +11,21 @@
 //! 2. **Thread-count invariance** — `System::run_with_threads(n)` produces identical
 //!    output for every `n`, including configurations where shards carry
 //!    defense/tracker state and the system has more channels than the baseline.
+//! 3. **Horizon-mode invariance** — the adaptive (dependency-bounded) issue window
+//!    and the fixed (minimum-access-latency) window replay the same serial issue
+//!    schedule, so `run_with_horizon` output is identical across both modes and
+//!    every thread count — pinned both on named configurations and on a seeded
+//!    randomized sweep over workload mixes × channel counts × protection ×
+//!    thread counts.
 
 use impress_repro::core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_repro::dram::energy::EnergyModel;
 use impress_repro::dram::organization::DramOrganization;
 use impress_repro::dram::stats::ChannelStats;
 use impress_repro::memctrl::{ControllerConfig, MemoryController};
-use impress_repro::sim::{Configuration, CoreModel, ExperimentRunner, System, SystemConfig};
+use impress_repro::sim::{
+    Configuration, CoreModel, ExperimentRunner, HorizonMode, System, SystemConfig,
+};
 use impress_repro::workloads::WorkloadMix;
 
 /// What a run observably produces; everything compared bit-for-bit.
@@ -149,13 +157,75 @@ fn epoch_phased_run_reproduces_the_serial_reference_exactly() {
             let mix = || WorkloadMix::by_name(workload, 11).unwrap();
             let cfg = || system_config(controller.clone(), 1_500);
             let reference = reference_serial_run(cfg(), mix());
+            for mode in [HorizonMode::Fixed, HorizonMode::Adaptive] {
+                for threads in [1usize, 2, 4, 8] {
+                    let out = System::new(cfg(), mix()).run_with_horizon(threads, mode);
+                    assert_eq!(
+                        Observed::of(&out),
+                        reference,
+                        "{label}/{workload} diverged from the serial reference at \
+                         {threads} shard threads in {mode:?} horizon mode"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded randomized sweep of the third property: for random (workload, channel
+/// count, protection, request quota) draws, the adaptive-horizon loop, the
+/// fixed-window loop and the literal serial transcription agree bit-for-bit at
+/// 1/2/4/8 shard threads. The vendored `proptest` stand-in pins each property at
+/// 256 cases — far too many full-system runs — so this drives the same
+/// generate-and-check shape from an explicit deterministic RNG.
+#[test]
+fn random_mixes_agree_across_serial_fixed_and_adaptive_horizons() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let workloads = ["gcc", "mcf", "copy", "add_triad", "bwaves", "scale"];
+    let trackers = [
+        None,
+        Some(TrackerChoice::Graphene),
+        Some(TrackerChoice::Para),
+        Some(TrackerChoice::Mithril),
+    ];
+    let mut rng = SmallRng::seed_from_u64(0x1A7E_5EED_0004);
+    for case in 0..16 {
+        let workload = workloads[rng.gen_range(0..workloads.len())];
+        let channels = [1u8, 2, 4][rng.gen_range(0..3usize)];
+        let tracker = trackers[rng.gen_range(0..trackers.len())];
+        let requests = rng.gen_range(300..900u64);
+        let seed = rng.gen_range(0..u64::MAX);
+
+        let mut controller = ControllerConfig {
+            organization: DramOrganization {
+                channels,
+                ..DramOrganization::baseline()
+            },
+            ..ControllerConfig::baseline()
+        };
+        if let Some(tracker) = tracker {
+            controller = controller.with_protection(ProtectionConfig::paper_default(
+                tracker,
+                DefenseKind::impress_p_default(),
+            ));
+        }
+        let label = format!(
+            "case {case}: {workload} x{channels}ch tracker={tracker:?} \
+             requests={requests} seed={seed}"
+        );
+
+        let mix = || WorkloadMix::by_name(workload, seed).unwrap();
+        let cfg = || system_config(controller.clone(), requests);
+        let reference = reference_serial_run(cfg(), mix());
+        for mode in [HorizonMode::Fixed, HorizonMode::Adaptive] {
             for threads in [1usize, 2, 4, 8] {
-                let out = System::new(cfg(), mix()).run_with_threads(threads);
+                let out = System::new(cfg(), mix()).run_with_horizon(threads, mode);
                 assert_eq!(
                     Observed::of(&out),
                     reference,
-                    "{label}/{workload} diverged from the serial reference at \
-                     {threads} shard threads"
+                    "{label} diverged at {threads} threads in {mode:?} mode"
                 );
             }
         }
