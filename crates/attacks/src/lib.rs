@@ -25,6 +25,7 @@ pub mod runner;
 
 pub use analytic::{graphene_attack_slowdown, para_attack_slowdown};
 pub use patterns::{
-    AttackPattern, CombinedPattern, EvasionPattern, RowPressPattern, RowhammerPattern,
+    AttackPattern, CombinedPattern, EvasionPattern, RotatingAggressorPattern, RowPressPattern,
+    RowhammerPattern, ThresholdStraddlingPattern,
 };
 pub use runner::{AttackPerformanceReport, AttackRunner};

@@ -208,6 +208,149 @@ impl AttackPattern for EvasionPattern {
     }
 }
 
+/// Rotating-aggressor churn: round-robin over a row set larger than any tracker
+/// table, so (after warm-up) nearly every access misses the table and exercises
+/// the eviction path — the worst case the stream-summary engine is built for,
+/// and the shape `perf_report`'s churn gate measures.
+///
+/// Each row recurs every `rows` accesses; with `rows` greater than the table
+/// entry count a row is usually displaced before it returns, so the tracker
+/// sees a permanent miss storm while every row's true activation rate stays far
+/// below the Rowhammer threshold (the disturbance is spread, not concentrated).
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingAggressorPattern {
+    /// First row of the rotation.
+    pub base: RowId,
+    /// Number of rows rotated over (choose > tracker entries for full churn).
+    pub rows: u32,
+    /// Distance between consecutive rows (≥ 1; > 2×blast radius keeps victim
+    /// sets disjoint so no single victim accumulates compound damage).
+    pub stride: u32,
+    /// Open time per access (0 = minimum-length Rowhammer accesses).
+    pub t_on: Cycle,
+}
+
+impl RotatingAggressorPattern {
+    /// Creates a minimum-open-time rotation over `rows` rows starting at `base`.
+    pub fn new(base: RowId, rows: u32, stride: u32) -> Self {
+        assert!(rows > 0, "rotation needs at least one row");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            base,
+            rows,
+            stride,
+            t_on: 0,
+        }
+    }
+
+    /// The same rotation with a Row-Press open time per access.
+    pub fn with_press(mut self, t_on: Cycle) -> Self {
+        self.t_on = t_on;
+        self
+    }
+}
+
+impl AttackPattern for RotatingAggressorPattern {
+    fn round(&self, i: u64) -> AggressorAccess {
+        let k = (i % u64::from(self.rows)) as u32;
+        AggressorAccess {
+            row: self.base + k * self.stride,
+            t_on: self.t_on,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Rotating({} rows from {}, stride {}, tON {})",
+            self.rows, self.base, self.stride, self.t_on
+        )
+    }
+}
+
+/// Threshold-straddling churn: a small set of aggressors is driven in bursts
+/// that approach (but keep re-arming below) the tracker's internal threshold,
+/// while one-shot churn rows are injected between bursts.
+///
+/// The aggressors pin high-count table entries near the mitigation threshold;
+/// the churn rows force a steady stream of insert/evict decisions at the bottom
+/// of the count order, with frequent ties. This maximizes evictions *while*
+/// counts straddle the threshold — the adversarial shape for an eviction engine,
+/// since a wrong victim choice (e.g. displacing a near-threshold aggressor) is
+/// immediately visible as extra unmitigated disturbance in the security harness
+/// A/B gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdStraddlingPattern {
+    /// First aggressor row.
+    pub base: RowId,
+    /// Number of aggressors cycled burst-by-burst.
+    pub aggressors: u32,
+    /// Consecutive accesses per aggressor burst (size toward
+    /// `internal_threshold / aggressors` so counts climb to the threshold over
+    /// one rotation without crossing inside a single burst).
+    pub burst: u32,
+    /// One-shot churn rows injected after each burst.
+    pub churn_per_burst: u32,
+    /// Number of distinct churn rows before the injection sequence repeats.
+    pub churn_universe: u32,
+    /// Open time for aggressor accesses (0 = Rowhammer; churn rows always use
+    /// minimum-length accesses).
+    pub t_on: Cycle,
+}
+
+impl ThresholdStraddlingPattern {
+    /// Creates a straddling pattern with `aggressors` hot rows from `base` and
+    /// `churn_per_burst` eviction-forcing rows injected per burst.
+    pub fn new(base: RowId, aggressors: u32, burst: u32, churn_per_burst: u32) -> Self {
+        assert!(aggressors > 0 && burst > 0, "need at least one hot access");
+        Self {
+            base,
+            aggressors,
+            burst,
+            churn_per_burst,
+            churn_universe: (churn_per_burst.max(1)) * 64,
+            t_on: 0,
+        }
+    }
+
+    /// The same pattern with a Row-Press open time on the aggressor accesses.
+    pub fn with_press(mut self, t_on: Cycle) -> Self {
+        self.t_on = t_on;
+        self
+    }
+
+    /// First row of the churn range (kept clear of the aggressors' victims).
+    fn churn_base(&self) -> RowId {
+        self.base + self.aggressors * 8 + 16
+    }
+}
+
+impl AttackPattern for ThresholdStraddlingPattern {
+    fn round(&self, i: u64) -> AggressorAccess {
+        let period = u64::from(self.burst + self.churn_per_burst);
+        let block = i / period;
+        let j = i % period;
+        if j < u64::from(self.burst) {
+            let aggressor = (block % u64::from(self.aggressors)) as u32;
+            AggressorAccess {
+                // Aggressors spaced so their victim sets stay disjoint.
+                row: self.base + aggressor * 8,
+                t_on: self.t_on,
+            }
+        } else {
+            let injected = block * u64::from(self.churn_per_burst) + (j - u64::from(self.burst));
+            let churn = (injected % u64::from(self.churn_universe.max(1))) as u32;
+            AggressorAccess::hammer(self.churn_base() + churn)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Straddling({} aggressors from {}, burst {}, {} churn/burst, tON {})",
+            self.aggressors, self.base, self.burst, self.churn_per_burst, self.t_on
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +411,42 @@ mod tests {
         let p = RowPressPattern::new(3, 1000);
         let via_iter: Vec<_> = p.iter(5).collect();
         assert_eq!(via_iter, p.accesses(5));
+    }
+
+    #[test]
+    fn rotating_pattern_cycles_distinct_rows() {
+        let p = RotatingAggressorPattern::new(100, 5, 8);
+        let rows: Vec<RowId> = (0..10).map(|i| p.round(i).row).collect();
+        assert_eq!(rows[..5], [100, 108, 116, 124, 132]);
+        assert_eq!(rows[5..], rows[..5], "rotation repeats");
+        assert_eq!(p.round(0).t_on, 0);
+        let pressed = p.with_press(9_999);
+        assert_eq!(pressed.round(3).t_on, 9_999);
+        assert!(p.name().contains("Rotating"));
+    }
+
+    #[test]
+    fn straddling_pattern_interleaves_bursts_and_churn() {
+        let p = ThresholdStraddlingPattern::new(1_000, 2, 3, 2);
+        // Block 0: aggressor 0 (row 1000) x3, then two churn rows.
+        for i in 0..3 {
+            assert_eq!(p.round(i).row, 1_000);
+        }
+        let c0 = p.round(3).row;
+        let c1 = p.round(4).row;
+        assert!(c0 >= p.churn_base() && c1 >= p.churn_base());
+        assert_ne!(c0, c1, "churn rows are one-shot within a block");
+        // Block 1 bursts the next aggressor, spaced by 8 rows.
+        assert_eq!(p.round(5).row, 1_008);
+        // Churn rows keep advancing across blocks before wrapping.
+        assert_ne!(p.round(8).row, c0);
+        assert!(p.name().contains("Straddling"));
+    }
+
+    #[test]
+    fn straddling_churn_rows_avoid_aggressor_victims() {
+        let p = ThresholdStraddlingPattern::new(500, 4, 10, 3);
+        let last_aggressor = 500 + 3 * 8;
+        assert!(p.churn_base() > last_aggressor + 2, "victim sets disjoint");
     }
 }

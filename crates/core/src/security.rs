@@ -124,6 +124,27 @@ impl SecurityHarness {
         }
     }
 
+    /// Builds two harnesses identical except for the counter-tracker eviction
+    /// engine: `(scan, summary)`. The A/B security gate replays the same attack
+    /// pattern through both and requires the summary engine's maximum
+    /// unmitigated disturbance to stay at or below the seed (scan) engine's —
+    /// the empirical half of the observational-equivalence contract (the
+    /// analytical half, the Misra-Gries no-undercount bound, is property-tested
+    /// in `impress-trackers`).
+    pub fn eviction_engine_pair(
+        config: &ProtectionConfig,
+        alpha: f64,
+        timings: &DramTimings,
+    ) -> (SecurityHarness, SecurityHarness) {
+        use impress_trackers::EvictionEngine;
+        let scan = config.clone().with_eviction_engine(EvictionEngine::Scan);
+        let summary = config.clone().with_eviction_engine(EvictionEngine::Summary);
+        (
+            SecurityHarness::new(&scan, alpha, timings),
+            SecurityHarness::new(&summary, alpha, timings),
+        )
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Cycle {
         self.now
@@ -446,6 +467,23 @@ mod tests {
             );
             assert_eq!(batched_report, scalar_report, "{tracker:?}");
         }
+    }
+
+    #[test]
+    fn eviction_engine_pair_is_scan_vs_summary() {
+        let cfg = ProtectionConfig::paper_default(
+            TrackerChoice::Graphene,
+            DefenseKind::impress_p_default(),
+        );
+        let (mut scan, mut summary) = SecurityHarness::eviction_engine_pair(&cfg, 1.0, &timings());
+        // On an eviction-free single-aggressor stream the engines are in exact
+        // lockstep, so the reports agree bit for bit.
+        let pattern: Vec<AggressorAccess> =
+            (0..5_000).map(|_| AggressorAccess::hammer(500)).collect();
+        let a = scan.run(pattern.iter().copied(), u64::MAX);
+        let b = summary.run(pattern.iter().copied(), u64::MAX);
+        assert_eq!(a, b);
+        assert!(a.mitigations > 0);
     }
 
     #[test]

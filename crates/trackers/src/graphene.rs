@@ -9,6 +9,36 @@
 //! Under ImPress-P the counters accumulate fractional [`Eact`] values instead of +1
 //! per activation, which adds 7 bits per entry but leaves the entry count unchanged
 //! (§VI-C).
+//!
+//! # Eviction engines and the observational-equivalence contract
+//!
+//! On a miss with a full table, Graphene claims any entry whose count does not
+//! exceed the spillover count. The seed scanned the table and took the *first*
+//! such entry; the [`EvictionEngine::Summary`] engine takes a *minimum-count*
+//! entry from the [`CountSummary`] instead (the minimum is at or below the
+//! spillover count exactly when any claimable entry exists, so while the two
+//! engines' table states agree — i.e. up to the first ambiguous choice — they
+//! evict on exactly the same accesses and maintain identical spillover
+//! trajectories). Which row is displaced can differ when the choice is
+//! ambiguous (two or more claimable entries); from that point the tracked row
+//! sets, spillover trajectories and mitigation *counts* may drift apart
+//! (min-eviction keeps larger counters tracked, so spillover climbs faster
+//! under saturated churn), but the engines remain
+//! *observationally equivalent*: both satisfy the Misra-Gries guarantee that any
+//! row's untracked activation weight is bounded by the spillover count (at most
+//! total-weight/entries), so every row crossing the internal threshold is still
+//! mitigated in time. When the choice is unambiguous the engines issue identical
+//! mitigation sequences. Both properties are enforced by the
+//! `summary_equivalence` proptest suite and the security-harness A/B gate.
+//!
+//! Invalid entries are claimed **before** any valid entry is considered for
+//! eviction, in both engines. This matters: a mitigation rolls a counter back to
+//! the spillover value, which can leave a *valid zero-count* entry coexisting
+//! with invalid entries — a min-count eviction that ignored validity would then
+//! displace a still-tracked row while free slots remain (a priority inversion).
+//! The scan engine gets the ordering from its scan structure; the summary engine
+//! claims from an explicit free-slot list before consulting the summary. Both are
+//! unit-tested against exactly that state.
 
 use impress_dram::address::RowId;
 use impress_dram::timing::Cycle;
@@ -18,6 +48,7 @@ use crate::analysis::{graphene_entries, graphene_internal_threshold};
 use crate::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
 use crate::index::RowSlotIndex;
 use crate::storage::{StorageEstimate, COUNTER_BITS, ROW_ADDRESS_BITS};
+use crate::summary::{engine_scaffolding, restock_free_slots, CountSummary, EvictionEngine};
 use crate::tracker::{MitigationRequest, RowTracker, TrackerKind};
 
 /// One Misra-Gries table entry.
@@ -69,22 +100,39 @@ impl GrapheneConfig {
 #[derive(Debug, Clone)]
 pub struct Graphene {
     config: GrapheneConfig,
+    engine: EvictionEngine,
     table: Vec<Entry>,
     /// O(1) row → slot map over the valid table entries (pure acceleration of the
-    /// match path; eviction decisions still scan the table — see [`crate::index`]).
+    /// match path; victim selection is the eviction engine's job — see
+    /// [`crate::index`] and [`crate::summary`]).
     index: RowSlotIndex,
+    /// Count-ordered view of the valid entries (summary engine only; empty and
+    /// unmaintained under the scan engine).
+    summary: CountSummary,
+    /// Invalid slots awaiting their first row, popped before any eviction is
+    /// considered (summary engine only) — the explicit form of the
+    /// invalid-before-eviction invariant.
+    free_slots: Vec<u32>,
     spillover: EactCounter,
     mitigations: u64,
 }
 
 impl Graphene {
-    /// Creates a Graphene tracker sized for `threshold` (no fractional bits).
+    /// Creates a Graphene tracker sized for `threshold` (no fractional bits),
+    /// using the [`EvictionEngine::from_env`] default engine.
     pub fn for_threshold(threshold: u64) -> Self {
         Self::new(GrapheneConfig::for_threshold(threshold))
     }
 
-    /// Creates a Graphene tracker from an explicit configuration.
+    /// Creates a Graphene tracker from an explicit configuration, using the
+    /// [`EvictionEngine::from_env`] default engine.
     pub fn new(config: GrapheneConfig) -> Self {
+        Self::with_engine(config, EvictionEngine::from_env())
+    }
+
+    /// Creates a Graphene tracker with an explicit eviction engine (A/B testing
+    /// and the equivalence suites use this to pin each side).
+    pub fn with_engine(config: GrapheneConfig, engine: EvictionEngine) -> Self {
         let table = vec![
             Entry {
                 row: 0,
@@ -94,10 +142,14 @@ impl Graphene {
             config.entries
         ];
         let index = RowSlotIndex::for_entries(config.entries);
+        let (summary, free_slots) = engine_scaffolding(config.entries, engine);
         Self {
             config,
+            engine,
             table,
             index,
+            summary,
+            free_slots,
             spillover: EactCounter::ZERO,
             mitigations: 0,
         }
@@ -106,6 +158,11 @@ impl Graphene {
     /// The configuration this tracker was built with.
     pub fn config(&self) -> &GrapheneConfig {
         &self.config
+    }
+
+    /// The eviction engine this tracker runs on.
+    pub fn engine(&self) -> EvictionEngine {
+        self.engine
     }
 
     /// Number of mitigations issued so far.
@@ -120,6 +177,17 @@ impl Graphene {
             .map(|slot| self.table[slot].count.activations())
     }
 
+    /// Current raw (Q7 fixed-point) counter value for `row`, if tracked — the
+    /// exact quantity the equivalence and error-bound suites reason about.
+    pub fn tracked_raw(&self, row: RowId) -> Option<u64> {
+        self.index.get(row).map(|slot| self.table[slot].count.raw())
+    }
+
+    /// Raw (Q7 fixed-point) spillover count — the Misra-Gries error term.
+    pub fn spillover_raw(&self) -> u64 {
+        self.spillover.raw()
+    }
+
     fn quantize(&self, eact: Eact) -> Eact {
         if self.config.frac_bits >= CANONICAL_FRAC_BITS {
             eact
@@ -128,55 +196,106 @@ impl Graphene {
             Eact::from_raw((eact.raw() >> drop) << drop)
         }
     }
+
+    /// Claims a slot for the missing `row` under the scan engine — the seed's
+    /// selection, bit-identical: first invalid entry, else first entry whose
+    /// count does not exceed the spillover count — or records the activation
+    /// into the spillover counter and returns `None`.
+    fn claim_slot_scan(&mut self, row: RowId, eact: Eact) -> Option<usize> {
+        let spillover_raw = self.spillover.raw();
+        let mut first_invalid = usize::MAX;
+        let mut first_replaceable = usize::MAX;
+        for (i, e) in self.table.iter().enumerate() {
+            if !e.valid {
+                // Invalid entries take priority over replaceable ones wherever
+                // they sit, so the scan can stop at the first one.
+                first_invalid = i;
+                break;
+            }
+            if e.count.raw() <= spillover_raw && first_replaceable == usize::MAX {
+                first_replaceable = i;
+            }
+        }
+        let slot = if first_invalid != usize::MAX {
+            first_invalid
+        } else if first_replaceable != usize::MAX {
+            // Evict: the replaced row leaves the index.
+            self.index.remove(self.table[first_replaceable].row);
+            first_replaceable
+        } else {
+            self.spillover.add(eact);
+            return None;
+        };
+        self.table[slot] = Entry {
+            row,
+            count: self.spillover,
+            valid: true,
+        };
+        self.index.insert(row, slot);
+        Some(slot)
+    }
+
+    /// Claims a slot for the missing `row` under the summary engine: an invalid
+    /// slot off the free list first (the explicit invalid-before-eviction
+    /// invariant), else a minimum-count victim — claimable exactly when the seed
+    /// scan would find any claimable entry. `position` is the miss position
+    /// [`RowSlotIndex::locate`] returned, consumed before any other index
+    /// mutation so the claim costs one probe, not two.
+    ///
+    /// The summary is deliberately not updated here: the caller folds the claim,
+    /// the EACT increment and any mitigation roll-back into a single
+    /// attach/set-count, so a claim costs one splice, not two.
+    fn claim_slot_summary(&mut self, row: RowId, eact: Eact, position: usize) -> Option<usize> {
+        let spillover_raw = self.spillover.raw();
+        let slot = if let Some(free) = self.free_slots.pop() {
+            let slot = free as usize;
+            self.index.insert_at(position, row, slot);
+            slot
+        } else {
+            match self.summary.min() {
+                Some((slot, min_raw)) if min_raw <= spillover_raw => {
+                    debug_assert!(
+                        self.free_slots.is_empty(),
+                        "eviction considered while invalid slots remain"
+                    );
+                    self.index.insert_at(position, row, slot);
+                    self.index.remove(self.table[slot].row);
+                    slot
+                }
+                _ => {
+                    self.spillover.add(eact);
+                    return None;
+                }
+            }
+        };
+        self.table[slot] = Entry {
+            row,
+            count: self.spillover,
+            valid: true,
+        };
+        Some(slot)
+    }
 }
 
 impl RowTracker for Graphene {
     fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest> {
         let eact = self.quantize(eact);
-        // Misra-Gries update. The match path is O(1) via the row → slot index; only
-        // when the row is absent does the eviction decision scan the table for the
-        // first invalid entry (claimed outright) or, failing that, the first entry
-        // whose count does not exceed the spillover count — exactly the slots the
-        // seed's three-scan version selected, so behavior is bit-identical.
-        let slot = if let Some(slot) = self.index.get(row) {
-            slot
-        } else {
-            let spillover_raw = self.spillover.raw();
-            let mut first_invalid = usize::MAX;
-            let mut first_replaceable = usize::MAX;
-            for (i, e) in self.table.iter().enumerate() {
-                if !e.valid {
-                    // Invalid entries take priority over replaceable ones wherever
-                    // they sit, so the scan can stop at the first one.
-                    first_invalid = i;
-                    break;
-                }
-                if e.count.raw() <= spillover_raw && first_replaceable == usize::MAX {
-                    first_replaceable = i;
-                }
-            }
-            let i = if first_invalid != usize::MAX {
-                first_invalid
-            } else if first_replaceable != usize::MAX {
-                // Evict: the replaced row leaves the index, the new row enters it.
-                self.index.remove(self.table[first_replaceable].row);
-                first_replaceable
-            } else {
-                // No entry to replace: the activation goes to the spillover counter.
-                self.spillover.add(eact);
-                return None;
-            };
-            self.table[i] = Entry {
-                row,
-                count: self.spillover,
-                valid: true,
-            };
-            self.index.insert(row, i);
-            i
+        // Misra-Gries update. The match path is O(1) via the row → slot index;
+        // only when the row is absent does the eviction engine pick a slot (O(1)
+        // under the summary engine, O(entries) under the seed's scan).
+        let slot = match self.engine {
+            EvictionEngine::Scan => match self.index.get(row) {
+                Some(slot) => slot,
+                None => self.claim_slot_scan(row, eact)?,
+            },
+            EvictionEngine::Summary => match self.index.locate(row) {
+                Ok(slot) => slot,
+                Err(position) => self.claim_slot_summary(row, eact, position)?,
+            },
         };
 
         self.table[slot].count.add(eact);
-        if self.table[slot]
+        let mitigation = if self.table[slot]
             .count
             .reached(self.config.internal_threshold)
         {
@@ -190,7 +309,19 @@ impl RowTracker for Graphene {
             })
         } else {
             None
+        };
+        if self.engine == EvictionEngine::Summary {
+            // One splice covers every case: a matched slot (or a reclaimed
+            // victim, still attached at its old count) moves buckets; a slot
+            // fresh off the free list attaches.
+            let raw = self.table[slot].count.raw();
+            if self.summary.contains(slot) {
+                self.summary.set_count(slot, raw);
+            } else {
+                self.summary.attach(slot, raw);
+            }
         }
+        mitigation
     }
 
     fn on_refresh_window(&mut self, _now: Cycle) {
@@ -199,6 +330,10 @@ impl RowTracker for Graphene {
             e.count = EactCounter::ZERO;
         }
         self.index.clear();
+        if self.engine == EvictionEngine::Summary {
+            self.summary.clear();
+            restock_free_slots(&mut self.free_slots, self.config.entries);
+        }
         self.spillover = EactCounter::ZERO;
     }
 
@@ -291,6 +426,83 @@ mod tests {
         let halved = Graphene::for_threshold(2_000);
         let ratio2 = halved.storage().relative_to(&plain.storage());
         assert!(ratio2 > 1.9 && ratio2 < 2.1, "ratio2 = {ratio2}");
+    }
+
+    /// The invalid-before-eviction invariant, in the exact state where a naive
+    /// min-count eviction would invert it: a mitigation rolls a tracked row's
+    /// counter back to the (zero) spillover value while invalid slots remain, so
+    /// a subsequent miss sees a valid zero-count entry *and* free slots. The new
+    /// row must claim a free slot and the rolled-back row must stay tracked.
+    #[test]
+    fn invalid_slots_claimed_before_zero_count_eviction_in_both_engines() {
+        for engine in [EvictionEngine::Scan, EvictionEngine::Summary] {
+            let config = GrapheneConfig {
+                threshold: 30,
+                internal_threshold: 10,
+                entries: 4,
+                frac_bits: 0,
+            };
+            let mut g = Graphene::with_engine(config, engine);
+            // Drive row 7 to a mitigation: its counter rolls back to spillover (0),
+            // leaving a valid zero-count entry with 3 slots still invalid.
+            let mut mitigated = false;
+            for i in 0..10u64 {
+                mitigated |= g.record(7, Eact::ONE, i * 128).is_some();
+            }
+            assert!(
+                mitigated,
+                "{engine}: row 7 should hit the internal threshold"
+            );
+            assert_eq!(g.tracked_count(7), Some(0), "{engine}");
+            // A miss now must claim an invalid slot, not evict the zero-count row 7
+            // (whose count equals the spillover count and is therefore claimable).
+            g.record(99, Eact::ONE, 2_000);
+            assert_eq!(
+                g.tracked_count(7),
+                Some(0),
+                "{engine}: zero-count row evicted while invalid slots remained"
+            );
+            assert_eq!(g.tracked_count(99), Some(1), "{engine}");
+        }
+    }
+
+    /// Scan and summary engines stay in lockstep on streams whose eviction
+    /// choices are always unambiguous. Two such shapes: a hot set that fits the
+    /// table (no evictions, but mitigations and roll-backs), and a single-entry
+    /// table (every eviction has exactly one candidate) under heavy churn with
+    /// spillover growth. The ambiguity-aware general property lives in
+    /// `tests/summary_equivalence.rs`.
+    #[test]
+    fn engines_agree_on_unambiguous_streams() {
+        let lockstep = |entries: usize, rows: u32| {
+            let config = GrapheneConfig {
+                threshold: 3_000,
+                internal_threshold: 100,
+                entries,
+                frac_bits: 7,
+            };
+            let mut scan = Graphene::with_engine(config.clone(), EvictionEngine::Scan);
+            let mut summary = Graphene::with_engine(config, EvictionEngine::Summary);
+            for i in 0..40_000u64 {
+                let row = (i % u64::from(rows)) as RowId;
+                let eact = Eact::from_f64(1.0 + (row as f64) / 8.0, 7);
+                let a = scan.record(row, eact, i * 128);
+                let b = summary.record(row, eact, i * 128);
+                assert_eq!(a, b, "entries={entries}: diverged at record {i}");
+            }
+            assert_eq!(scan.mitigations(), summary.mitigations());
+            assert!(scan.mitigations() > 0, "entries={entries}: stream too tame");
+            assert_eq!(scan.spillover_raw(), summary.spillover_raw());
+            for row in 0..rows {
+                assert_eq!(
+                    scan.tracked_raw(row),
+                    summary.tracked_raw(row),
+                    "entries={entries} row {row}"
+                );
+            }
+        };
+        lockstep(8, 8); // matches + mitigation roll-backs, no eviction
+        lockstep(1, 5); // forced (unique-candidate) evictions + spillover growth
     }
 
     #[test]

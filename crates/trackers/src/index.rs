@@ -15,11 +15,15 @@
 //!   streams (the worst case for the old scan) cannot degrade the index.
 //!
 //! The index is pure acceleration: it changes which slot is *found*, never which
-//! slot the Misra-Gries algorithm *chooses*. Eviction decisions still scan the
-//! table exactly as before, so tracker behavior is bit-identical — the property
-//! tests in `tests/flat_equivalence.rs` drive the indexed trackers against
-//! transcriptions of the original multi-scan algorithms and require identical
-//! mitigation sequences and counter values.
+//! slot the Misra-Gries algorithm *chooses*. Victim selection on a miss belongs
+//! to the eviction engine ([`crate::summary::EvictionEngine`]): under the scan
+//! engine the table is scanned exactly as in the seed, so tracker behavior is
+//! bit-identical — the property tests in `tests/flat_equivalence.rs` drive the
+//! indexed scan-engine trackers against transcriptions of the original
+//! multi-scan algorithms and require identical mitigation sequences and counter
+//! values. Under the summary engine the victim comes from the count-ordered
+//! [`crate::summary::CountSummary`] in O(1), with the observational-equivalence
+//! contract pinned by `tests/summary_equivalence.rs`.
 
 use impress_dram::address::RowId;
 
@@ -33,11 +37,32 @@ fn fib_hash(row: RowId, mask: usize) -> usize {
 }
 
 /// An open-addressed `RowId -> slot` map of fixed capacity.
+///
+/// Each cell packs the key (low 32 bits) and the table slot (high 32 bits) into
+/// one `u64`, so a probe — and, more importantly, every backward-shift move on
+/// removal — touches one array location instead of two parallel ones.
 #[derive(Debug, Clone)]
 pub struct RowSlotIndex {
-    keys: Vec<RowId>,
-    slots: Vec<u32>,
+    cells: Vec<u64>,
     len: usize,
+}
+
+/// An empty cell: the sentinel key with a zero slot.
+const EMPTY_CELL: u64 = EMPTY as u64;
+
+#[inline]
+fn pack(row: RowId, slot: usize) -> u64 {
+    u64::from(row) | ((slot as u64) << 32)
+}
+
+#[inline]
+fn cell_key(cell: u64) -> RowId {
+    cell as RowId
+}
+
+#[inline]
+fn cell_slot(cell: u64) -> usize {
+    (cell >> 32) as usize
 }
 
 impl RowSlotIndex {
@@ -45,8 +70,7 @@ impl RowSlotIndex {
     pub fn for_entries(entries: usize) -> Self {
         let capacity = (entries.max(1) * 2).next_power_of_two().max(16);
         Self {
-            keys: vec![EMPTY; capacity],
-            slots: vec![0; capacity],
+            cells: vec![EMPTY_CELL; capacity],
             len: 0,
         }
     }
@@ -63,7 +87,13 @@ impl RowSlotIndex {
 
     #[inline]
     fn mask(&self) -> usize {
-        self.keys.len() - 1
+        self.cells.len() - 1
+    }
+
+    /// Capacity of the cell array (used by the over-capacity assertions).
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.cells.len()
     }
 
     /// The table slot holding `row`, if the row is currently tracked.
@@ -76,15 +106,68 @@ impl RowSlotIndex {
         let mask = self.mask();
         let mut i = fib_hash(row, mask);
         loop {
-            let k = self.keys[i];
+            let cell = self.cells[i];
+            let k = cell_key(cell);
             if k == EMPTY {
                 return None;
             }
             if k == row {
-                return Some(self.slots[i] as usize);
+                return Some(cell_slot(cell));
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// Looks up `row`, returning its table slot — or, on a miss, the index
+    /// position where `row` would be inserted (`Err`), which can be handed
+    /// straight to [`RowSlotIndex::insert_at`] to avoid re-probing.
+    ///
+    /// The returned position is invalidated by *any* intervening mutation of the
+    /// index (`insert`/`remove`/`clear`): backward-shift compaction may move a
+    /// key into (or out of) the probe path.
+    #[inline]
+    pub fn locate(&self, row: RowId) -> Result<usize, usize> {
+        let mask = self.mask();
+        let mut i = fib_hash(row, mask);
+        loop {
+            let cell = self.cells[i];
+            let k = cell_key(cell);
+            if k == EMPTY {
+                return Err(i);
+            }
+            if k == row {
+                return Ok(cell_slot(cell));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `row` at a position previously returned by
+    /// [`RowSlotIndex::locate`]'s `Err`, with no intervening index mutation.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the position no longer lies on `row`'s probe
+    /// path terminus (i.e. the no-intervening-mutation contract was broken) or
+    /// if the index is over capacity.
+    #[inline]
+    pub fn insert_at(&mut self, position: usize, row: RowId, slot: usize) {
+        debug_assert_ne!(row, EMPTY, "row id {EMPTY} is reserved as the empty marker");
+        debug_assert_eq!(
+            self.locate(row).err(),
+            Some(position),
+            "stale probe position for row {row}"
+        );
+        // One past the half-capacity bound is allowed: the evict-replace path
+        // inserts the incoming row *before* removing the victim (the removal
+        // would invalidate the probe position), so a full table is transiently
+        // one row over.
+        assert!(
+            self.len <= self.capacity() / 2,
+            "RowSlotIndex sized for half its capacity"
+        );
+        self.cells[position] = pack(row, slot);
+        self.len += 1;
     }
 
     /// Records that `row` now lives in table slot `slot`.
@@ -98,16 +181,15 @@ impl RowSlotIndex {
         debug_assert_ne!(row, EMPTY, "row id {EMPTY} is reserved as the empty marker");
         debug_assert!(self.get(row).is_none(), "row {row} inserted twice");
         assert!(
-            self.len < self.keys.len() / 2,
+            self.len < self.capacity() / 2,
             "RowSlotIndex sized for half its capacity"
         );
         let mask = self.mask();
         let mut i = fib_hash(row, mask);
-        while self.keys[i] != EMPTY {
+        while cell_key(self.cells[i]) != EMPTY {
             i = (i + 1) & mask;
         }
-        self.keys[i] = row;
-        self.slots[i] = slot as u32;
+        self.cells[i] = pack(row, slot);
         self.len += 1;
     }
 
@@ -116,11 +198,12 @@ impl RowSlotIndex {
     /// Uses backward-shift compaction: every key in the probe cluster after the
     /// removed one is moved back if (and only if) the vacated position still lies on
     /// its probe path, preserving the linear-probing invariant without tombstones.
+    #[inline]
     pub fn remove(&mut self, row: RowId) -> bool {
         let mask = self.mask();
         let mut i = fib_hash(row, mask);
         loop {
-            let k = self.keys[i];
+            let k = cell_key(self.cells[i]);
             if k == EMPTY {
                 return false;
             }
@@ -132,7 +215,8 @@ impl RowSlotIndex {
         let mut hole = i;
         let mut j = (i + 1) & mask;
         loop {
-            let k = self.keys[j];
+            let cell = self.cells[j];
+            let k = cell_key(cell);
             if k == EMPTY {
                 break;
             }
@@ -143,13 +227,12 @@ impl RowSlotIndex {
             let home_to_hole = hole.wrapping_sub(home) & mask;
             let home_to_j = j.wrapping_sub(home) & mask;
             if home_to_hole <= home_to_j {
-                self.keys[hole] = k;
-                self.slots[hole] = self.slots[j];
+                self.cells[hole] = cell;
                 hole = j;
             }
             j = (j + 1) & mask;
         }
-        self.keys[hole] = EMPTY;
+        self.cells[hole] = EMPTY_CELL;
         self.len -= 1;
         true
     }
@@ -157,7 +240,7 @@ impl RowSlotIndex {
     /// Removes every row. Capacity is retained; never allocates.
     pub fn clear(&mut self) {
         if self.len > 0 {
-            self.keys.fill(EMPTY);
+            self.cells.fill(EMPTY_CELL);
             self.len = 0;
         }
     }

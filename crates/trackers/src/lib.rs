@@ -48,6 +48,7 @@ pub mod mithril;
 pub mod para;
 pub mod prac;
 pub mod storage;
+pub mod summary;
 pub mod tracker;
 
 pub use eact::{Eact, EactCounter};
@@ -59,4 +60,5 @@ pub use mithril::Mithril;
 pub use para::Para;
 pub use prac::Prac;
 pub use storage::StorageEstimate;
+pub use summary::{CountSummary, EvictionEngine};
 pub use tracker::{MitigationRequest, RowTracker, TrackerKind};

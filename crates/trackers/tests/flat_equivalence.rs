@@ -6,13 +6,20 @@
 //! map/multi-scan algorithms with identical random activation streams and require
 //! identical observable behavior: the same mitigation requests in the same order,
 //! the same counter values, and the same state after refresh-window resets.
+//!
+//! Graphene/Mithril are pinned to [`EvictionEngine::Scan`] here: this suite is the
+//! bit-identical contract of the *scan* engine. The O(1) stream-summary engine is
+//! held to the (deliberately weaker) observational-equivalence contract in
+//! `summary_equivalence.rs`.
 
 use std::collections::HashMap;
 
 use impress_trackers::eact::{Eact, EactCounter, CANONICAL_FRAC_BITS};
 use impress_trackers::graphene::GrapheneConfig;
 use impress_trackers::mithril::MithrilConfig;
-use impress_trackers::{Graphene, Mithril, MitigationRequest, Prac, RowSlotIndex, RowTracker};
+use impress_trackers::{
+    EvictionEngine, Graphene, Mithril, MitigationRequest, Prac, RowSlotIndex, RowTracker,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -314,7 +321,7 @@ proptest! {
             entries,
             frac_bits,
         };
-        let mut optimized = Graphene::new(config.clone());
+        let mut optimized = Graphene::with_engine(config.clone(), EvictionEngine::Scan);
         let mut reference = ReferenceGraphene::new(&config);
         // More distinct rows than table entries, so eviction and spillover paths run.
         let universe = (config.entries as u32).saturating_mul(3).max(64);
@@ -397,7 +404,7 @@ proptest! {
             entries,
             frac_bits: 7,
         };
-        let mut optimized = Graphene::new(config.clone());
+        let mut optimized = Graphene::with_engine(config.clone(), EvictionEngine::Scan);
         let mut reference = ReferenceGraphene::new(&config);
         let universe = (entries as u32) * 16;
         for (i, (row, eact, reset)) in stream(seed, 3_000, universe, universe)
@@ -434,7 +441,7 @@ proptest! {
             entries,
             frac_bits: 7,
         };
-        let mut optimized = Mithril::new(config.clone());
+        let mut optimized = Mithril::with_engine(config.clone(), EvictionEngine::Scan);
         let mut reference = ReferenceMithril::new(&config);
         let universe = (entries as u32) * 16;
         for (i, (row, eact, reset)) in stream(seed, 3_000, universe, universe)
@@ -469,7 +476,7 @@ proptest! {
             entries,
             frac_bits,
         };
-        let mut optimized = Mithril::new(config.clone());
+        let mut optimized = Mithril::with_engine(config.clone(), EvictionEngine::Scan);
         let mut reference = ReferenceMithril::new(&config);
         let universe = (config.entries as u32).saturating_mul(3).max(64);
         for (i, (row, eact, _)) in stream(seed, 2_000, 16, universe).into_iter().enumerate() {
