@@ -1,0 +1,235 @@
+//! `trace`: the impress-trace command-line frontend — record, replay and
+//! benchmark physical-address trace streams.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! trace record --workload W [--seed N] [--requests-per-core N] --out FILE
+//!              [--config NAME] [--verdict FILE]
+//!     Records a synthetic workload as a framed binary trace. With --verdict,
+//!     also runs the same workload in-process (closed loop) under --config and
+//!     writes that run's verdict report — the reference a replay must match.
+//!
+//! trace replay --in FILE [--config NAME] [--shard-threads N] [--verdict FILE]
+//!     Closed-loop replay: rebuilds the recording run's core models from the
+//!     trace header and reruns the stream through the full system model.
+//!     Bit-identical to the in-process run at any shard thread count.
+//!
+//! trace throughput (--in FILE | --workload W) [--config NAME]
+//!                  [--records N] [--shard-threads N] [--window N]
+//!     Open-loop ingestion benchmark: decode → route → epoch loop → telemetry,
+//!     reporting million records/s end to end.
+//! ```
+//!
+//! `--config` takes a named configuration (`unprotected`, `graphene-impress-p`,
+//! `para-impress-p`, `mithril-impress-p`; default `unprotected`). Verdict
+//! reports are canonical JSON derived only from deterministic simulation state,
+//! so `diff` works across runs, hosts and thread counts. `--in -` reads the
+//! trace from stdin.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::time::Instant;
+
+use impress_bench::{named_configuration, record_workload_trace};
+use impress_sim::{Configuration, System, SystemConfig, TraceRunner, VerdictReport};
+use impress_workloads::codec::{TraceMeta, TraceReader, TraceRecord, TraceWriter};
+use impress_workloads::source::{ReadSource, SliceSource};
+use impress_workloads::WorkloadMix;
+
+/// Default seed, matching `ExperimentRunner`'s.
+const DEFAULT_SEED: u64 = 0x1A7E_2024;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace record --workload W [--seed N] [--requests-per-core N] --out FILE \
+         [--config NAME] [--verdict FILE]\n\
+         \x20      trace replay --in FILE [--config NAME] [--shard-threads N] [--verdict FILE]\n\
+         \x20      trace throughput (--in FILE | --workload W) [--config NAME] [--records N] \
+         [--shard-threads N] [--window N]"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{key} expects an integer, got {v:?}"))
+        })
+    }
+
+    fn configuration(&self) -> Configuration {
+        let name = self.get("--config").unwrap_or("unprotected");
+        named_configuration(name)
+            .unwrap_or_else(|| panic!("unknown configuration {name:?} (see --help)"))
+    }
+}
+
+fn write_verdict(path: Option<&str>, verdict: &VerdictReport) -> io::Result<()> {
+    let json = verdict.to_json();
+    match path {
+        Some(p) => std::fs::write(p, &json),
+        None => io::stdout().write_all(json.as_bytes()),
+    }
+}
+
+/// The in-process closed-loop run a recording corresponds to.
+fn reference_run(
+    workload: &str,
+    seed: u64,
+    requests_per_core: u64,
+    configuration: &Configuration,
+) -> impress_sim::RunOutput {
+    let mix = WorkloadMix::by_name(workload, seed)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let config = SystemConfig {
+        requests_per_core,
+        ..SystemConfig::baseline()
+    }
+    .with_controller(configuration.controller_config());
+    System::new(config, mix).run()
+}
+
+fn cmd_record(args: &Args) -> io::Result<()> {
+    let workload = args.get("--workload").unwrap_or_else(|| usage());
+    let seed = args.get_u64("--seed", DEFAULT_SEED);
+    let per_core = args.get_u64("--requests-per-core", impress_bench::requests_per_core());
+    let out = args.get("--out").unwrap_or_else(|| usage());
+    let configuration = args.configuration();
+
+    let (meta, records) = record_workload_trace(workload, seed, per_core)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(out)?), &meta)?;
+    for &r in &records {
+        writer.push(r)?;
+    }
+    writer.finish()?.flush()?;
+    eprintln!(
+        "trace: recorded {} records ({} cores x {per_core}) of {workload} -> {out}",
+        records.len(),
+        meta.cores
+    );
+
+    if args.get("--verdict").is_some() {
+        let output = reference_run(workload, seed, per_core, &configuration);
+        let verdict = VerdictReport::from_run(&output, &configuration);
+        write_verdict(args.get("--verdict"), &verdict)?;
+    }
+    Ok(())
+}
+
+fn read_records(path: &str) -> io::Result<(TraceMeta, Vec<TraceRecord>)> {
+    let inner: Box<dyn Read> = if path == "-" {
+        Box::new(io::stdin().lock())
+    } else {
+        Box::new(BufReader::new(File::open(path)?))
+    };
+    let mut reader = TraceReader::new(ReadSource::new(inner))?;
+    let meta = reader.meta().clone();
+    let records = reader.read_all()?;
+    Ok((meta, records))
+}
+
+fn cmd_replay(args: &Args) -> io::Result<()> {
+    let input = args.get("--in").unwrap_or_else(|| usage());
+    let configuration = args.configuration();
+    let shard_threads = args.get_u64("--shard-threads", 1) as usize;
+
+    let (meta, records) = read_records(input)?;
+    let runner = TraceRunner::new().with_shard_threads(shard_threads);
+    let output = runner.replay(&meta, &records, &configuration);
+    let verdict = VerdictReport::from_run(&output, &configuration);
+    eprintln!(
+        "trace: replayed {} records of {} under {} ({} shard threads): \
+         {} cycles, verdict {}",
+        records.len(),
+        meta.name,
+        configuration.label,
+        shard_threads,
+        output.performance.elapsed_cycles,
+        verdict.verdict
+    );
+    write_verdict(args.get("--verdict"), &verdict)
+}
+
+fn cmd_throughput(args: &Args) -> io::Result<()> {
+    let configuration = args.configuration();
+    let shard_threads = args.get_u64("--shard-threads", 1) as usize;
+    let window = args.get_u64("--window", 1 << 20);
+
+    // Materialize the trace bytes in memory so the timed region measures the
+    // ingestion pipeline (codec + mapping + shards + telemetry), not disk I/O.
+    let bytes: Vec<u8> = match (args.get("--in"), args.get("--workload")) {
+        (Some(path), _) => {
+            let mut buf = Vec::new();
+            if path == "-" {
+                io::stdin().lock().read_to_end(&mut buf)?;
+            } else {
+                File::open(path)?.read_to_end(&mut buf)?;
+            }
+            buf
+        }
+        (None, Some(workload)) => {
+            let per_core = args.get_u64("--records", 2_000_000) / 8;
+            let (meta, records) =
+                record_workload_trace(workload, args.get_u64("--seed", DEFAULT_SEED), per_core)
+                    .unwrap_or_else(|| panic!("unknown workload {workload}"));
+            let mut w = TraceWriter::new(Vec::new(), &meta)?;
+            for &r in &records {
+                w.push(r)?;
+            }
+            w.finish()?
+        }
+        (None, None) => usage(),
+    };
+
+    let runner = TraceRunner::new()
+        .with_shard_threads(shard_threads)
+        .with_window_records(window);
+    let start = Instant::now();
+    let report = runner.ingest(TraceReader::new(SliceSource::new(&bytes))?, &configuration)?;
+    let secs = start.elapsed().as_secs_f64();
+    let mrps = report.records as f64 / secs / 1e6;
+    println!(
+        "ingest: {} records in {:.3} s = {mrps:.1} M records/s under {} \
+         ({} shard threads, {} windows, verdict {})",
+        report.records,
+        secs,
+        configuration.label,
+        shard_threads,
+        report.windows.len(),
+        report.verdict.verdict
+    );
+    Ok(())
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let command = argv.remove(0);
+    let args = Args(argv);
+    let result = match command.as_str() {
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        "throughput" => cmd_throughput(&args),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("trace: error: {e}");
+        std::process::exit(1);
+    }
+}

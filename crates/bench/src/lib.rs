@@ -9,6 +9,8 @@
 
 use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
 use impress_sim::{Configuration, ExperimentRunner, NormalizedResult};
+use impress_workloads::codec::{TraceMeta, TraceRecord};
+use impress_workloads::source::AccessSource;
 use impress_workloads::{LocalityClass, WorkloadMix};
 
 /// Number of memory requests per core used by the figure binaries.
@@ -89,6 +91,59 @@ pub fn defense_configurations(tracker: TrackerChoice, trh: u64) -> Vec<Configura
     out
 }
 
+/// Builds one of the named configurations the `trace` binary and smoke jobs use.
+///
+/// Names: `unprotected`, `graphene-impress-p`, `para-impress-p`,
+/// `mithril-impress-p`. Returns `None` for anything else.
+pub fn named_configuration(name: &str) -> Option<Configuration> {
+    let protected = |tracker: TrackerChoice, label: &str| {
+        Some(Configuration::protected(
+            label,
+            ProtectionConfig::paper_default(tracker, DefenseKind::impress_p_default()),
+        ))
+    };
+    match name {
+        "unprotected" => Some(Configuration::unprotected()),
+        "graphene-impress-p" => protected(TrackerChoice::Graphene, "Graphene+ImPress-P"),
+        "para-impress-p" => protected(TrackerChoice::Para, "PARA+ImPress-P"),
+        "mithril-impress-p" => protected(TrackerChoice::Mithril, "Mithril+ImPress-P"),
+        _ => None,
+    }
+}
+
+/// Records `per_core` accesses per core of `workload` (seeded) as a trace.
+///
+/// Accesses are drawn round-robin per core from a fresh [`WorkloadMix`] — each
+/// core's sequence is exactly what an in-process run with the same seed would
+/// issue, so a closed-loop replay of the result reproduces that run bit for bit
+/// (per-core generator streams do not depend on how the run interleaves them).
+pub fn record_workload_trace(
+    workload: &str,
+    seed: u64,
+    per_core: u64,
+) -> Option<(TraceMeta, Vec<TraceRecord>)> {
+    let mut mix = WorkloadMix::by_name(workload, seed)?;
+    let cores = AccessSource::cores(&mix);
+    let meta = TraceMeta {
+        name: workload.to_string(),
+        cores: cores as u8,
+        has_gaps: false,
+        instructions_per_miss: (0..cores)
+            .map(|c| AccessSource::instructions_per_miss(&mix, c))
+            .collect(),
+    };
+    let mut records = Vec::with_capacity(per_core as usize * cores);
+    for _ in 0..per_core {
+        for core in 0..cores {
+            records.push(TraceRecord::from_access(
+                AccessSource::next_access(&mut mix, core),
+                0,
+            ));
+        }
+    }
+    Some((meta, records))
+}
+
 /// Runs every configuration over the figure workloads on the parallel sweep engine.
 ///
 /// Baselines are computed once and shared; the result is
@@ -114,6 +169,30 @@ mod tests {
         assert!(workloads
             .iter()
             .any(|w| WorkloadMix::by_name(w, 0).unwrap().class() == LocalityClass::Stream));
+    }
+
+    #[test]
+    fn named_configurations_resolve() {
+        assert_eq!(
+            named_configuration("unprotected").unwrap().label,
+            "Unprotected"
+        );
+        assert!(named_configuration("graphene-impress-p")
+            .unwrap()
+            .protection
+            .is_some());
+        assert!(named_configuration("linpack").is_none());
+    }
+
+    #[test]
+    fn recorded_trace_covers_every_core() {
+        let (meta, records) = record_workload_trace("copy", 1, 50).unwrap();
+        assert_eq!(meta.cores, 8);
+        assert_eq!(records.len(), 400);
+        for core in 0..8u8 {
+            assert_eq!(records.iter().filter(|r| r.core == core).count(), 50);
+        }
+        assert!(record_workload_trace("linpack", 1, 10).is_none());
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub enum DramError {
         /// Row that the access required.
         requested_row: RowId,
     },
+    /// A mapping specification is inconsistent with the organization it targets
+    /// (non-power-of-two dimension, overlapping or missing bit positions, wrong
+    /// field widths).
+    InvalidMapping {
+        /// What is wrong with the specification.
+        reason: &'static str,
+        /// The field or dimension the problem was detected on.
+        component: &'static str,
+    },
     /// An address decoded outside the configured organization (row, bank, or channel
     /// index out of range).
     AddressOutOfRange {
@@ -78,6 +87,9 @@ impl fmt::Display for DramError {
                 f,
                 "column access to row {requested_row} while row {open_row} is open"
             ),
+            DramError::InvalidMapping { reason, component } => {
+                write!(f, "invalid mapping: {reason} ({component})")
+            }
             DramError::AddressOutOfRange {
                 component,
                 value,

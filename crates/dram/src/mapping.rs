@@ -4,10 +4,398 @@
 //! per row before interleaving across banks and channels (Table II). MOP keeps a small
 //! amount of spatial locality in the row buffer (good for streaming) while spreading
 //! accesses across banks for parallelism.
+//!
+//! Beyond the paper's fixed schemes, [`AddressMapping::BitInterleaved`] expresses an
+//! *arbitrary* per-field bit interleaving (which physical-address bits form the
+//! channel, rank, bank-group, bank, row and column indices), the shape every real
+//! device mapping takes — e.g. antmicro's rowhammer-tester `DRAMAddressConverter` or
+//! the DRAMA-reversed controller functions. Every variant also supports
+//! [`AddressMapping::encode`], the exact inverse of [`AddressMapping::decode`] at
+//! cache-line granularity, so traces of decoded locations can be re-encoded and
+//! device mappings can be cross-checked both ways.
 
 use crate::address::{DramAddress, PhysicalAddress, RowId};
 use crate::error::DramError;
 use crate::organization::DramOrganization;
+
+/// Maximum number of physical-address bits a single [`BitField`] can gather.
+pub const MAX_FIELD_BITS: usize = 24;
+
+/// An ordered set of bit positions within a cache-line index.
+///
+/// `positions()[i]` is the line-index bit that forms bit `i` (LSB-first) of the
+/// extracted field value. Positions need not be contiguous — that is the point:
+/// real controllers scatter bank and channel bits between column and row bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitField {
+    len: u8,
+    pos: [u8; MAX_FIELD_BITS],
+}
+
+impl BitField {
+    /// A field of zero bits (always extracts 0; inserting ignores the value).
+    pub const fn empty() -> Self {
+        Self {
+            len: 0,
+            pos: [0; MAX_FIELD_BITS],
+        }
+    }
+
+    /// Builds a field from explicit bit positions (LSB of the field first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_FIELD_BITS`] positions are given, if any position
+    /// is ≥ 64, or if a position repeats.
+    pub fn new(positions: &[u8]) -> Self {
+        assert!(
+            positions.len() <= MAX_FIELD_BITS,
+            "bit field limited to {MAX_FIELD_BITS} bits, got {}",
+            positions.len()
+        );
+        let mut pos = [0u8; MAX_FIELD_BITS];
+        let mut seen = 0u64;
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(p < 64, "bit position {p} out of range");
+            assert!(seen & (1 << p) == 0, "bit position {p} repeated");
+            seen |= 1 << p;
+            pos[i] = p;
+        }
+        Self {
+            len: positions.len() as u8,
+            pos,
+        }
+    }
+
+    /// A contiguous run of `len` bits starting at `offset` (the common case).
+    pub fn contiguous(offset: u8, len: u8) -> Self {
+        assert!((len as usize) <= MAX_FIELD_BITS, "bit field too wide");
+        let mut pos = [0u8; MAX_FIELD_BITS];
+        for i in 0..len {
+            pos[i as usize] = offset + i;
+        }
+        Self { len, pos }
+    }
+
+    /// Number of bits in the field.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the field has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit positions, LSB of the field first.
+    pub fn positions(&self) -> &[u8] {
+        &self.pos[..self.len as usize]
+    }
+
+    /// Exclusive upper bound of values this field can represent (`2^len`).
+    pub fn cardinality(&self) -> u64 {
+        1u64 << self.len
+    }
+
+    /// Gathers this field's bits out of `line`, batching contiguous runs so the
+    /// common mostly-contiguous layouts cost a handful of shifts.
+    #[inline]
+    pub fn extract(&self, line: u64) -> u64 {
+        let mut out = 0u64;
+        let mut i = 0usize;
+        let n = self.len as usize;
+        while i < n {
+            let start = self.pos[i];
+            let mut run = 1usize;
+            while i + run < n && self.pos[i + run] == start + run as u8 {
+                run += 1;
+            }
+            let mask = if run == 64 {
+                u64::MAX
+            } else {
+                (1u64 << run) - 1
+            };
+            out |= ((line >> start) & mask) << i;
+            i += run;
+        }
+        out
+    }
+
+    /// Scatters the low `len` bits of `value` into their line-index positions
+    /// (the exact inverse of [`BitField::extract`]).
+    #[inline]
+    pub fn insert(&self, value: u64) -> u64 {
+        let mut out = 0u64;
+        let mut i = 0usize;
+        let n = self.len as usize;
+        while i < n {
+            let start = self.pos[i];
+            let mut run = 1usize;
+            while i + run < n && self.pos[i + run] == start + run as u8 {
+                run += 1;
+            }
+            let mask = if run == 64 {
+                u64::MAX
+            } else {
+                (1u64 << run) - 1
+            };
+            out |= ((value >> i) & mask) << start;
+            i += run;
+        }
+        out
+    }
+}
+
+/// A complete per-field bit interleaving: which cache-line-index bits form each
+/// DRAM coordinate.
+///
+/// Positions refer to bits of the *line index* (physical byte address divided by
+/// the organization's cache-line size); the byte offset within a line never
+/// participates in DRAM routing. [`BitInterleaving::validate`] checks that the
+/// fields exactly tile the organization's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitInterleaving {
+    /// Bits forming the channel index.
+    pub channel: BitField,
+    /// Bits forming the rank index within the channel.
+    pub rank: BitField,
+    /// Bits forming the bank-group index within the rank.
+    pub bank_group: BitField,
+    /// Bits forming the bank index within the bank group.
+    pub bank: BitField,
+    /// Bits forming the row index within the bank.
+    pub row: BitField,
+    /// Bits forming the column (cache-line) index within the row.
+    pub column: BitField,
+}
+
+/// Log2 of a dimension that must be a power of two for bit-sliced mappings.
+fn log2_exact(value: u64, component: &'static str) -> Result<u8, DramError> {
+    if value.is_power_of_two() {
+        Ok(value.trailing_zeros() as u8)
+    } else {
+        Err(DramError::InvalidMapping {
+            reason: "dimension is not a power of two",
+            component,
+        })
+    }
+}
+
+impl BitInterleaving {
+    /// The paper's MOP scheme as an explicit bit interleaving: `lines_per_chunk`
+    /// low column bits, then channel, bank, bank-group, rank, the remaining
+    /// column bits, and finally the row bits. Bit-exact to
+    /// [`AddressMapping::Mop`] on every address (see the equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every organization dimension
+    /// and `lines_per_chunk` is a power of two.
+    pub fn mop(org: &DramOrganization, lines_per_chunk: u32) -> Result<Self, DramError> {
+        let c_low = log2_exact(lines_per_chunk as u64, "lines_per_chunk")?;
+        let dims = MappingDims::of(org)?;
+        if c_low > dims.column {
+            return Err(DramError::InvalidMapping {
+                reason: "chunk larger than a row",
+                component: "lines_per_chunk",
+            });
+        }
+        let mut at = 0u8;
+        let mut take = |len: u8| {
+            let f = BitField::contiguous(at, len);
+            at += len;
+            f
+        };
+        let col_lo = take(c_low);
+        let channel = take(dims.channel);
+        let bank = take(dims.bank);
+        let bank_group = take(dims.bank_group);
+        let rank = take(dims.rank);
+        let col_hi = take(dims.column - c_low);
+        let row = take(dims.row);
+        let mut column_positions = [0u8; MAX_FIELD_BITS];
+        let n_lo = col_lo.len();
+        column_positions[..n_lo].copy_from_slice(col_lo.positions());
+        column_positions[n_lo..n_lo + col_hi.len()].copy_from_slice(col_hi.positions());
+        let column = BitField::new(&column_positions[..n_lo + col_hi.len()]);
+        Ok(Self {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    /// [`AddressMapping::RowInterleaved`] as an explicit bit interleaving:
+    /// column, channel, bank, bank-group, rank, row (LSB to MSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power
+    /// of two.
+    pub fn row_interleaved(org: &DramOrganization) -> Result<Self, DramError> {
+        let dims = MappingDims::of(org)?;
+        let mut at = 0u8;
+        let mut take = |len: u8| {
+            let f = BitField::contiguous(at, len);
+            at += len;
+            f
+        };
+        let column = take(dims.column);
+        let channel = take(dims.channel);
+        let bank = take(dims.bank);
+        let bank_group = take(dims.bank_group);
+        let rank = take(dims.rank);
+        let row = take(dims.row);
+        Ok(Self {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    /// [`AddressMapping::CachelineInterleaved`] as an explicit bit interleaving:
+    /// channel, bank, bank-group, rank, column, row (LSB to MSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power
+    /// of two.
+    pub fn cacheline_interleaved(org: &DramOrganization) -> Result<Self, DramError> {
+        let dims = MappingDims::of(org)?;
+        let mut at = 0u8;
+        let mut take = |len: u8| {
+            let f = BitField::contiguous(at, len);
+            at += len;
+            f
+        };
+        let channel = take(dims.channel);
+        let bank = take(dims.bank);
+        let bank_group = take(dims.bank_group);
+        let rank = take(dims.rank);
+        let column = take(dims.column);
+        let row = take(dims.row);
+        Ok(Self {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    /// The rowhammer-tester `DRAMAddressConverter` `ROW_BANK_COL` layout at line
+    /// granularity: column low, then the flat bank bits (bank-in-group, group,
+    /// rank), then the row bits — no channel interleaving (single-channel DMA
+    /// space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power
+    /// of two or the organization has more than one channel.
+    pub fn row_bank_col(org: &DramOrganization) -> Result<Self, DramError> {
+        let dims = MappingDims::of(org)?;
+        if dims.channel != 0 {
+            return Err(DramError::InvalidMapping {
+                reason: "ROW_BANK_COL has no channel bits",
+                component: "channels",
+            });
+        }
+        let mut at = 0u8;
+        let mut take = |len: u8| {
+            let f = BitField::contiguous(at, len);
+            at += len;
+            f
+        };
+        let column = take(dims.column);
+        let bank = take(dims.bank);
+        let bank_group = take(dims.bank_group);
+        let rank = take(dims.rank);
+        let row = take(dims.row);
+        Ok(Self {
+            channel: BitField::empty(),
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    /// Checks that this interleaving exactly tiles `org`: every field is as wide
+    /// as its dimension, the dimensions are powers of two, and the fields'
+    /// positions form a permutation of the line-index bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] naming the offending component.
+    pub fn validate(&self, org: &DramOrganization) -> Result<(), DramError> {
+        let dims = MappingDims::of(org)?;
+        let checks = [
+            (&self.channel, dims.channel, "channel"),
+            (&self.rank, dims.rank, "rank"),
+            (&self.bank_group, dims.bank_group, "bank_group"),
+            (&self.bank, dims.bank, "bank"),
+            (&self.row, dims.row, "row"),
+            (&self.column, dims.column, "column"),
+        ];
+        let mut seen = 0u64;
+        let total: u8 = checks.iter().map(|(_, len, _)| len).sum();
+        for (field, len, component) in checks {
+            if field.len() != len as usize {
+                return Err(DramError::InvalidMapping {
+                    reason: "field width does not match the organization",
+                    component,
+                });
+            }
+            for &p in field.positions() {
+                if p >= total {
+                    return Err(DramError::InvalidMapping {
+                        reason: "bit position beyond the address width",
+                        component,
+                    });
+                }
+                if seen & (1u64 << p) != 0 {
+                    return Err(DramError::InvalidMapping {
+                        reason: "bit position used by two fields",
+                        component,
+                    });
+                }
+                seen |= 1u64 << p;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Field widths (log2 of each dimension) of a power-of-two organization.
+struct MappingDims {
+    channel: u8,
+    rank: u8,
+    bank_group: u8,
+    bank: u8,
+    row: u8,
+    column: u8,
+}
+
+impl MappingDims {
+    fn of(org: &DramOrganization) -> Result<Self, DramError> {
+        Ok(Self {
+            channel: log2_exact(org.channels as u64, "channels")?,
+            rank: log2_exact(org.ranks as u64, "ranks")?,
+            bank_group: log2_exact(org.bank_groups as u64, "bank_groups")?,
+            bank: log2_exact(org.banks_per_group as u64, "banks_per_group")?,
+            row: log2_exact(org.rows_per_bank as u64, "rows_per_bank")?,
+            column: log2_exact(org.columns_per_row as u64, "columns_per_row")?,
+        })
+    }
+}
 
 /// Address-mapping schemes supported by the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +412,11 @@ pub enum AddressMapping {
     /// Consecutive cache lines alternate across channels and banks (minimizes
     /// row-buffer locality; close to a closed-page system).
     CachelineInterleaved,
+    /// Arbitrary per-field bit interleaving: each DRAM coordinate is gathered from
+    /// an explicit list of line-index bit positions. This is the general form every
+    /// real controller/device mapping takes; the constructors on
+    /// [`BitInterleaving`] reproduce the three schemes above exactly.
+    BitInterleaved(BitInterleaving),
 }
 
 impl Default for AddressMapping {
@@ -38,12 +431,54 @@ impl AddressMapping {
         Self::default()
     }
 
+    /// The paper's MOP scheme expressed as an explicit [`BitInterleaved`] mapping
+    /// for `org` (bit-exact to [`AddressMapping::Mop`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power of
+    /// two (see [`BitInterleaving::mop`]).
+    pub fn bit_interleaved_mop(
+        org: &DramOrganization,
+        lines_per_chunk: u32,
+    ) -> Result<Self, DramError> {
+        Ok(AddressMapping::BitInterleaved(BitInterleaving::mop(
+            org,
+            lines_per_chunk,
+        )?))
+    }
+
+    /// [`AddressMapping::RowInterleaved`] as an explicit bit interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power of
+    /// two.
+    pub fn bit_interleaved_row(org: &DramOrganization) -> Result<Self, DramError> {
+        Ok(AddressMapping::BitInterleaved(
+            BitInterleaving::row_interleaved(org)?,
+        ))
+    }
+
+    /// [`AddressMapping::CachelineInterleaved`] as an explicit bit interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidMapping`] unless every dimension is a power of
+    /// two.
+    pub fn bit_interleaved_cacheline(org: &DramOrganization) -> Result<Self, DramError> {
+        Ok(AddressMapping::BitInterleaved(
+            BitInterleaving::cacheline_interleaved(org)?,
+        ))
+    }
+
     /// Decodes a physical address into a DRAM location under organization `org`.
     ///
     /// # Errors
     ///
     /// Returns [`DramError::AddressOutOfRange`] if the address lies beyond the
-    /// capacity described by `org`.
+    /// capacity described by `org`, or if a [`AddressMapping::BitInterleaved`]
+    /// field decodes a component outside the organization's bounds.
     pub fn decode(
         &self,
         addr: PhysicalAddress,
@@ -94,6 +529,38 @@ impl AddressMapping {
                 let row = rest / cols;
                 (channel, bank, row, column)
             }
+            AddressMapping::BitInterleaved(ref spec) => {
+                let channel = spec.channel.extract(line);
+                let rank = spec.rank.extract(line);
+                let bank_group = spec.bank_group.extract(line);
+                let bank = spec.bank.extract(line);
+                let row = spec.row.extract(line);
+                let column = spec.column.extract(line);
+                for (value, limit, component) in [
+                    (channel, channels, "channel"),
+                    (rank, org.ranks as u64, "rank"),
+                    (bank_group, org.bank_groups as u64, "bank_group"),
+                    (bank, org.banks_per_group as u64, "bank"),
+                    (row, rows, "row"),
+                    (column, cols, "column"),
+                ] {
+                    if value >= limit {
+                        return Err(DramError::AddressOutOfRange {
+                            component,
+                            value,
+                            limit,
+                        });
+                    }
+                }
+                return Ok(DramAddress {
+                    channel: channel as u8,
+                    rank: rank as u8,
+                    bank_group: bank_group as u8,
+                    bank: bank as u8,
+                    row: row as RowId,
+                    column: column as u32,
+                });
+            }
         };
 
         if row >= rows {
@@ -123,6 +590,71 @@ impl AddressMapping {
         })
     }
 
+    /// Encodes a DRAM location back into the physical address of its cache line —
+    /// the exact inverse of [`AddressMapping::decode`]: for every line-aligned
+    /// address `a`, `encode(decode(a)) == a`, and for every in-bounds location
+    /// `d`, `decode(encode(d)) == d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if any component of `addr` lies
+    /// outside the organization's bounds.
+    pub fn encode(
+        &self,
+        addr: DramAddress,
+        org: &DramOrganization,
+    ) -> Result<PhysicalAddress, DramError> {
+        for (value, limit, component) in [
+            (addr.channel as u64, org.channels as u64, "channel"),
+            (addr.rank as u64, org.ranks as u64, "rank"),
+            (addr.bank_group as u64, org.bank_groups as u64, "bank_group"),
+            (addr.bank as u64, org.banks_per_group as u64, "bank"),
+            (addr.row as u64, org.rows_per_bank as u64, "row"),
+            (addr.column as u64, org.columns_per_row as u64, "column"),
+        ] {
+            if value >= limit {
+                return Err(DramError::AddressOutOfRange {
+                    component,
+                    value,
+                    limit,
+                });
+            }
+        }
+        let channels = org.channels as u64;
+        let banks = org.banks_per_channel() as u64;
+        let cols = org.columns_per_row as u64;
+        let flat_bank = addr.flat_bank(org.banks_per_group, org.bank_groups) as u64;
+        let channel = addr.channel as u64;
+        let row = addr.row as u64;
+        let column = addr.column as u64;
+
+        let line = match *self {
+            AddressMapping::Mop { lines_per_chunk } => {
+                let chunk_lines = lines_per_chunk as u64;
+                let chunks_per_row = cols / chunk_lines;
+                let low_col = column % chunk_lines;
+                let high_col = column / chunk_lines;
+                let rest = (row * chunks_per_row + high_col) * banks + flat_bank;
+                (rest * channels + channel) * chunk_lines + low_col
+            }
+            AddressMapping::RowInterleaved => {
+                ((row * banks + flat_bank) * channels + channel) * cols + column
+            }
+            AddressMapping::CachelineInterleaved => {
+                ((row * cols + column) * banks + flat_bank) * channels + channel
+            }
+            AddressMapping::BitInterleaved(ref spec) => {
+                spec.channel.insert(channel)
+                    | spec.rank.insert(addr.rank as u64)
+                    | spec.bank_group.insert(addr.bank_group as u64)
+                    | spec.bank.insert(addr.bank as u64)
+                    | spec.row.insert(row)
+                    | spec.column.insert(column)
+            }
+        };
+        Ok(PhysicalAddress::new(line * org.line_bytes as u64))
+    }
+
     /// Returns the number of consecutive bytes that map to the same row before the
     /// mapping switches to another bank (the "chunk" size seen by streaming code).
     pub fn contiguous_row_bytes(&self, org: &DramOrganization) -> u64 {
@@ -132,6 +664,15 @@ impl AddressMapping {
             }
             AddressMapping::RowInterleaved => org.row_bytes(),
             AddressMapping::CachelineInterleaved => org.line_bytes as u64,
+            AddressMapping::BitInterleaved(ref spec) => {
+                // The run of column bits starting at line-index bit 0 is the
+                // contiguous span that stays within one row.
+                let mut contiguous_lines = 0u8;
+                while spec.column.positions().contains(&contiguous_lines) {
+                    contiguous_lines += 1;
+                }
+                (1u64 << contiguous_lines) * org.line_bytes as u64
+            }
         }
     }
 }
@@ -143,6 +684,14 @@ mod tests {
 
     fn org() -> DramOrganization {
         DramOrganization::small()
+    }
+
+    fn all_fixed_mappings() -> [AddressMapping; 3] {
+        [
+            AddressMapping::paper_default(),
+            AddressMapping::RowInterleaved,
+            AddressMapping::CachelineInterleaved,
+        ]
     }
 
     #[test]
@@ -190,6 +739,153 @@ mod tests {
             AddressMapping::CachelineInterleaved.contiguous_row_bytes(&org),
             64
         );
+        // The bit-sliced constructors agree with their arithmetic counterparts.
+        assert_eq!(
+            AddressMapping::bit_interleaved_mop(&org, 8)
+                .unwrap()
+                .contiguous_row_bytes(&org),
+            512
+        );
+        assert_eq!(
+            AddressMapping::bit_interleaved_row(&org)
+                .unwrap()
+                .contiguous_row_bytes(&org),
+            org.row_bytes()
+        );
+        assert_eq!(
+            AddressMapping::bit_interleaved_cacheline(&org)
+                .unwrap()
+                .contiguous_row_bytes(&org),
+            64
+        );
+    }
+
+    #[test]
+    fn bit_field_extract_insert_round_trip() {
+        let f = BitField::new(&[0, 1, 2, 7, 9, 10]);
+        for v in 0..f.cardinality() {
+            let scattered = f.insert(v);
+            assert_eq!(f.extract(scattered), v);
+        }
+        // Scattered bits land where requested.
+        assert_eq!(f.insert(0b111111), 0b0000_0110_1000_0111);
+        assert_eq!(BitField::empty().extract(u64::MAX), 0);
+        assert_eq!(BitField::empty().insert(u64::MAX), 0);
+    }
+
+    #[test]
+    fn bit_field_rejects_bad_positions() {
+        assert!(std::panic::catch_unwind(|| BitField::new(&[1, 1])).is_err());
+        assert!(std::panic::catch_unwind(|| BitField::new(&[64])).is_err());
+    }
+
+    #[test]
+    fn constructors_validate_against_their_organization() {
+        let org = DramOrganization::baseline();
+        for spec in [
+            BitInterleaving::mop(&org, 8).unwrap(),
+            BitInterleaving::row_interleaved(&org).unwrap(),
+            BitInterleaving::cacheline_interleaved(&org).unwrap(),
+        ] {
+            spec.validate(&org).unwrap();
+        }
+        let single = DramOrganization {
+            channels: 1,
+            ..DramOrganization::baseline()
+        };
+        BitInterleaving::row_bank_col(&single)
+            .unwrap()
+            .validate(&single)
+            .unwrap();
+        // ROW_BANK_COL refuses multi-channel organizations.
+        assert!(matches!(
+            BitInterleaving::row_bank_col(&org),
+            Err(DramError::InvalidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_overlap_and_wrong_width() {
+        let org = org();
+        let mut spec = BitInterleaving::row_interleaved(&org).unwrap();
+        let good = spec;
+        // Overlap: point a row bit at a column bit.
+        spec.row = BitField::new(&{
+            let mut p: Vec<u8> = good.row.positions().to_vec();
+            p[0] = good.column.positions()[0];
+            p
+        });
+        assert!(matches!(
+            spec.validate(&org),
+            Err(DramError::InvalidMapping { .. })
+        ));
+        // Wrong width: drop a row bit.
+        let mut narrow = good;
+        narrow.row = BitField::new(&good.row.positions()[1..]);
+        assert!(matches!(
+            narrow.validate(&org),
+            Err(DramError::InvalidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_dimension_is_rejected() {
+        let bad = DramOrganization {
+            columns_per_row: 96,
+            ..DramOrganization::small()
+        };
+        assert!(matches!(
+            AddressMapping::bit_interleaved_row(&bad),
+            Err(DramError::InvalidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_out_of_bounds_components() {
+        let org = org();
+        let bad = DramAddress {
+            row: org.rows_per_bank,
+            ..DramAddress::default()
+        };
+        for map in all_fixed_mappings() {
+            assert!(matches!(
+                map.encode(bad, &org),
+                Err(DramError::AddressOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn row_bank_col_matches_converter_layout() {
+        // A LiteX-style organization: 2^10 cols/row at 64B lines folds the
+        // converter's colbits into line-index bits; check the field order.
+        let org = DramOrganization {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 4,
+            banks_per_group: 2,
+            rows_per_bank: 1 << 14,
+            columns_per_row: 1 << 7,
+            line_bytes: 64,
+        };
+        let spec = BitInterleaving::row_bank_col(&org).unwrap();
+        let map = AddressMapping::BitInterleaved(spec);
+        // Lowest line bits are column bits; bank bits sit between column and row.
+        let a = map.decode(PhysicalAddress::new(64), &org).unwrap();
+        assert_eq!((a.row, a.bank, a.bank_group, a.column), (0, 0, 0, 1));
+        let b = map
+            .decode(PhysicalAddress::new(64 * org.columns_per_row as u64), &org)
+            .unwrap();
+        assert_eq!((b.row, b.bank, b.column), (0, 1, 0));
+        let r = map
+            .decode(
+                PhysicalAddress::new(
+                    64 * org.columns_per_row as u64 * org.banks_per_channel() as u64,
+                ),
+                &org,
+            )
+            .unwrap();
+        assert_eq!((r.row, r.bank, r.bank_group, r.column), (1, 0, 0, 0));
     }
 
     proptest! {
@@ -224,6 +920,62 @@ mod tests {
             prop_assert!(d.bank < org.banks_per_group);
             prop_assert!(d.row < org.rows_per_bank);
             prop_assert!(d.column < org.columns_per_row);
+        }
+
+        /// The bit-sliced constructors are bit-exact to the arithmetic schemes
+        /// they generalize, on every in-bounds address.
+        #[test]
+        fn bit_interleaved_constructors_match_arithmetic(line in 0u64..4_000_000) {
+            let org = DramOrganization::small();
+            let addr = PhysicalAddress::new(line * 64);
+            prop_assume!(addr.as_u64() < org.capacity_bytes());
+            let pairs = [
+                (AddressMapping::paper_default(), AddressMapping::bit_interleaved_mop(&org, 8).unwrap()),
+                (AddressMapping::RowInterleaved, AddressMapping::bit_interleaved_row(&org).unwrap()),
+                (AddressMapping::CachelineInterleaved, AddressMapping::bit_interleaved_cacheline(&org).unwrap()),
+            ];
+            for (arith, sliced) in pairs {
+                prop_assert_eq!(arith.decode(addr, &org).unwrap(), sliced.decode(addr, &org).unwrap());
+            }
+        }
+
+        /// encode is the exact inverse of decode on every variant: line-aligned
+        /// round trip `encode(decode(a)) == a`.
+        #[test]
+        fn encode_inverts_decode(line in 0u64..4_000_000) {
+            let org = DramOrganization::small();
+            let addr = PhysicalAddress::new(line * 64);
+            prop_assume!(addr.as_u64() < org.capacity_bytes());
+            let mut maps = all_fixed_mappings().to_vec();
+            maps.push(AddressMapping::bit_interleaved_mop(&org, 8).unwrap());
+            maps.push(AddressMapping::bit_interleaved_row(&org).unwrap());
+            maps.push(AddressMapping::bit_interleaved_cacheline(&org).unwrap());
+            for map in maps {
+                let d = map.decode(addr, &org).unwrap();
+                prop_assert_eq!(map.encode(d, &org).unwrap(), addr);
+            }
+        }
+
+        /// ... and the other direction: `decode(encode(d)) == d` for every
+        /// in-bounds DRAM location.
+        #[test]
+        fn decode_inverts_encode(
+            channel in 0u8..1,
+            bank_group in 0u8..2,
+            bank in 0u8..2,
+            row in 0u32..(1 << 12),
+            column in 0u32..128,
+        ) {
+            let org = DramOrganization::small();
+            let d = DramAddress { channel, rank: 0, bank_group, bank, row, column };
+            let mut maps = all_fixed_mappings().to_vec();
+            maps.push(AddressMapping::bit_interleaved_mop(&org, 8).unwrap());
+            maps.push(AddressMapping::bit_interleaved_row(&org).unwrap());
+            maps.push(AddressMapping::bit_interleaved_cacheline(&org).unwrap());
+            for map in maps {
+                let a = map.encode(d, &org).unwrap();
+                prop_assert_eq!(map.decode(a, &org).unwrap(), d);
+            }
         }
     }
 }

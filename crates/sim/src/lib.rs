@@ -28,11 +28,13 @@ pub mod metrics;
 pub mod runner;
 pub mod sharded;
 pub mod system;
+pub mod trace_runner;
 
 pub use config::SystemConfig;
 pub use core_model::{CoreModel, IssueBound};
 pub use llc::{Llc, LlcConfig, LlcOutcome};
 pub use metrics::{geometric_mean, PerformanceResult};
-pub use runner::{Configuration, ExperimentRunner, NormalizedResult};
+pub use runner::{Configuration, ExperimentRunner, NormalizedResult, SweepOptions, SweepResults};
 pub use sharded::{EpochStats, HorizonMode};
 pub use system::{RunOutput, System};
+pub use trace_runner::{IngestReport, ReplaySource, TraceRunner, VerdictReport, WindowTelemetry};

@@ -64,7 +64,10 @@ impl Configuration {
         }
     }
 
-    fn controller_config(&self) -> ControllerConfig {
+    /// The controller configuration this experiment cell runs under (shared by
+    /// the synthetic [`ExperimentRunner`] and the trace-driven
+    /// [`crate::trace_runner::TraceRunner`]).
+    pub fn controller_config(&self) -> ControllerConfig {
         let base = ControllerConfig::baseline().with_page_policy(self.page_policy);
         match &self.protection {
             Some(p) => base.with_protection(p.clone()),
@@ -87,6 +90,36 @@ pub struct NormalizedResult {
     pub normalized_performance: f64,
     /// Raw run output (stats, energy) for deeper analysis.
     pub output: RunOutput,
+}
+
+/// Options shared by every sweep entry point (and by the trace-driven
+/// [`crate::trace_runner::TraceRunner`], which takes its thread knobs from the
+/// same type).
+///
+/// Every field is an override; `None` keeps the corresponding default. All
+/// combinations produce bit-for-bit identical simulation results — these are
+/// scheduling and reporting knobs, never semantics.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Sweep-level workers executing `(workload, configuration)` cells
+    /// (`None`: [`impress_exec::thread_count`], the `IMPRESS_THREADS` knob).
+    pub threads: Option<usize>,
+    /// Workers executing channel shards inside each run (`None`: the runner's
+    /// configured value, default 1 — see [`ExperimentRunner::with_shard_threads`]).
+    pub shard_threads: Option<usize>,
+    /// Baseline configuration to normalize against (`None`: raw outputs only).
+    pub normalization: Option<Configuration>,
+}
+
+/// The outputs of [`ExperimentRunner::run_sweep_with_options`]: raw cell outputs,
+/// plus normalized results when [`SweepOptions::normalization`] was set. Both are
+/// nested `result[configuration][workload]`, matching the argument order.
+#[derive(Debug)]
+pub struct SweepResults {
+    /// Raw run outputs for every cell.
+    pub raw: Vec<Vec<RunOutput>>,
+    /// Normalized results, present iff a normalization baseline was requested.
+    pub normalized: Option<Vec<Vec<NormalizedResult>>>,
 }
 
 /// Runs workloads under configurations and normalizes against a baseline configuration.
@@ -143,13 +176,22 @@ impl ExperimentRunner {
 
     /// Runs `workload` under `configuration` and returns the raw output.
     pub fn run_raw(&self, workload: &str, configuration: &Configuration) -> RunOutput {
+        self.run_raw_with(workload, configuration, self.shard_threads)
+    }
+
+    fn run_raw_with(
+        &self,
+        workload: &str,
+        configuration: &Configuration,
+        shard_threads: usize,
+    ) -> RunOutput {
         let mix = WorkloadMix::by_name(workload, self.seed)
             .unwrap_or_else(|| panic!("unknown workload {workload}"));
         let config = self
             .system
             .clone()
             .with_controller(configuration.controller_config());
-        System::new(config, mix).run_with_threads(self.shard_threads)
+        System::new(config, mix).run_with_threads(shard_threads)
     }
 
     /// Runs `workload` under `baseline` (cached) and `configuration`, returning the
@@ -192,28 +234,83 @@ impl ExperimentRunner {
         }
     }
 
+    /// The single sweep engine: runs the `workloads` × `configurations` grid on
+    /// the pool and (optionally) normalizes every cell against
+    /// [`SweepOptions::normalization`].
+    ///
+    /// Cells run in parallel with deterministic, input-ordered results; when a
+    /// normalization baseline is set, one baseline run per workload is computed
+    /// (in parallel), frozen into a read-only table, and shared by every
+    /// configuration. Output nesting is `result[configuration][workload]`,
+    /// matching the argument order; contents are bit-for-bit identical for any
+    /// worker count, including 1.
+    ///
+    /// [`ExperimentRunner::run_sweep`], [`ExperimentRunner::run_sweep_with_threads`]
+    /// and [`ExperimentRunner::run_sweep_raw`] are thin wrappers over this method.
+    pub fn run_sweep_with_options(
+        &self,
+        workloads: &[&str],
+        configurations: &[Configuration],
+        options: &SweepOptions,
+    ) -> SweepResults {
+        let threads = options.threads.unwrap_or_else(impress_exec::thread_count);
+        let shard_threads = options.shard_threads.unwrap_or(self.shard_threads);
+
+        let raw = run_cells(threads, workloads.len(), configurations.len(), |c, w| {
+            self.run_raw_with(workloads[w], &configurations[c], shard_threads)
+        });
+
+        let normalized = options.normalization.as_ref().map(|baseline| {
+            let baselines: Vec<RunOutput> = par_map_with(threads, workloads, |w| {
+                self.run_raw_with(w, baseline, shard_threads)
+            });
+            raw.iter()
+                .enumerate()
+                .map(|(c, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(w, output)| {
+                            let class = WorkloadMix::by_name(workloads[w], self.seed)
+                                .expect("workload exists")
+                                .class();
+                            NormalizedResult {
+                                workload: workloads[w].to_string(),
+                                class,
+                                configuration: configurations[c].label.clone(),
+                                normalized_performance: output
+                                    .performance
+                                    .weighted_speedup(&baselines[w].performance),
+                                output: output.clone(),
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+
+        SweepResults { raw, normalized }
+    }
+
     /// Runs the full `workloads` × `configurations` sweep in parallel, normalizing
-    /// every cell against `baseline`.
-    ///
-    /// Baseline runs are computed once per workload (in parallel), frozen into a
-    /// read-only table, and shared by every configuration. The returned nesting is
-    /// `result[configuration][workload]`, matching the argument order; the contents
-    /// are bit-for-bit identical for any worker count, including 1.
-    ///
-    /// Uses [`impress_exec::thread_count`] workers (the `IMPRESS_THREADS` knob);
-    /// [`ExperimentRunner::run_sweep_with_threads`] pins an explicit count.
+    /// every cell against `baseline` — [`ExperimentRunner::run_sweep_with_options`]
+    /// with default threads ([`impress_exec::thread_count`], the `IMPRESS_THREADS`
+    /// knob) and `baseline` as the normalization.
     pub fn run_sweep(
         &self,
         workloads: &[&str],
         baseline: &Configuration,
         configurations: &[Configuration],
     ) -> Vec<Vec<NormalizedResult>> {
-        self.run_sweep_with_threads(
-            impress_exec::thread_count(),
+        self.run_sweep_with_options(
             workloads,
-            baseline,
             configurations,
+            &SweepOptions {
+                normalization: Some(baseline.clone()),
+                ..SweepOptions::default()
+            },
         )
+        .normalized
+        .expect("normalization was requested")
     }
 
     /// [`ExperimentRunner::run_sweep`] with an explicit worker count (1 = serial).
@@ -224,14 +321,17 @@ impl ExperimentRunner {
         baseline: &Configuration,
         configurations: &[Configuration],
     ) -> Vec<Vec<NormalizedResult>> {
-        // Phase 1: one baseline run per workload, computed in parallel. The table is
-        // immutable from here on — every configuration reads the same baselines.
-        let baselines: Vec<RunOutput> =
-            par_map_with(threads, workloads, |w| self.run_raw(w, baseline));
-
-        run_cells(threads, workloads.len(), configurations.len(), |c, w| {
-            self.normalize(workloads[w], &baselines[w], &configurations[c])
-        })
+        self.run_sweep_with_options(
+            workloads,
+            configurations,
+            &SweepOptions {
+                threads: Some(threads),
+                normalization: Some(baseline.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .normalized
+        .expect("normalization was requested")
     }
 
     /// Runs `workloads` under each configuration in parallel, returning the raw
@@ -242,12 +342,8 @@ impl ExperimentRunner {
         workloads: &[&str],
         configurations: &[Configuration],
     ) -> Vec<Vec<RunOutput>> {
-        run_cells(
-            impress_exec::thread_count(),
-            workloads.len(),
-            configurations.len(),
-            |c, w| self.run_raw(workloads[w], &configurations[c]),
-        )
+        self.run_sweep_with_options(workloads, configurations, &SweepOptions::default())
+            .raw
     }
 
     /// Geometric mean of the normalized performance of a slice of results, filtered by
@@ -388,6 +484,42 @@ mod tests {
                 );
                 assert_eq!(s.output.memory.banks, p.output.memory.banks);
             }
+        }
+    }
+
+    #[test]
+    fn options_engine_matches_the_legacy_wrappers() {
+        let r = runner();
+        let base = Configuration::unprotected();
+        let configs = vec![Configuration::with_tmro("tMRO=66ns", ns_to_cycles(66))];
+        let workloads = ["gcc", "copy"];
+
+        let results = r.run_sweep_with_options(
+            &workloads,
+            &configs,
+            &SweepOptions {
+                threads: Some(2),
+                shard_threads: Some(2),
+                normalization: Some(base.clone()),
+            },
+        );
+        let legacy = r.run_sweep_with_threads(1, &workloads, &base, &configs);
+        let normalized = results.normalized.expect("normalization requested");
+        assert_eq!(results.raw.len(), 1);
+        assert_eq!(results.raw[0].len(), 2);
+        for (n, l) in normalized[0].iter().zip(&legacy[0]) {
+            assert_eq!(n.workload, l.workload);
+            assert_eq!(
+                n.normalized_performance.to_bits(),
+                l.normalized_performance.to_bits()
+            );
+        }
+        // Raw outputs are the same runs the normalized results wrap.
+        for (raw, n) in results.raw[0].iter().zip(&normalized[0]) {
+            assert_eq!(
+                raw.performance.elapsed_cycles,
+                n.output.performance.elapsed_cycles
+            );
         }
     }
 

@@ -14,7 +14,7 @@ use impress_dram::energy::{EnergyBreakdown, EnergyModel};
 use impress_dram::stats::ChannelStats;
 use impress_dram::timing::Cycle;
 use impress_memctrl::{ChannelShard, MemoryController};
-use impress_workloads::WorkloadMix;
+use impress_workloads::{AccessSource, WorkloadMix};
 
 use crate::config::SystemConfig;
 use crate::core_model::{CoreModel, IssueBound};
@@ -55,22 +55,26 @@ impl RunOutput {
     }
 }
 
-/// The simulated system: 8 cores driving the memory controller with a workload mix.
+/// The simulated system: cores driving the memory controller with an access source.
+///
+/// The source defaults to the synthetic [`WorkloadMix`]; any [`AccessSource`] —
+/// e.g. the trace-replay source built by [`crate::trace_runner::TraceRunner`] —
+/// drives the identical epoch-phased loop with the same determinism guarantees.
 #[derive(Debug)]
-pub struct System {
+pub struct System<S: AccessSource = WorkloadMix> {
     config: SystemConfig,
     cores: Vec<CoreModel>,
-    mix: WorkloadMix,
+    mix: S,
     controller: MemoryController,
 }
 
-impl System {
+impl<S: AccessSource> System<S> {
     /// Builds a system running `mix` under `config`.
-    pub fn new(config: SystemConfig, mix: WorkloadMix) -> Self {
+    pub fn new(config: SystemConfig, mix: S) -> Self {
         assert_eq!(
             config.cores,
             mix.cores(),
-            "workload mix must provide one trace per core"
+            "access source must provide one stream per core"
         );
         let cores = (0..config.cores)
             .map(|i| {

@@ -1,0 +1,592 @@
+//! Trace-driven runner: physical-address streams in, verdicts out.
+//!
+//! This is the `impress-trace` frontend's engine. It consumes recorded access
+//! streams (the `impress_workloads::codec` wire format) in two modes:
+//!
+//! * **Closed-loop replay** ([`TraceRunner::replay`]): rebuilds the recording
+//!   run's core models from the trace header and drives the *identical*
+//!   epoch-phased [`System`] loop with a [`ReplaySource`] instead of the
+//!   synthetic generators. Because per-core access sequences are recorded
+//!   per core and the loop is bit-for-bit deterministic at any shard thread
+//!   count, a replayed run reproduces the recording run's output exactly.
+//! * **Open-loop ingestion** ([`TraceRunner::ingest`]): streams records at
+//!   trace-specified (or default) inter-arrival gaps straight into the channel
+//!   shards — decode, route, execute on the epoch pool, account — with no core
+//!   feedback. This is the high-throughput path for replaying device traces
+//!   (rowhammer-tester, DRAMA-style) and emits per-window disturbance and
+//!   mitigation telemetry plus an end-of-run [`VerdictReport`].
+
+use std::collections::VecDeque;
+use std::io;
+
+use impress_dram::stats::ChannelStats;
+use impress_dram::timing::Cycle;
+use impress_memctrl::{ChannelShard, MemoryController};
+use impress_workloads::codec::{TraceMeta, TraceReader, TraceRecord};
+use impress_workloads::source::{AccessSource, TraceSource};
+use impress_workloads::MemoryAccess;
+
+use crate::runner::{Configuration, SweepOptions};
+use crate::sharded::{lock_task, make_tasks, QueuedAccess};
+use crate::system::{RunOutput, System};
+
+/// Records executed per epoch-pool round during open-loop ingestion (matches the
+/// codec's frame size, so one decoded frame is one execute round).
+const INGEST_BATCH: usize = 8192;
+
+/// Default inter-arrival gap (DRAM cycles) when a trace carries no gaps: one
+/// cache-line transfer per burst slot spread across the baseline's two channels.
+const DEFAULT_GAP: u32 = 4;
+
+/// An [`AccessSource`] that replays recorded per-core access streams.
+///
+/// Construction partitions the stream by core, so the interleaving the recording
+/// happened to serialize does not constrain replay — each core's sequence is
+/// what matters, exactly as with the synthetic generators.
+#[derive(Debug)]
+pub struct ReplaySource {
+    name: String,
+    instructions_per_miss: Vec<f64>,
+    streams: Vec<VecDeque<MemoryAccess>>,
+}
+
+impl ReplaySource {
+    /// Partitions `records` by core under the trace's metadata.
+    pub fn new(meta: &TraceMeta, records: &[TraceRecord]) -> Self {
+        let mut streams: Vec<VecDeque<MemoryAccess>> =
+            (0..meta.cores as usize).map(|_| VecDeque::new()).collect();
+        for r in records {
+            streams[r.core as usize].push_back(r.to_access());
+        }
+        Self {
+            name: meta.name.clone(),
+            instructions_per_miss: meta.instructions_per_miss.clone(),
+            streams,
+        }
+    }
+
+    /// The shortest per-core stream length — the per-core request quota a replay
+    /// run can sustain.
+    pub fn min_records_per_core(&self) -> u64 {
+        self.streams.iter().map(VecDeque::len).min().unwrap_or(0) as u64
+    }
+}
+
+impl AccessSource for ReplaySource {
+    fn cores(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn instructions_per_miss(&self, core: usize) -> f64 {
+        self.instructions_per_miss[core]
+    }
+
+    fn next_access(&mut self, core: usize) -> MemoryAccess {
+        self.streams[core]
+            .pop_front()
+            .expect("replay ran past the end of a core's recorded stream")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Disturbance/mitigation telemetry over one window of ingested records.
+///
+/// All counters are deltas over the window (derived from the deterministic
+/// simulation state, never from wall-clock), so telemetry is reproducible and
+/// diffable across runs and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowTelemetry {
+    /// Window index (0-based).
+    pub index: u64,
+    /// Records ingested in this window.
+    pub records: u64,
+    /// Simulated cycle at which the window ended.
+    pub end_cycle: Cycle,
+    /// Demand activations in the window.
+    pub activations: u64,
+    /// Row-buffer hits in the window.
+    pub row_hits: u64,
+    /// Row-buffer misses in the window.
+    pub row_misses: u64,
+    /// Row-buffer conflicts in the window.
+    pub row_conflicts: u64,
+    /// Mitigative (victim-refresh) activations in the window.
+    pub mitigative_activations: u64,
+    /// RFM commands in the window.
+    pub rfm_commands: u64,
+}
+
+/// The result of an open-loop ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Records ingested.
+    pub records: u64,
+    /// Simulated cycle of the last ingested record.
+    pub elapsed_cycles: Cycle,
+    /// Aggregate memory statistics over the whole run.
+    pub memory: ChannelStats,
+    /// Per-window telemetry.
+    pub windows: Vec<WindowTelemetry>,
+    /// End-of-run verdict.
+    pub verdict: VerdictReport,
+}
+
+/// The end-of-run verdict: what the stream did to the memory system and whether
+/// the configured mitigation engaged.
+///
+/// Every field derives from deterministic simulation state, so two bit-identical
+/// runs produce byte-identical reports ([`VerdictReport::to_json`]) — the
+/// property the CI trace-smoke diff relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictReport {
+    /// Workload/trace name.
+    pub workload: String,
+    /// Configuration label the stream ran under.
+    pub configuration: String,
+    /// One-word verdict: `"mitigated"` (protection configured and it fired),
+    /// `"protected-quiet"` (protection configured, nothing to mitigate) or
+    /// `"unprotected"`.
+    pub verdict: &'static str,
+    /// Records (accesses) executed.
+    pub records: u64,
+    /// Simulated cycles covered.
+    pub elapsed_cycles: Cycle,
+    /// Demand requests serviced.
+    pub requests: u64,
+    /// Demand activations.
+    pub activations: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// Row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Mitigative activations issued by the defense.
+    pub mitigative_activations: u64,
+    /// RFM commands issued.
+    pub rfm_commands: u64,
+    /// Periodic refreshes executed.
+    pub refreshes: u64,
+    /// Longest single row-open interval observed (the Row-Press exposure bound).
+    pub max_row_open_cycles: Cycle,
+}
+
+impl VerdictReport {
+    fn verdict_for(protected: bool, stats: &ChannelStats) -> &'static str {
+        if !protected {
+            "unprotected"
+        } else if stats.banks.mitigative_activations + stats.banks.rfm_commands > 0 {
+            "mitigated"
+        } else {
+            "protected-quiet"
+        }
+    }
+
+    /// Builds the verdict from aggregate statistics.
+    pub fn from_stats(
+        workload: &str,
+        configuration: &Configuration,
+        records: u64,
+        elapsed_cycles: Cycle,
+        stats: &ChannelStats,
+    ) -> Self {
+        Self {
+            workload: workload.to_string(),
+            configuration: configuration.label.clone(),
+            verdict: Self::verdict_for(configuration.protection.is_some(), stats),
+            records,
+            elapsed_cycles,
+            requests: stats.requests,
+            activations: stats.banks.activations,
+            row_hits: stats.banks.row_hits,
+            row_misses: stats.banks.row_misses,
+            row_conflicts: stats.banks.row_conflicts,
+            mitigative_activations: stats.banks.mitigative_activations,
+            rfm_commands: stats.banks.rfm_commands,
+            refreshes: stats.banks.refreshes,
+            max_row_open_cycles: stats.banks.max_open_cycles,
+        }
+    }
+
+    /// Builds the verdict from a closed-loop run's output.
+    pub fn from_run(output: &RunOutput, configuration: &Configuration) -> Self {
+        Self::from_stats(
+            &output.workload,
+            configuration,
+            output.memory.requests,
+            output.performance.elapsed_cycles,
+            &output.memory,
+        )
+    }
+
+    /// Canonical JSON form (fixed key order, no floats), byte-identical for
+    /// bit-identical runs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"impress-trace-verdict-v1\",\n  \"workload\": {:?},\n  \
+             \"configuration\": {:?},\n  \"verdict\": {:?},\n  \"records\": {},\n  \
+             \"elapsed_cycles\": {},\n  \"requests\": {},\n  \"activations\": {},\n  \
+             \"row_hits\": {},\n  \"row_misses\": {},\n  \"row_conflicts\": {},\n  \
+             \"mitigative_activations\": {},\n  \"rfm_commands\": {},\n  \
+             \"refreshes\": {},\n  \"max_row_open_cycles\": {}\n}}\n",
+            self.workload,
+            self.configuration,
+            self.verdict,
+            self.records,
+            self.elapsed_cycles,
+            self.requests,
+            self.activations,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.mitigative_activations,
+            self.rfm_commands,
+            self.refreshes,
+            self.max_row_open_cycles,
+        )
+    }
+}
+
+/// Drives recorded traces through the simulator.
+///
+/// Shares [`SweepOptions`] with [`crate::runner::ExperimentRunner`]: the
+/// `shard_threads` knob means the same thing in both (workers executing channel
+/// shards inside one run), and both guarantee bit-identical output at any value.
+#[derive(Debug)]
+pub struct TraceRunner {
+    system: crate::config::SystemConfig,
+    shard_threads: usize,
+    window_records: u64,
+}
+
+impl Default for TraceRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRunner {
+    /// Creates a runner with the paper's baseline system configuration.
+    pub fn new() -> Self {
+        Self {
+            system: crate::config::SystemConfig::baseline(),
+            shard_threads: 1,
+            window_records: 1 << 20,
+        }
+    }
+
+    /// Creates a runner taking its thread knobs from shared [`SweepOptions`].
+    pub fn from_options(options: &SweepOptions) -> Self {
+        let mut runner = Self::new();
+        if let Some(threads) = options.shard_threads {
+            runner.shard_threads = threads.max(1);
+        }
+        runner
+    }
+
+    /// Executes each run's channel shards on up to `threads` workers (bit-identical
+    /// output for every value; `1` executes inline).
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the telemetry window size for [`TraceRunner::ingest`] (in records).
+    pub fn with_window_records(mut self, records: u64) -> Self {
+        self.window_records = records.max(1);
+        self
+    }
+
+    /// Closed-loop replay: reruns the recorded stream through the full system
+    /// model (core pacing, MLP limits, feedback), reproducing the recording
+    /// run bit-for-bit at any shard thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains no records for some core.
+    pub fn replay(
+        &self,
+        meta: &TraceMeta,
+        records: &[TraceRecord],
+        configuration: &Configuration,
+    ) -> RunOutput {
+        let source = ReplaySource::new(meta, records);
+        let quota = source.min_records_per_core();
+        assert!(quota > 0, "trace has no records for at least one core");
+        let mut config = self.system.clone();
+        config.cores = meta.cores as usize;
+        config.requests_per_core = quota;
+        config = config.with_controller(configuration.controller_config());
+        System::new(config, source).run_with_threads(self.shard_threads)
+    }
+
+    /// Open-loop ingestion: decode → route → execute → account, with no core
+    /// feedback. Records advance simulated time by their recorded gaps (or
+    /// [`DEFAULT_GAP`] for gapless traces) and execute on the channel shards in
+    /// [`INGEST_BATCH`]-record rounds of the epoch pool.
+    ///
+    /// Deterministic for any `shard_threads`: routing is a pure function of the
+    /// stream, and shards share no state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (corrupt frames, truncation) from the reader.
+    pub fn ingest<S: TraceSource>(
+        &self,
+        mut reader: TraceReader<S>,
+        configuration: &Configuration,
+    ) -> io::Result<IngestReport> {
+        let controller_config = configuration.controller_config();
+        let controller = MemoryController::new(controller_config);
+        let (cfg, shards) = controller.into_parts();
+        let min_latency = ChannelShard::min_access_latency(&cfg.timings);
+        let tasks = make_tasks(shards, min_latency);
+        let channels = tasks.len();
+        let mapping = cfg.mapping;
+        let organization = &cfg.organization;
+        let has_gaps = reader.meta().has_gaps;
+        let workload = reader.meta().name.clone();
+        let window_records = self.window_records;
+
+        let tasks_ref = &tasks;
+        let result: io::Result<(u64, Cycle, Vec<WindowTelemetry>)> = impress_exec::epoch_scope(
+            self.shard_threads,
+            channels,
+            move |i| lock_task(tasks_ref, i).execute(),
+            |scope| {
+                let mut queues: Vec<Vec<QueuedAccess>> =
+                    (0..channels).map(|_| Vec::new()).collect();
+                let mut now: Cycle = 0;
+                let mut records: u64 = 0;
+                let mut batched: usize = 0;
+                let mut windows: Vec<WindowTelemetry> = Vec::new();
+                let mut window_start_records: u64 = 0;
+                let mut prev = ChannelStats::default();
+
+                let flush = |queues: &mut Vec<Vec<QueuedAccess>>, batched: &mut usize| {
+                    if *batched == 0 {
+                        return;
+                    }
+                    for (channel, queue) in queues.iter_mut().enumerate() {
+                        std::mem::swap(&mut lock_task(tasks_ref, channel).queue, queue);
+                    }
+                    scope.run_epoch();
+                    for (channel, queue) in queues.iter_mut().enumerate() {
+                        std::mem::swap(&mut lock_task(tasks_ref, channel).queue, queue);
+                        queue.clear();
+                    }
+                    *batched = 0;
+                };
+
+                while let Some(record) = reader.next_record()? {
+                    now += if has_gaps {
+                        record.gap as Cycle
+                    } else {
+                        DEFAULT_GAP as Cycle
+                    };
+                    let location = mapping
+                        .decode(record.to_access().address, organization)
+                        .map_err(|e| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("record {records}: {e}"),
+                            )
+                        })?;
+                    queues[location.channel as usize].push(QueuedAccess {
+                        location,
+                        is_write: record.is_write,
+                        at: now,
+                    });
+                    records += 1;
+                    batched += 1;
+                    if batched == INGEST_BATCH {
+                        flush(&mut queues, &mut batched);
+                    }
+                    if records - window_start_records == window_records {
+                        flush(&mut queues, &mut batched);
+                        let snap = ChannelStats::merged(
+                            (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
+                        );
+                        windows.push(WindowTelemetry {
+                            index: windows.len() as u64,
+                            records: records - window_start_records,
+                            end_cycle: now,
+                            activations: snap.banks.activations - prev.banks.activations,
+                            row_hits: snap.banks.row_hits - prev.banks.row_hits,
+                            row_misses: snap.banks.row_misses - prev.banks.row_misses,
+                            row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
+                            mitigative_activations: snap.banks.mitigative_activations
+                                - prev.banks.mitigative_activations,
+                            rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
+                        });
+                        prev = snap;
+                        window_start_records = records;
+                    }
+                }
+                flush(&mut queues, &mut batched);
+                if records > window_start_records {
+                    let snap = ChannelStats::merged(
+                        (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
+                    );
+                    windows.push(WindowTelemetry {
+                        index: windows.len() as u64,
+                        records: records - window_start_records,
+                        end_cycle: now,
+                        activations: snap.banks.activations - prev.banks.activations,
+                        row_hits: snap.banks.row_hits - prev.banks.row_hits,
+                        row_misses: snap.banks.row_misses - prev.banks.row_misses,
+                        row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
+                        mitigative_activations: snap.banks.mitigative_activations
+                            - prev.banks.mitigative_activations,
+                        rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
+                    });
+                }
+                Ok((records, now, windows))
+            },
+        );
+        let (records, elapsed_cycles, windows) = result?;
+
+        let memory = ChannelStats::merged(
+            tasks
+                .into_iter()
+                .map(|t| t.into_inner().expect("shard task mutex poisoned").shard)
+                .map(|shard| shard.stats()),
+        );
+        let verdict =
+            VerdictReport::from_stats(&workload, configuration, records, elapsed_cycles, &memory);
+        Ok(IngestReport {
+            records,
+            elapsed_cycles,
+            memory,
+            windows,
+            verdict,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_workloads::codec::TraceWriter;
+    use impress_workloads::source::SliceSource;
+    use impress_workloads::WorkloadMix;
+
+    /// Records `per_core` accesses per core from a fresh mix, round-robin.
+    fn record_mix(workload: &str, seed: u64, per_core: u64) -> (TraceMeta, Vec<TraceRecord>) {
+        let mut mix = WorkloadMix::by_name(workload, seed).unwrap();
+        let cores = AccessSource::cores(&mix);
+        let meta = TraceMeta {
+            name: workload.to_string(),
+            cores: cores as u8,
+            has_gaps: false,
+            instructions_per_miss: (0..cores)
+                .map(|c| AccessSource::instructions_per_miss(&mix, c))
+                .collect(),
+        };
+        let mut records = Vec::new();
+        for _ in 0..per_core {
+            for core in 0..cores {
+                records.push(TraceRecord::from_access(
+                    AccessSource::next_access(&mut mix, core),
+                    0,
+                ));
+            }
+        }
+        (meta, records)
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording_run_bit_for_bit() {
+        let (meta, records) = record_mix("mcf", 3, 1_000);
+        let configuration = Configuration::unprotected();
+
+        // The in-process run the trace was recorded from.
+        let mut config = crate::config::SystemConfig::baseline();
+        config.requests_per_core = 1_000;
+        config = config.with_controller(configuration.controller_config());
+        let mix = WorkloadMix::by_name("mcf", 3).unwrap();
+        let reference = System::new(config, mix).run();
+
+        for threads in [1usize, 2, 4] {
+            let replayed = TraceRunner::new().with_shard_threads(threads).replay(
+                &meta,
+                &records,
+                &configuration,
+            );
+            assert_eq!(
+                replayed.performance.elapsed_cycles, reference.performance.elapsed_cycles,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                replayed.performance.per_core_ipc,
+                reference.performance.per_core_ipc
+            );
+            assert_eq!(replayed.memory, reference.memory);
+            assert_eq!(
+                VerdictReport::from_run(&replayed, &configuration),
+                VerdictReport::from_run(&reference, &configuration)
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_is_deterministic_across_thread_counts() {
+        let (meta, records) = record_mix("copy", 5, 600);
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, &meta).unwrap();
+        for &r in &records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let configuration = Configuration::unprotected();
+
+        let run = |threads: usize| {
+            let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+            TraceRunner::new()
+                .with_shard_threads(threads)
+                .with_window_records(1_000)
+                .ingest(reader, &configuration)
+                .unwrap()
+        };
+        let reference = run(1);
+        assert_eq!(reference.records, records.len() as u64);
+        assert_eq!(reference.memory.requests, records.len() as u64);
+        assert!(!reference.windows.is_empty());
+        let window_total: u64 = reference.windows.iter().map(|w| w.records).sum();
+        assert_eq!(window_total, reference.records);
+        for threads in [2usize, 4] {
+            let out = run(threads);
+            assert_eq!(out.memory, reference.memory, "threads = {threads}");
+            assert_eq!(out.windows, reference.windows);
+            assert_eq!(out.verdict, reference.verdict);
+        }
+    }
+
+    #[test]
+    fn verdict_reflects_protection() {
+        use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+        let (meta, records) = record_mix("mcf", 7, 400);
+        let unprotected = Configuration::unprotected();
+        let protected = Configuration::protected(
+            "Graphene+ImPress-P",
+            ProtectionConfig::paper_default(
+                TrackerChoice::Graphene,
+                DefenseKind::impress_p_default(),
+            ),
+        );
+        let runner = TraceRunner::new();
+        let a = runner.replay(&meta, &records, &unprotected);
+        let va = VerdictReport::from_run(&a, &unprotected);
+        assert_eq!(va.verdict, "unprotected");
+        let b = runner.replay(&meta, &records, &protected);
+        let vb = VerdictReport::from_run(&b, &protected);
+        assert!(vb.verdict == "mitigated" || vb.verdict == "protected-quiet");
+        // JSON form is stable and parses the key fields back.
+        let json = vb.to_json();
+        assert!(json.contains("\"schema\": \"impress-trace-verdict-v1\""));
+        assert!(json.contains(&format!("\"records\": {}", vb.records)));
+    }
+}

@@ -1,0 +1,524 @@
+//! Binary trace codec: framed chunks of fixed-width access records.
+//!
+//! The `impress-trace` frontend exchanges physical-address streams in a simple,
+//! self-describing binary format designed for streaming ingestion:
+//!
+//! ```text
+//! header:  "IMPT" | version u16 | flags u16 | cores u8 | name_len u8
+//!          | name (name_len bytes, UTF-8)
+//!          | instructions_per_miss: cores × f64  (little-endian bit patterns)
+//! frame:   "IMPC" | record_count u32 | record_count × 16-byte records | fnv1a64
+//! record:  address u64 | gap u32 | core u8 | flags u8 (bit 0 = write) | reserved u16
+//! ```
+//!
+//! All integers are little-endian. Frames are self-delimiting and checksummed, so a
+//! reader can stream chunk-by-chunk from a file, a pipe or a socket without knowing
+//! the total length in advance, and corruption is detected at frame granularity.
+//! Records are exactly [`RECORD_BYTES`] wide so an mmap'd payload can be cast to a
+//! record array by readers that want zero-copy access.
+
+use std::io::{self, Read, Write};
+
+use impress_dram::address::PhysicalAddress;
+
+use crate::source::TraceSource;
+use crate::trace::MemoryAccess;
+
+/// Magic bytes opening a trace stream.
+pub const TRACE_MAGIC: [u8; 4] = *b"IMPT";
+/// Magic bytes opening each frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"IMPC";
+/// Codec version emitted by [`TraceWriter`].
+pub const TRACE_VERSION: u16 = 1;
+/// Size of one encoded record in bytes.
+pub const RECORD_BYTES: usize = 16;
+/// Records per frame emitted by [`TraceWriter`] (128 KiB of payload).
+pub const FRAME_RECORDS: usize = 8192;
+
+/// Header flag: records carry meaningful inter-arrival gaps.
+const FLAG_HAS_GAPS: u16 = 1 << 0;
+/// Record flag: the access is a write.
+const REC_WRITE: u8 = 1 << 0;
+
+/// Stream-level metadata carried in the trace header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Name of the workload the trace was recorded from.
+    pub name: String,
+    /// Number of cores whose accesses appear in the stream.
+    pub cores: u8,
+    /// Whether records carry meaningful inter-arrival gaps (open-loop replay);
+    /// when false every `gap` field is zero and replay paces itself.
+    pub has_gaps: bool,
+    /// Per-core average instructions per LLC miss, so closed-loop replay can
+    /// rebuild the same core models the recording run used.
+    pub instructions_per_miss: Vec<f64>,
+}
+
+/// One trace record: a memory access plus the inter-arrival gap (in DRAM cycles)
+/// since the previous record in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Physical byte address of the access.
+    pub address: u64,
+    /// DRAM cycles since the previous record in the stream (0 when unknown).
+    pub gap: u32,
+    /// Core that issued the access.
+    pub core: u8,
+    /// Whether the access is a write.
+    pub is_write: bool,
+}
+
+impl TraceRecord {
+    /// Wraps a [`MemoryAccess`] with an inter-arrival gap.
+    pub fn from_access(access: MemoryAccess, gap: u32) -> Self {
+        Self {
+            address: access.address.as_u64(),
+            gap,
+            core: access.core,
+            is_write: access.is_write,
+        }
+    }
+
+    /// The access this record describes.
+    pub fn to_access(self) -> MemoryAccess {
+        MemoryAccess {
+            address: PhysicalAddress::new(self.address),
+            is_write: self.is_write,
+            core: self.core,
+        }
+    }
+
+    /// Encodes the record into its 16-byte wire form.
+    pub fn encode(self) -> [u8; RECORD_BYTES] {
+        let mut out = [0u8; RECORD_BYTES];
+        out[0..8].copy_from_slice(&self.address.to_le_bytes());
+        out[8..12].copy_from_slice(&self.gap.to_le_bytes());
+        out[12] = self.core;
+        out[13] = if self.is_write { REC_WRITE } else { 0 };
+        // out[14..16] reserved, zero.
+        out
+    }
+
+    /// Decodes a record from its 16-byte wire form.
+    pub fn decode(bytes: &[u8; RECORD_BYTES]) -> Self {
+        Self {
+            address: u64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+            gap: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            core: bytes[12],
+            is_write: bytes[13] & REC_WRITE != 0,
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash, the per-frame checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Streaming trace writer: buffers records and emits checksummed frames.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    payload: Vec<u8>,
+    records_in_frame: usize,
+    records_written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the stream header and returns a writer ready for records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer; rejects metadata whose
+    /// name exceeds 255 bytes or whose per-core table does not match `cores`.
+    pub fn new(mut inner: W, meta: &TraceMeta) -> io::Result<Self> {
+        if meta.name.len() > u8::MAX as usize {
+            return Err(bad_data("trace name longer than 255 bytes"));
+        }
+        if meta.instructions_per_miss.len() != meta.cores as usize {
+            return Err(bad_data("instructions_per_miss length must equal cores"));
+        }
+        let mut header = Vec::with_capacity(16 + meta.name.len() + meta.cores as usize * 8);
+        header.extend_from_slice(&TRACE_MAGIC);
+        header.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        let flags = if meta.has_gaps { FLAG_HAS_GAPS } else { 0 };
+        header.extend_from_slice(&flags.to_le_bytes());
+        header.push(meta.cores);
+        header.push(meta.name.len() as u8);
+        header.extend_from_slice(meta.name.as_bytes());
+        for ipm in &meta.instructions_per_miss {
+            header.extend_from_slice(&ipm.to_bits().to_le_bytes());
+        }
+        inner.write_all(&header)?;
+        Ok(Self {
+            inner,
+            payload: Vec::with_capacity(FRAME_RECORDS * RECORD_BYTES),
+            records_in_frame: 0,
+            records_written: 0,
+        })
+    }
+
+    /// Appends one record, flushing a frame when it fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push(&mut self, record: TraceRecord) -> io::Result<()> {
+        self.payload.extend_from_slice(&record.encode());
+        self.records_in_frame += 1;
+        self.records_written += 1;
+        if self.records_in_frame == FRAME_RECORDS {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    /// Total records pushed so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    fn flush_frame(&mut self) -> io::Result<()> {
+        if self.records_in_frame == 0 {
+            return Ok(());
+        }
+        self.inner.write_all(&FRAME_MAGIC)?;
+        self.inner
+            .write_all(&(self.records_in_frame as u32).to_le_bytes())?;
+        self.inner.write_all(&self.payload)?;
+        self.inner
+            .write_all(&fnv1a64(&self.payload).to_le_bytes())?;
+        self.payload.clear();
+        self.records_in_frame = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial frame and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_frame()?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming trace reader: pulls chunks from a [`TraceSource`], reassembles
+/// frames across chunk boundaries, verifies checksums and yields records.
+#[derive(Debug)]
+pub struct TraceReader<S: TraceSource> {
+    source: S,
+    /// Unconsumed bytes carried across chunk boundaries.
+    buf: Vec<u8>,
+    /// Read cursor into `buf` (compacted lazily).
+    at: usize,
+    meta: TraceMeta,
+    /// Decoded records of the current frame, yielded in order.
+    frame: Vec<TraceRecord>,
+    frame_at: usize,
+    exhausted: bool,
+}
+
+impl<S: TraceSource> TraceReader<S> {
+    /// Reads the stream header from `source` and returns a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the magic, version or header structure is wrong,
+    /// or `UnexpectedEof` if the stream ends mid-header.
+    pub fn new(source: S) -> io::Result<Self> {
+        let mut reader = Self {
+            source,
+            buf: Vec::new(),
+            at: 0,
+            meta: TraceMeta {
+                name: String::new(),
+                cores: 0,
+                has_gaps: false,
+                instructions_per_miss: Vec::new(),
+            },
+            frame: Vec::new(),
+            frame_at: 0,
+            exhausted: false,
+        };
+        reader.read_header()?;
+        Ok(reader)
+    }
+
+    /// Stream metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Yields the next record, or `None` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a corrupt frame (bad magic or checksum) and
+    /// `UnexpectedEof` if the stream ends inside a frame.
+    pub fn next_record(&mut self) -> io::Result<Option<TraceRecord>> {
+        loop {
+            if self.frame_at < self.frame.len() {
+                let r = self.frame[self.frame_at];
+                self.frame_at += 1;
+                return Ok(Some(r));
+            }
+            if !self.read_frame()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Reads every remaining record into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceReader::next_record`].
+    pub fn read_all(&mut self) -> io::Result<Vec<TraceRecord>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// Ensures at least `need` unconsumed bytes are buffered; returns false on a
+    /// clean end of stream with zero unconsumed bytes.
+    fn want(&mut self, need: usize) -> io::Result<bool> {
+        while self.buf.len() - self.at < need {
+            if self.exhausted {
+                if self.buf.len() == self.at {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "trace stream truncated mid-structure",
+                ));
+            }
+            // Compact before growing so long streams don't accumulate dead bytes.
+            if self.at > 0 {
+                self.buf.drain(..self.at);
+                self.at = 0;
+            }
+            match self.source.next_chunk()? {
+                Some(chunk) => self.buf.extend_from_slice(chunk),
+                None => self.exhausted = true,
+            }
+        }
+        Ok(true)
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        s
+    }
+
+    fn read_header(&mut self) -> io::Result<()> {
+        if !self.want(10)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "empty trace stream",
+            ));
+        }
+        if self.take(4) != TRACE_MAGIC {
+            return Err(bad_data("not an impress trace (bad magic)"));
+        }
+        let version = u16::from_le_bytes(self.take(2).try_into().unwrap());
+        if version != TRACE_VERSION {
+            return Err(bad_data("unsupported trace version"));
+        }
+        let flags = u16::from_le_bytes(self.take(2).try_into().unwrap());
+        let cores = self.take(1)[0];
+        let name_len = self.take(1)[0] as usize;
+        if !self.want(name_len + cores as usize * 8)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "trace header truncated",
+            ));
+        }
+        let name = String::from_utf8(self.take(name_len).to_vec())
+            .map_err(|_| bad_data("trace name is not UTF-8"))?;
+        let mut instructions_per_miss = Vec::with_capacity(cores as usize);
+        for _ in 0..cores {
+            let bits = u64::from_le_bytes(self.take(8).try_into().unwrap());
+            instructions_per_miss.push(f64::from_bits(bits));
+        }
+        self.meta = TraceMeta {
+            name,
+            cores,
+            has_gaps: flags & FLAG_HAS_GAPS != 0,
+            instructions_per_miss,
+        };
+        Ok(())
+    }
+
+    /// Reads and verifies the next frame; returns false at a clean end of stream.
+    fn read_frame(&mut self) -> io::Result<bool> {
+        if !self.want(8)? {
+            return Ok(false);
+        }
+        if self.take(4) != FRAME_MAGIC {
+            return Err(bad_data("corrupt trace frame (bad magic)"));
+        }
+        let count = u32::from_le_bytes(self.take(4).try_into().unwrap()) as usize;
+        let payload_len = count * RECORD_BYTES;
+        if !self.want(payload_len + 8)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "trace frame truncated",
+            ));
+        }
+        let payload_start = self.at;
+        self.at += payload_len;
+        let stored = u64::from_le_bytes(self.take(8).try_into().unwrap());
+        let payload = &self.buf[payload_start..payload_start + payload_len];
+        if fnv1a64(payload) != stored {
+            return Err(bad_data("trace frame checksum mismatch"));
+        }
+        self.frame.clear();
+        self.frame_at = 0;
+        self.frame.reserve(count);
+        for i in 0..count {
+            let bytes: &[u8; RECORD_BYTES] = payload[i * RECORD_BYTES..(i + 1) * RECORD_BYTES]
+                .try_into()
+                .unwrap();
+            self.frame.push(TraceRecord::decode(bytes));
+        }
+        Ok(true)
+    }
+}
+
+/// Convenience: reads a whole trace (header + records) from any `Read`.
+///
+/// # Errors
+///
+/// Same conditions as [`TraceReader::next_record`].
+pub fn read_trace<R: Read>(reader: R) -> io::Result<(TraceMeta, Vec<TraceRecord>)> {
+    let mut tr = TraceReader::new(crate::source::ReadSource::new(reader))?;
+    let meta = tr.meta().clone();
+    let records = tr.read_all()?;
+    Ok((meta, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ReadSource, SliceSource};
+
+    fn sample_meta() -> TraceMeta {
+        TraceMeta {
+            name: "mcf".to_string(),
+            cores: 2,
+            has_gaps: true,
+            instructions_per_miss: vec![33.25, 171.5],
+        }
+    }
+
+    fn sample_records(n: usize) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                address: (i as u64) * 64 + ((i as u64) << 33),
+                gap: (i % 7) as u32,
+                core: (i % 2) as u8,
+                is_write: i % 3 == 0,
+            })
+            .collect()
+    }
+
+    fn write_sample(records: &[TraceRecord]) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), &sample_meta()).unwrap();
+        for &r in records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn record_wire_form_round_trips() {
+        for r in sample_records(64) {
+            assert_eq!(TraceRecord::decode(&r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_bit_identically() {
+        // Spans multiple frames: FRAME_RECORDS + a partial tail.
+        let records = sample_records(FRAME_RECORDS + 100);
+        let bytes = write_sample(&records);
+        let (meta, back) = read_trace(&bytes[..]).unwrap();
+        assert_eq!(meta, sample_meta());
+        assert_eq!(back, records);
+        // Re-encoding the decoded stream reproduces the exact bytes.
+        let mut w = TraceWriter::new(Vec::new(), &meta).unwrap();
+        for r in back {
+            w.push(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), bytes);
+    }
+
+    #[test]
+    fn reader_handles_tiny_chunks() {
+        // 1-byte chunks force every structure to straddle chunk boundaries.
+        let records = sample_records(300);
+        let bytes = write_sample(&records);
+        let mut r = TraceReader::new(SliceSource::with_chunk_size(&bytes, 1)).unwrap();
+        assert_eq!(r.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn corrupt_payload_is_detected() {
+        let records = sample_records(10);
+        let mut bytes = write_sample(&records);
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x40; // flip a payload bit in the final frame
+        let err = read_trace(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let records = sample_records(10);
+        let bytes = write_sample(&records);
+        let err = read_trace(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = write_sample(&sample_records(1));
+        bytes[0] = b'X';
+        let err = TraceReader::new(ReadSource::new(&bytes[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_records() {
+        let w = TraceWriter::new(Vec::new(), &sample_meta()).unwrap();
+        let bytes = w.finish().unwrap();
+        let (meta, records) = read_trace(&bytes[..]).unwrap();
+        assert_eq!(meta.cores, 2);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn writer_rejects_inconsistent_meta() {
+        let meta = TraceMeta {
+            instructions_per_miss: vec![1.0],
+            ..sample_meta()
+        };
+        assert!(TraceWriter::new(Vec::new(), &meta).is_err());
+    }
+}

@@ -17,14 +17,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod generator;
 pub mod mix;
 pub mod profile;
+pub mod source;
 pub mod spec;
 pub mod stream;
 pub mod trace;
 
+pub use codec::{TraceMeta, TraceReader, TraceRecord, TraceWriter};
 pub use generator::TraceGenerator;
 pub use mix::WorkloadMix;
 pub use profile::{LocalityClass, WorkloadProfile};
+pub use source::{AccessSource, ReadSource, SliceSource, TraceSource};
 pub use trace::MemoryAccess;

@@ -1,0 +1,189 @@
+//! Access and byte-stream sources for the trace-ingestion frontend.
+//!
+//! Two traits decouple where accesses come from and how bytes arrive:
+//!
+//! * [`AccessSource`] abstracts "something that produces per-core memory
+//!   accesses" — the synthetic [`WorkloadMix`](crate::mix::WorkloadMix)
+//!   implements it, and so does the replay source the simulator builds from a
+//!   recorded trace, letting one run loop drive both.
+//! * [`TraceSource`] abstracts "something that produces byte chunks" — files,
+//!   stdin pipes, in-memory buffers today; mmap'd regions or sockets slot in
+//!   later without touching the codec.
+
+use std::io::{self, Read};
+
+use crate::mix::WorkloadMix;
+use crate::trace::MemoryAccess;
+
+/// A per-core producer of memory accesses, the input side of the run loop.
+///
+/// Implementations must be deterministic: for a fixed construction, the sequence
+/// of accesses returned for each core must not depend on how calls to different
+/// cores interleave. The simulator's bit-for-bit reproducibility across thread
+/// counts rests on this.
+pub trait AccessSource {
+    /// Number of cores this source feeds.
+    fn cores(&self) -> usize;
+
+    /// Average instructions per LLC miss for `core` (drives the core model's
+    /// issue pacing).
+    fn instructions_per_miss(&self, core: usize) -> f64;
+
+    /// Produces the next access for `core`.
+    fn next_access(&mut self, core: usize) -> MemoryAccess;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+impl AccessSource for WorkloadMix {
+    fn cores(&self) -> usize {
+        WorkloadMix::cores(self)
+    }
+
+    fn instructions_per_miss(&self, core: usize) -> f64 {
+        WorkloadMix::instructions_per_miss(self, core)
+    }
+
+    fn next_access(&mut self, core: usize) -> MemoryAccess {
+        WorkloadMix::next_access(self, core)
+    }
+
+    fn name(&self) -> &str {
+        WorkloadMix::name(self)
+    }
+}
+
+/// A producer of byte chunks feeding the trace codec.
+///
+/// Chunk boundaries carry no meaning — the reader reassembles records and frames
+/// that straddle them — so implementations are free to return whatever sizes are
+/// natural (read-buffer fills, mmap windows, socket datagrams).
+pub trait TraceSource {
+    /// Returns the next chunk of bytes, or `None` at end of stream.
+    ///
+    /// The returned slice is valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying medium.
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>>;
+}
+
+/// Default chunk size for [`ReadSource`] (64 KiB).
+pub const READ_CHUNK_BYTES: usize = 64 * 1024;
+
+/// A [`TraceSource`] over any [`Read`] — files, stdin, pipes.
+#[derive(Debug)]
+pub struct ReadSource<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> ReadSource<R> {
+    /// Wraps `inner` with the default chunk size.
+    pub fn new(inner: R) -> Self {
+        Self::with_chunk_size(inner, READ_CHUNK_BYTES)
+    }
+
+    /// Wraps `inner`, filling chunks of up to `chunk_bytes` per call.
+    pub fn with_chunk_size(inner: R, chunk_bytes: usize) -> Self {
+        Self {
+            inner,
+            buf: vec![0u8; chunk_bytes.max(1)],
+        }
+    }
+}
+
+impl<R: Read> TraceSource for ReadSource<R> {
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => return Ok(Some(&self.buf[..n])),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A [`TraceSource`] over an in-memory byte slice (also the shape an mmap'd
+/// file takes).
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    data: &'a [u8],
+    at: usize,
+    chunk: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Serves `data` in chunks of the default size.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self::with_chunk_size(data, READ_CHUNK_BYTES)
+    }
+
+    /// Serves `data` in chunks of `chunk_bytes` (useful for exercising
+    /// boundary handling in tests).
+    pub fn with_chunk_size(data: &'a [u8], chunk_bytes: usize) -> Self {
+        Self {
+            data,
+            at: 0,
+            chunk: chunk_bytes.max(1),
+        }
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+        if self.at >= self.data.len() {
+            return Ok(None);
+        }
+        let end = (self.at + self.chunk).min(self.data.len());
+        let s = &self.data[self.at..end];
+        self.at = end;
+        Ok(Some(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_source_chunks_cover_everything() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut src = SliceSource::with_chunk_size(&data, 100);
+        let mut out = Vec::new();
+        while let Some(c) = src.next_chunk().unwrap() {
+            out.extend_from_slice(c);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn read_source_streams_a_reader() {
+        let data = vec![7u8; 1000];
+        let mut src = ReadSource::with_chunk_size(&data[..], 64);
+        let mut total = 0;
+        while let Some(c) = src.next_chunk().unwrap() {
+            assert!(c.len() <= 64);
+            total += c.len();
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn workload_mix_is_an_access_source() {
+        let mut mix = WorkloadMix::by_name("mcf", 3).unwrap();
+        // Trait and inherent methods agree.
+        assert_eq!(AccessSource::cores(&mix), 8);
+        assert_eq!(AccessSource::name(&mix), "mcf");
+        assert_eq!(
+            AccessSource::instructions_per_miss(&mix, 0),
+            WorkloadMix::instructions_per_miss(&mix, 0)
+        );
+        let a = AccessSource::next_access(&mut mix, 4);
+        assert_eq!(a.core, 4);
+    }
+}
