@@ -19,6 +19,27 @@
 //!                  [--records N] [--shard-threads N] [--window N]
 //!     Open-loop ingestion benchmark: decode → route → epoch loop → telemetry,
 //!     reporting million records/s end to end.
+//!
+//! trace ingest --in FILE [--config NAME] [--resync] [--shard-threads N]
+//!              [--window N] [--verdict FILE] [--expect FILE]
+//!     Open-loop ingestion with a verdict report. --resync survives stream
+//!     corruption (degraded verdict + fault ledger) instead of aborting.
+//!     --expect byte-compares the verdict against a reference file and exits
+//!     with EXIT_VERDICT_MISMATCH on any difference.
+//!
+//! trace corrupt --in FILE --out FILE [--seed N]
+//!     Applies the seeded deterministic fault plan (bit flips, truncation,
+//!     frame duplication/reorder) to a recorded trace — the reproducible
+//!     adversary for resync/daemon testing.
+//!
+//! trace daemon --in FILE [--config NAME] [--resync] [--follow] [--resume]
+//!              [--checkpoint FILE] [--checkpoint-every N] [--window N]
+//!              [--max-lag N] [--shard-threads N] [--verdict FILE] [--expect FILE]
+//!     Supervised ingestion: periodic atomic checkpoints, bounded-lag telemetry
+//!     shedding, contained shard panics (quarantine). --follow rides out a
+//!     slow/stalling source with capped exponential backoff; --resume restarts
+//!     after a crash by deterministic prefix re-execution validated against the
+//!     last checkpoint. The verdict always uses the extended (v2) schema.
 //! ```
 //!
 //! `--config` takes a named configuration (`unprotected`, `graphene-impress-p`,
@@ -26,19 +47,44 @@
 //! reports are canonical JSON derived only from deterministic simulation state,
 //! so `diff` works across runs, hosts and thread counts. `--in -` reads the
 //! trace from stdin.
+//!
+//! # Exit codes
+//!
+//! Failure classes get distinct exit codes so CI and operators can branch on
+//! them: [`EXIT_OK`] (0), [`EXIT_USAGE`] (2), [`EXIT_IO`] (3, the medium
+//! failed), [`EXIT_CORRUPT`] (4, the stream content is damaged — strict-mode
+//! decode or mapping errors, or a refused resume), [`EXIT_VERDICT_MISMATCH`]
+//! (5, `--expect` diff failed) and [`EXIT_PANIC`] (6, internal panic).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
 use impress_bench::{named_configuration, record_workload_trace};
+use impress_sim::daemon::{supervise, Checkpoint, DaemonOptions};
 use impress_sim::{Configuration, System, SystemConfig, TraceRunner, VerdictReport};
-use impress_workloads::codec::{TraceMeta, TraceReader, TraceRecord, TraceWriter};
-use impress_workloads::source::{ReadSource, SliceSource};
+use impress_workloads::codec::{DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter};
+use impress_workloads::faults::{apply_plan, FaultPlan, FrameMap};
+use impress_workloads::source::{FollowPolicy, FollowSource, ReadSource, SliceSource};
 use impress_workloads::WorkloadMix;
 
 /// Default seed, matching `ExperimentRunner`'s.
 const DEFAULT_SEED: u64 = 0x1A7E_2024;
+
+/// Success.
+pub const EXIT_OK: i32 = 0;
+/// Bad command line.
+pub const EXIT_USAGE: i32 = 2;
+/// The I/O medium failed (open/read/write errors other than corruption).
+pub const EXIT_IO: i32 = 3;
+/// The stream content is damaged: strict-mode decode errors, implausible
+/// structures, mapping failures, refused resumes.
+pub const EXIT_CORRUPT: i32 = 4;
+/// `--expect` comparison failed: the produced verdict differs from the
+/// reference.
+pub const EXIT_VERDICT_MISMATCH: i32 = 5;
+/// An internal panic was caught at the top level.
+pub const EXIT_PANIC: i32 = 6;
 
 fn usage() -> ! {
     eprintln!(
@@ -46,15 +92,26 @@ fn usage() -> ! {
          [--config NAME] [--verdict FILE]\n\
          \x20      trace replay --in FILE [--config NAME] [--shard-threads N] [--verdict FILE]\n\
          \x20      trace throughput (--in FILE | --workload W) [--config NAME] [--records N] \
-         [--shard-threads N] [--window N]"
+         [--shard-threads N] [--window N]\n\
+         \x20      trace ingest --in FILE [--config NAME] [--resync] [--shard-threads N] \
+         [--window N] [--verdict FILE] [--expect FILE]\n\
+         \x20      trace corrupt --in FILE --out FILE [--seed N]\n\
+         \x20      trace daemon --in FILE [--config NAME] [--resync] [--follow] [--resume] \
+         [--checkpoint FILE] [--checkpoint-every N] [--window N] [--max-lag N] \
+         [--shard-threads N] [--verdict FILE] [--expect FILE]"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args(Vec<String>);
 
 impl Args {
+    /// True when a bare boolean flag is present.
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
     fn get(&self, key: &str) -> Option<&str> {
         self.0
             .iter()
@@ -78,11 +135,29 @@ impl Args {
 }
 
 fn write_verdict(path: Option<&str>, verdict: &VerdictReport) -> io::Result<()> {
-    let json = verdict.to_json();
+    write_verdict_json(path, &verdict.to_json())
+}
+
+fn write_verdict_json(path: Option<&str>, json: &str) -> io::Result<()> {
     match path {
-        Some(p) => std::fs::write(p, &json),
+        Some(p) => std::fs::write(p, json),
         None => io::stdout().write_all(json.as_bytes()),
     }
+}
+
+/// Byte-compares the produced verdict against `--expect`'s reference file,
+/// exiting with [`EXIT_VERDICT_MISMATCH`] on any difference.
+fn check_expected(args: &Args, json: &str) -> io::Result<()> {
+    let Some(path) = args.get("--expect") else {
+        return Ok(());
+    };
+    let reference = std::fs::read_to_string(path)?;
+    if reference != json {
+        eprintln!("trace: verdict differs from reference {path}");
+        std::process::exit(EXIT_VERDICT_MISMATCH);
+    }
+    eprintln!("trace: verdict matches reference {path}");
+    Ok(())
 }
 
 /// The in-process closed-loop run a recording corresponds to.
@@ -215,6 +290,158 @@ fn cmd_throughput(args: &Args) -> io::Result<()> {
     Ok(())
 }
 
+fn read_bytes(path: &str) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    if path == "-" {
+        io::stdin().lock().read_to_end(&mut buf)?;
+    } else {
+        File::open(path)?.read_to_end(&mut buf)?;
+    }
+    Ok(buf)
+}
+
+fn cmd_ingest(args: &Args) -> io::Result<()> {
+    let input = args.get("--in").unwrap_or_else(|| usage());
+    let configuration = args.configuration();
+    let shard_threads = args.get_u64("--shard-threads", 1) as usize;
+    let window = args.get_u64("--window", 1 << 20);
+    let mode = if args.has("--resync") {
+        DecodeMode::Resync
+    } else {
+        DecodeMode::Strict
+    };
+
+    let bytes = read_bytes(input)?;
+    let runner = TraceRunner::new()
+        .with_shard_threads(shard_threads)
+        .with_window_records(window);
+    let report = runner.ingest(
+        TraceReader::with_mode(SliceSource::new(&bytes), mode)?,
+        &configuration,
+    )?;
+    eprintln!(
+        "trace: ingested {} records of {} under {}: outcome {}, {} fault entries, \
+         records_lost <= {}",
+        report.records,
+        report.verdict.workload,
+        configuration.label,
+        report.verdict.outcome(),
+        report.verdict.faults.entries.len(),
+        report.verdict.faults.records_lost()
+    );
+    let json = report.verdict.to_json();
+    write_verdict_json(args.get("--verdict"), &json)?;
+    check_expected(args, &json)
+}
+
+fn cmd_corrupt(args: &Args) -> io::Result<()> {
+    let input = args.get("--in").unwrap_or_else(|| usage());
+    let out = args.get("--out").unwrap_or_else(|| usage());
+    let seed = args.get_u64("--seed", 1);
+
+    let bytes = read_bytes(input)?;
+    let map = FrameMap::scan(&bytes)?;
+    let plan = FaultPlan::seeded(seed, &map);
+    let corrupted = apply_plan(&bytes, &plan)?;
+    std::fs::write(out, &corrupted)?;
+    let impact = plan.expected(&map);
+    eprintln!(
+        "trace: corrupted {input} -> {out} with seed {seed}: {} fault ops over {} frames{}",
+        plan.ops.len(),
+        map.frames.len(),
+        impact.map_or(String::new(), |i| format!(
+            " (expect {} intact, >= {} lost{})",
+            i.intact_records,
+            i.damaged_records,
+            if i.mid_frame_cut {
+                ", mid-frame cut"
+            } else {
+                ""
+            }
+        ))
+    );
+    Ok(())
+}
+
+/// Writes a checkpoint atomically (temp file + rename), so a crash mid-write
+/// never leaves a torn resume point.
+fn write_checkpoint(path: &str, cp: &Checkpoint) -> io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, cp.to_json())?;
+    std::fs::rename(&tmp, path)
+}
+
+fn cmd_daemon(args: &Args) -> io::Result<()> {
+    let input = args.get("--in").unwrap_or_else(|| usage());
+    let configuration = args.configuration();
+    let checkpoint_path = args.get("--checkpoint").map(str::to_string);
+
+    let resume_from = if args.has("--resume") {
+        let path = checkpoint_path.as_deref().unwrap_or_else(|| usage());
+        Some(Checkpoint::parse(&std::fs::read_to_string(path)?)?)
+    } else {
+        None
+    };
+    let options = DaemonOptions {
+        window_records: args.get_u64("--window", 1 << 16),
+        checkpoint_every: args.get_u64("--checkpoint-every", 1 << 18),
+        max_lag_windows: args.get_u64("--max-lag", 0) as usize,
+        shard_threads: args.get_u64("--shard-threads", 1) as usize,
+        resync: args.has("--resync"),
+        resume_from,
+    };
+
+    let mut on_checkpoint = |cp: &Checkpoint| match checkpoint_path.as_deref() {
+        Some(path) => write_checkpoint(path, cp),
+        None => Ok(()),
+    };
+    let reader: Box<dyn Read> = if input == "-" {
+        Box::new(io::stdin().lock())
+    } else {
+        Box::new(BufReader::new(File::open(input)?))
+    };
+    let report = if args.has("--follow") {
+        let follow = FollowSource::new(ReadSource::new(reader), FollowPolicy::default());
+        supervise(follow, &configuration, &options, &mut on_checkpoint)?
+    } else {
+        supervise(
+            ReadSource::new(reader),
+            &configuration,
+            &options,
+            &mut on_checkpoint,
+        )?
+    };
+    eprintln!(
+        "trace: daemon ingested {} records of {} under {}: outcome {}, {} windows retained, \
+         {} fault entries, records_lost <= {}{}",
+        report.records,
+        report.verdict.workload,
+        configuration.label,
+        report.verdict.outcome(),
+        report.windows.len(),
+        report.verdict.faults.entries.len(),
+        report.verdict.faults.records_lost(),
+        if args.has("--resume") {
+            " (resumed)"
+        } else {
+            ""
+        }
+    );
+    // The daemon always reports in the extended schema, so resumed and
+    // uninterrupted runs are diffable modulo resume-marker lines.
+    let json = report.verdict.to_json_extended();
+    write_verdict_json(args.get("--verdict"), &json)?;
+    check_expected(args, &json)
+}
+
+/// Maps an error to its exit code by failure class.
+fn exit_code_for(e: &io::Error) -> i32 {
+    match e.kind() {
+        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => EXIT_CORRUPT,
+        _ => EXIT_IO,
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -222,14 +449,25 @@ fn main() {
     }
     let command = argv.remove(0);
     let args = Args(argv);
-    let result = match command.as_str() {
+    let outcome = std::panic::catch_unwind(move || match command.as_str() {
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),
         "throughput" => cmd_throughput(&args),
+        "ingest" => cmd_ingest(&args),
+        "corrupt" => cmd_corrupt(&args),
+        "daemon" => cmd_daemon(&args),
         _ => usage(),
-    };
-    if let Err(e) = result {
-        eprintln!("trace: error: {e}");
-        std::process::exit(1);
+    });
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("trace: error: {e}");
+            std::process::exit(exit_code_for(&e));
+        }
+        Err(_) => {
+            // The panic payload was already printed by the default hook.
+            eprintln!("trace: internal panic");
+            std::process::exit(EXIT_PANIC);
+        }
     }
 }

@@ -163,10 +163,12 @@ struct EpochSync {
     done: AtomicUsize,
     /// Set when the driver is finished or unwinding: workers exit.
     stop: AtomicBool,
-    /// Set when a worker's task panicked (the round is abandoned).
+    /// Set when a task of the current round panicked. Cleared by the driver when
+    /// it collects the round's outcome, so a contained panic does not poison the
+    /// next round.
     panicked: AtomicBool,
-    /// First panic payload, re-raised on the driver thread.
-    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Panic payloads of the current round, collected on the driver thread.
+    payload: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
     /// Workers currently parked on `wake`. Incremented/decremented only with
     /// `park_lock` held, so a round-starter that takes the lock observes every
     /// committed park (see the handshake argument on [`EpochScope::run_epoch`]).
@@ -186,7 +188,7 @@ impl EpochSync {
             done: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
-            payload: Mutex::new(None),
+            payload: Mutex::new(Vec::new()),
             parked: AtomicUsize::new(0),
             park_lock: Mutex::new(()),
             wake: Condvar::new(),
@@ -226,6 +228,59 @@ impl Drop for StopGuard<'_> {
     }
 }
 
+/// The outcome of a round in which one or more tasks panicked, returned by
+/// [`EpochScope::try_run_epoch`].
+///
+/// The round still ran to completion — every task index was claimed exactly once
+/// and either finished or panicked — and the pool remains fully usable for
+/// subsequent rounds. This is the containment primitive supervised drivers (the
+/// trace daemon) build per-window quarantine on: a panicking shard worker costs
+/// one round's work on the panicking task, not the process.
+pub struct EpochPanic {
+    payloads: Vec<Box<dyn std::any::Any + Send>>,
+}
+
+impl std::fmt::Debug for EpochPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPanic")
+            .field("failed_tasks", &self.payloads.len())
+            .field("messages", &self.messages())
+            .finish()
+    }
+}
+
+impl EpochPanic {
+    /// Number of tasks that panicked during the round.
+    pub fn failed_tasks(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Human-readable panic messages, where payloads are strings (the common
+    /// `panic!("...")` case); other payload types render as `"<non-string panic>"`.
+    pub fn messages(&self) -> Vec<String> {
+        self.payloads
+            .iter()
+            .map(|p| {
+                if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic>".to_string()
+                }
+            })
+            .collect()
+    }
+
+    /// Re-raises the first captured panic on the current thread.
+    pub fn resume(mut self) -> ! {
+        match self.payloads.pop() {
+            Some(p) => resume_unwind(p),
+            None => panic!("epoch worker panicked"),
+        }
+    }
+}
+
 /// Handle to a running epoch pool, passed to the driver closure of [`epoch_scope`].
 ///
 /// Each [`EpochScope::run_epoch`] call executes `execute(i)` exactly once for every
@@ -255,16 +310,50 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
     /// Runs one round: every task index is executed exactly once, on this thread and
     /// any parked workers, and the call returns after the last task completes.
     ///
-    /// If a task panics on a worker, the panic is re-raised here; if a task panics on
-    /// the driver thread it unwinds naturally (workers are released either way).
+    /// If any task panics (on a worker or on the driver thread itself), the panic is
+    /// re-raised here after the round completes; the workers are released by the
+    /// scope's unwind guard. Drivers that must survive task panics — supervised
+    /// ingestion daemons quarantining a failed window — use
+    /// [`EpochScope::try_run_epoch`] instead.
     pub fn run_epoch(&self) {
+        if let Err(panic) = self.try_run_epoch() {
+            if let Some(sync) = self.sync {
+                sync.stop.store(true, Ordering::Release);
+            }
+            panic.resume();
+        }
+    }
+
+    /// Runs one round like [`EpochScope::run_epoch`], but *contains* task panics:
+    /// a panicking task counts as finished, the remaining tasks of the round still
+    /// execute, and the captured payloads are returned as an [`EpochPanic`] instead
+    /// of unwinding. The pool stays fully usable afterwards, so a supervising
+    /// driver can quarantine the failed round's work and keep serving.
+    ///
+    /// Tasks are independent by contract, so completing the round after a panic is
+    /// safe; state owned by a panicking task may of course be left mid-update, and
+    /// it is the caller's job to discard or quarantine it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EpochPanic`] carrying every panic payload captured during the
+    /// round.
+    pub fn try_run_epoch(&self) -> Result<(), EpochPanic> {
         self.rounds.set(self.rounds.get() + 1);
         let Some(sync) = self.sync else {
-            // Inline mode: the serial path stays truly serial (no atomics, no locks).
+            // Inline mode: the serial path stays serial (no atomics, no locks);
+            // panics are still contained so daemons can run single-threaded.
+            let mut payloads = Vec::new();
             for i in 0..self.tasks {
-                (self.execute)(i);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| (self.execute)(i))) {
+                    payloads.push(p);
+                }
             }
-            return;
+            return if payloads.is_empty() {
+                Ok(())
+            } else {
+                Err(EpochPanic { payloads })
+            };
         };
         // Reset order matters: `done` strictly before `claim`. A straggler worker
         // still in the previous round's claim loop may claim from the freshly reset
@@ -281,24 +370,25 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
         sync.publish_and_wake(|| {
             sync.epoch.fetch_add(1, Ordering::Release);
         });
-        // The driver participates in the round; its own panics unwind normally (the
-        // scope's StopGuard releases the workers).
+        // The driver participates in the round. Its tasks are contained exactly
+        // like a worker's: a panicking task is recorded and counted as done, so
+        // the round always completes and the wait below always terminates.
         loop {
-            if sync.panicked.load(Ordering::Relaxed) {
-                break;
-            }
             let i = sync.claim.fetch_add(1, Ordering::Acquire);
             if i >= self.tasks {
                 break;
             }
-            (self.execute)(i);
+            match catch_unwind(AssertUnwindSafe(|| (self.execute)(i))) {
+                Ok(()) => {}
+                Err(p) => {
+                    sync.payload.lock().expect("payload mutex").push(p);
+                    sync.panicked.store(true, Ordering::Release);
+                }
+            }
             sync.done.fetch_add(1, Ordering::Release);
         }
         let mut spins = 0u32;
         while sync.done.load(Ordering::Acquire) < self.tasks {
-            if sync.panicked.load(Ordering::Relaxed) {
-                break;
-            }
             spins += 1;
             if spins < SPINS_BEFORE_YIELD {
                 std::hint::spin_loop();
@@ -306,14 +396,14 @@ impl<F: Fn(usize) + Sync> EpochScope<'_, F> {
                 std::thread::yield_now();
             }
         }
-        if sync.panicked.load(Ordering::Acquire) {
-            sync.stop.store(true, Ordering::Release);
-            let payload = sync.payload.lock().expect("payload mutex").take();
-            match payload {
-                Some(p) => resume_unwind(p),
-                None => panic!("epoch worker panicked"),
-            }
+        // Collect the round's outcome. Every task has finished (done == tasks), so
+        // every panic of this round is already recorded; clearing the flag here
+        // cannot race a straggler.
+        if sync.panicked.swap(false, Ordering::AcqRel) {
+            let payloads = std::mem::take(&mut *sync.payload.lock().expect("payload mutex"));
+            return Err(EpochPanic { payloads });
         }
+        Ok(())
     }
 
     /// Number of tasks executed per round.
@@ -379,8 +469,14 @@ fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize
         // twice and `done` counts every task exactly once (the Acquire claim pairs
         // with the driver's Release reset: any claim drawn from a freshly reset
         // counter is ordered after that round's `done` reset).
+        //
+        // A panicking task is *contained*: its payload is recorded, it counts as
+        // done (so the driver's completion wait terminates), and the worker keeps
+        // claiming — tasks are independent, so the rest of the round still runs.
+        // The driver decides whether to unwind (run_epoch) or quarantine
+        // (try_run_epoch) once the round completes.
         loop {
-            if sync.stop.load(Ordering::Acquire) || sync.panicked.load(Ordering::Relaxed) {
+            if sync.stop.load(Ordering::Acquire) {
                 break;
             }
             let i = sync.claim.fetch_add(1, Ordering::Acquire);
@@ -392,18 +488,9 @@ fn epoch_worker<F: Fn(usize) + Sync>(sync: &EpochSync, execute: &F, tasks: usize
                     sync.done.fetch_add(1, Ordering::Release);
                 }
                 Err(p) => {
-                    let mut slot = sync.payload.lock().expect("payload mutex");
-                    if slot.is_none() {
-                        *slot = Some(p);
-                    }
-                    drop(slot);
-                    // Publish the shutdown under the park lock so parked siblings
-                    // wake promptly instead of waiting for the driver's StopGuard.
-                    sync.publish_and_wake(|| {
-                        sync.panicked.store(true, Ordering::Release);
-                        sync.stop.store(true, Ordering::Release);
-                    });
-                    break;
+                    sync.payload.lock().expect("payload mutex").push(p);
+                    sync.panicked.store(true, Ordering::Release);
+                    sync.done.fetch_add(1, Ordering::Release);
                 }
             }
         }
@@ -651,6 +738,69 @@ mod tests {
                 scope.run_epoch();
             },
         );
+    }
+
+    #[test]
+    fn contained_panic_leaves_the_pool_usable() {
+        // One poisoned round among many: try_run_epoch reports it, every other
+        // round (before and after) completes normally on the same pool, and the
+        // non-panicking tasks of the poisoned round still run.
+        for threads in [1usize, 2, 4] {
+            let hits: Vec<AtomicU64> = (0..6).map(|_| AtomicU64::new(0)).collect();
+            let round = AtomicU64::new(0);
+            let hits_ref = &hits;
+            let round_ref = &round;
+            epoch_scope(
+                threads,
+                6,
+                move |i| {
+                    if i == 3 && round_ref.load(Ordering::Relaxed) == 5 {
+                        panic!("contained boom");
+                    }
+                    hits_ref[i].fetch_add(1, Ordering::Relaxed);
+                },
+                |scope| {
+                    for r in 0..10u64 {
+                        round_ref.store(r, Ordering::Relaxed);
+                        let result = scope.try_run_epoch();
+                        if r == 5 {
+                            let panic = result.expect_err("round 5 must report the panic");
+                            assert_eq!(panic.failed_tasks(), 1);
+                            assert_eq!(panic.messages(), vec!["contained boom".to_string()]);
+                        } else {
+                            result.expect("clean rounds must succeed");
+                        }
+                    }
+                    assert_eq!(scope.rounds_run(), 10);
+                },
+            );
+            for (i, h) in hits.iter().enumerate() {
+                let expect = if i == 3 { 9 } else { 10 };
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    expect,
+                    "task {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contained_panics_collect_every_payload() {
+        let panic = epoch_scope(
+            4,
+            8,
+            |i| {
+                if i % 2 == 0 {
+                    panic!("boom {i}");
+                }
+            },
+            |scope| scope.try_run_epoch().expect_err("half the tasks panic"),
+        );
+        assert_eq!(panic.failed_tasks(), 4);
+        let mut messages = panic.messages();
+        messages.sort();
+        assert_eq!(messages, vec!["boom 0", "boom 2", "boom 4", "boom 6"]);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod core_model;
+pub mod daemon;
 pub mod llc;
 pub mod metrics;
 pub mod runner;
@@ -32,9 +33,13 @@ pub mod trace_runner;
 
 pub use config::SystemConfig;
 pub use core_model::{CoreModel, IssueBound};
+pub use daemon::{supervise, Checkpoint, DaemonOptions};
 pub use llc::{Llc, LlcConfig, LlcOutcome};
 pub use metrics::{geometric_mean, PerformanceResult};
 pub use runner::{Configuration, ExperimentRunner, NormalizedResult, SweepOptions, SweepResults};
 pub use sharded::{EpochStats, HorizonMode};
 pub use system::{RunOutput, System};
-pub use trace_runner::{IngestReport, ReplaySource, TraceRunner, VerdictReport, WindowTelemetry};
+pub use trace_runner::{
+    FaultLedger, IngestReport, LedgerEntry, ReplaySource, TraceRunner, VerdictReport,
+    WindowTelemetry,
+};

@@ -208,8 +208,12 @@ pub(crate) fn make_tasks(shards: Vec<ChannelShard>, min_latency: Cycle) -> Shard
 }
 
 /// Locks a task; the lock is uncontended by construction (see [`ShardTasks`]).
+///
+/// Poison is cleared rather than propagated: a contained shard-worker panic
+/// (daemon quarantine) poisons the task's mutex, but the driver still needs the
+/// shard for subsequent windows and final statistics.
 pub(crate) fn lock_task(tasks: &ShardTasks, index: usize) -> std::sync::MutexGuard<'_, ShardTask> {
-    tasks[index].lock().expect("shard task mutex poisoned")
+    tasks[index].lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use std::io;
 use impress_dram::stats::ChannelStats;
 use impress_dram::timing::Cycle;
 use impress_memctrl::{ChannelShard, MemoryController};
-use impress_workloads::codec::{TraceMeta, TraceReader, TraceRecord};
+use impress_workloads::codec::{IngestFault, TraceMeta, TraceReader, TraceRecord};
 use impress_workloads::source::{AccessSource, TraceSource};
 use impress_workloads::MemoryAccess;
 
@@ -32,11 +32,11 @@ use crate::system::{RunOutput, System};
 
 /// Records executed per epoch-pool round during open-loop ingestion (matches the
 /// codec's frame size, so one decoded frame is one execute round).
-const INGEST_BATCH: usize = 8192;
+pub(crate) const INGEST_BATCH: usize = 8192;
 
 /// Default inter-arrival gap (DRAM cycles) when a trace carries no gaps: one
 /// cache-line transfer per burst slot spread across the baseline's two channels.
-const DEFAULT_GAP: u32 = 4;
+pub(crate) const DEFAULT_GAP: u32 = 4;
 
 /// An [`AccessSource`] that replays recorded per-core access streams.
 ///
@@ -119,6 +119,153 @@ pub struct WindowTelemetry {
     pub rfm_commands: u64,
 }
 
+/// One entry in a run's fault ledger.
+///
+/// Entries derive only from stream content and driver-side events, never from
+/// thread scheduling, so a seeded corrupt-ingest run's ledger is byte-identical
+/// across runs and shard thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerEntry {
+    /// A damaged region the resync decoder skipped.
+    Decode(IngestFault),
+    /// The stream ended inside a frame (loss beyond the observed bytes is
+    /// unknowable in-band; checkpointed record counts bound it out-of-band).
+    TruncatedStream {
+        /// Byte offset at which the stream ended.
+        offset: u64,
+    },
+    /// The bounded-lag watchdog dropped this window's telemetry (records were
+    /// all ingested — telemetry is shed before records).
+    ShedWindow {
+        /// Index of the shed window.
+        window: u64,
+    },
+    /// A shard-worker panic was contained; the window's records are counted as
+    /// lost because their execution cannot be trusted.
+    QuarantinedWindow {
+        /// Index of the quarantined window.
+        window: u64,
+        /// Records in the quarantined batch.
+        records_lost: u64,
+    },
+    /// The run resumed from a checkpoint (deterministic prefix re-execution).
+    Resume {
+        /// Records re-validated against the checkpoint.
+        records: u64,
+        /// Source byte offset the checkpoint pinned.
+        offset: u64,
+    },
+}
+
+impl LedgerEntry {
+    /// Records this entry accounts as lost.
+    pub fn records_lost(&self) -> u64 {
+        match *self {
+            LedgerEntry::Decode(f) => f.records_lost,
+            LedgerEntry::QuarantinedWindow { records_lost, .. } => records_lost,
+            _ => 0,
+        }
+    }
+
+    /// Canonical single-line JSON form.
+    pub fn to_json_line(&self) -> String {
+        match *self {
+            LedgerEntry::Decode(f) => format!(
+                "{{\"kind\": \"{}\", \"offset\": {}, \"frame_index\": {}, \
+                 \"bytes_skipped\": {}, \"records_lost\": {}}}",
+                f.kind.label(),
+                f.offset,
+                f.frame_index,
+                f.bytes_skipped,
+                f.records_lost
+            ),
+            LedgerEntry::TruncatedStream { offset } => {
+                format!("{{\"kind\": \"truncated-stream\", \"offset\": {offset}}}")
+            }
+            LedgerEntry::ShedWindow { window } => {
+                format!("{{\"kind\": \"shed-window\", \"window\": {window}}}")
+            }
+            LedgerEntry::QuarantinedWindow {
+                window,
+                records_lost,
+            } => format!(
+                "{{\"kind\": \"quarantined-window\", \"window\": {window}, \
+                 \"records_lost\": {records_lost}}}"
+            ),
+            LedgerEntry::Resume { records, offset } => {
+                format!("{{\"kind\": \"resume\", \"records\": {records}, \"offset\": {offset}}}")
+            }
+        }
+    }
+}
+
+/// The fault ledger of an ingestion run: every deviation from a clean decode
+/// and execution, in canonical order (resume markers first, then faults in
+/// stream order), so a resumed run's verdict differs from an uninterrupted
+/// run's only in resume-marker lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultLedger {
+    /// Ledger entries.
+    pub entries: Vec<LedgerEntry>,
+}
+
+impl FaultLedger {
+    /// True when nothing degraded the run (resume markers alone keep a run
+    /// clean — a validated resume is not a fault).
+    pub fn is_clean(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| matches!(e, LedgerEntry::Resume { .. }))
+    }
+
+    /// Conservative upper bound on records lost across the run.
+    pub fn records_lost(&self) -> u64 {
+        self.entries.iter().map(LedgerEntry::records_lost).sum()
+    }
+
+    /// Run outcome: `"clean"`, `"degraded"` (stream damage survived) or
+    /// `"quarantined"` (at least one window's execution was contained).
+    pub fn outcome(&self) -> &'static str {
+        if self
+            .entries
+            .iter()
+            .any(|e| matches!(e, LedgerEntry::QuarantinedWindow { .. }))
+        {
+            "quarantined"
+        } else if self.is_clean() {
+            "clean"
+        } else {
+            "degraded"
+        }
+    }
+
+    /// Appends an entry, keeping resume markers sorted before faults so the
+    /// canonical JSON stays diffable modulo resume lines.
+    pub fn push(&mut self, entry: LedgerEntry) {
+        if matches!(entry, LedgerEntry::Resume { .. }) {
+            let at = self
+                .entries
+                .iter()
+                .take_while(|e| matches!(e, LedgerEntry::Resume { .. }))
+                .count();
+            self.entries.insert(at, entry);
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Absorbs the decoder's fault list (plus its truncation flag) in stream
+    /// order.
+    pub fn absorb_decoder(&mut self, faults: Vec<IngestFault>, truncated_at: Option<u64>) {
+        for f in faults {
+            self.push(LedgerEntry::Decode(f));
+        }
+        if let Some(offset) = truncated_at {
+            self.push(LedgerEntry::TruncatedStream { offset });
+        }
+    }
+}
+
 /// The result of an open-loop ingestion run.
 #[derive(Debug, Clone)]
 pub struct IngestReport {
@@ -172,6 +319,8 @@ pub struct VerdictReport {
     pub refreshes: u64,
     /// Longest single row-open interval observed (the Row-Press exposure bound).
     pub max_row_open_cycles: Cycle,
+    /// Fault ledger of the run (empty for clean strict-mode runs).
+    pub faults: FaultLedger,
 }
 
 impl VerdictReport {
@@ -208,7 +357,20 @@ impl VerdictReport {
             rfm_commands: stats.banks.rfm_commands,
             refreshes: stats.banks.refreshes,
             max_row_open_cycles: stats.banks.max_open_cycles,
+            faults: FaultLedger::default(),
         }
+    }
+
+    /// Attaches a fault ledger to the verdict.
+    pub fn with_faults(mut self, faults: FaultLedger) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Run outcome derived from the ledger: `"clean"`, `"degraded"` or
+    /// `"quarantined"`.
+    pub fn outcome(&self) -> &'static str {
+        self.faults.outcome()
     }
 
     /// Builds the verdict from a closed-loop run's output.
@@ -224,14 +386,53 @@ impl VerdictReport {
 
     /// Canonical JSON form (fixed key order, no floats), byte-identical for
     /// bit-identical runs.
+    ///
+    /// A run with an empty fault ledger emits the exact v1 schema (so existing
+    /// verdict files and CI diffs are untouched); any ledger entry switches to
+    /// the extended v2 form of [`VerdictReport::to_json_extended`].
     pub fn to_json(&self) -> String {
+        if self.faults.entries.is_empty() {
+            format!(
+                "{{\n  \"schema\": \"impress-trace-verdict-v1\",\n{}\n}}\n",
+                self.json_core_fields()
+            )
+        } else {
+            self.to_json_extended()
+        }
+    }
+
+    /// Extended (v2) canonical JSON: v1 fields plus `outcome` and a `faults`
+    /// section. Ledger entries are one per line, resume markers first, so two
+    /// runs differing only by a validated resume diff only in resume lines.
+    pub fn to_json_extended(&self) -> String {
+        let mut entries = String::new();
+        for (i, e) in self.faults.entries.iter().enumerate() {
+            let comma = if i + 1 < self.faults.entries.len() {
+                ","
+            } else {
+                ""
+            };
+            entries.push_str(&format!("      {}{}\n", e.to_json_line(), comma));
+        }
         format!(
-            "{{\n  \"schema\": \"impress-trace-verdict-v1\",\n  \"workload\": {:?},\n  \
+            "{{\n  \"schema\": \"impress-trace-verdict-v2\",\n{},\n  \"outcome\": {:?},\n  \
+             \"faults\": {{\n    \"records_lost\": {},\n    \"entries\": [\n{}    ]\n  }}\n}}\n",
+            self.json_core_fields(),
+            self.outcome(),
+            self.faults.records_lost(),
+            entries,
+        )
+    }
+
+    /// The v1 field block shared by both schema versions.
+    fn json_core_fields(&self) -> String {
+        format!(
+            "  \"workload\": {:?},\n  \
              \"configuration\": {:?},\n  \"verdict\": {:?},\n  \"records\": {},\n  \
              \"elapsed_cycles\": {},\n  \"requests\": {},\n  \"activations\": {},\n  \
              \"row_hits\": {},\n  \"row_misses\": {},\n  \"row_conflicts\": {},\n  \
              \"mitigative_activations\": {},\n  \"rfm_commands\": {},\n  \
-             \"refreshes\": {},\n  \"max_row_open_cycles\": {}\n}}\n",
+             \"refreshes\": {},\n  \"max_row_open_cycles\": {}",
             self.workload,
             self.configuration,
             self.verdict,
@@ -351,8 +552,15 @@ impl TraceRunner {
         let workload = reader.meta().name.clone();
         let window_records = self.window_records;
 
+        type IngestLoopOut = (
+            u64,
+            Cycle,
+            Vec<WindowTelemetry>,
+            Vec<IngestFault>,
+            Option<u64>,
+        );
         let tasks_ref = &tasks;
-        let result: io::Result<(u64, Cycle, Vec<WindowTelemetry>)> = impress_exec::epoch_scope(
+        let result: io::Result<IngestLoopOut> = impress_exec::epoch_scope(
             self.shard_threads,
             channels,
             move |i| lock_task(tasks_ref, i).execute(),
@@ -444,19 +652,24 @@ impl TraceRunner {
                         rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
                     });
                 }
-                Ok((records, now, windows))
+                let faults = reader.take_faults();
+                let truncated_at = reader.truncated().then(|| reader.byte_offset());
+                Ok((records, now, windows, faults, truncated_at))
             },
         );
-        let (records, elapsed_cycles, windows) = result?;
+        let (records, elapsed_cycles, windows, faults, truncated_at) = result?;
+        let mut ledger = FaultLedger::default();
+        ledger.absorb_decoder(faults, truncated_at);
 
         let memory = ChannelStats::merged(
             tasks
                 .into_iter()
-                .map(|t| t.into_inner().expect("shard task mutex poisoned").shard)
+                .map(|t| t.into_inner().unwrap_or_else(|e| e.into_inner()).shard)
                 .map(|shard| shard.stats()),
         );
         let verdict =
-            VerdictReport::from_stats(&workload, configuration, records, elapsed_cycles, &memory);
+            VerdictReport::from_stats(&workload, configuration, records, elapsed_cycles, &memory)
+                .with_faults(ledger);
         Ok(IngestReport {
             records,
             elapsed_cycles,

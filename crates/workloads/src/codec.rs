@@ -16,6 +16,28 @@
 //! the total length in advance, and corruption is detected at frame granularity.
 //! Records are exactly [`RECORD_BYTES`] wide so an mmap'd payload can be cast to a
 //! record array by readers that want zero-copy access.
+//!
+//! # Corruption handling
+//!
+//! The reader has two [`DecodeMode`]s:
+//!
+//! * [`DecodeMode::Strict`] (the default) aborts on the first corrupt structure
+//!   with an error that names the absolute byte offset and frame index.
+//! * [`DecodeMode::Resync`] treats the frame magic as a resynchronization marker:
+//!   on a bad magic, an implausible record count, a checksum mismatch or a
+//!   truncated frame it scans forward for the next `IMPC`, skips the damaged
+//!   region, and records a structured [`IngestFault`]. Each fault carries a
+//!   **conservative upper bound** on the records lost in the skipped region
+//!   (`ceil(bytes_skipped / RECORD_BYTES)`, and at least the frame's declared
+//!   record count when that count was plausible), so downstream verdicts can
+//!   report a worst-case unaccounted-disturbance bound instead of silently
+//!   under-counting. A stream that ends mid-structure sets
+//!   [`TraceReader::truncated`]; truncation that happens to land exactly on a
+//!   frame boundary is indistinguishable from a clean end of stream in-band
+//!   (higher layers bound it with checkpointed record counts).
+//!
+//! Strict-mode decoding of well-formed streams is bit-identical to the resync
+//! path — the modes differ only in how damage is answered.
 
 use std::io::{self, Read, Write};
 
@@ -125,6 +147,68 @@ fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// How a [`TraceReader`] responds to corrupt input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeMode {
+    /// Abort on the first corrupt structure (the default).
+    #[default]
+    Strict,
+    /// Skip damaged regions by scanning for the next frame magic, recording an
+    /// [`IngestFault`] per incident.
+    Resync,
+}
+
+/// What kind of damage a resynchronizing reader encountered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The bytes where a frame should start are not [`FRAME_MAGIC`].
+    BadFrameMagic,
+    /// A frame declared more than [`FRAME_RECORDS`] records — the count field is
+    /// corrupt (the writer never emits oversized frames).
+    OversizedFrame,
+    /// A frame's payload does not match its stored checksum.
+    ChecksumMismatch,
+    /// The stream ended inside a frame.
+    TruncatedFrame,
+}
+
+impl FaultKind {
+    /// Stable kebab-case label used in canonical JSON ledgers.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BadFrameMagic => "bad-frame-magic",
+            FaultKind::OversizedFrame => "oversized-frame",
+            FaultKind::ChecksumMismatch => "checksum-mismatch",
+            FaultKind::TruncatedFrame => "truncated-frame",
+        }
+    }
+}
+
+/// One corruption incident survived by a [`DecodeMode::Resync`] reader.
+///
+/// `records_lost` is a conservative **upper bound** on the records that were in
+/// the skipped region: at least `ceil(bytes_skipped / RECORD_BYTES)` (a skipped
+/// region can hold no more records than that) and at least the damaged frame's
+/// declared record count when that count was plausible. Summed over a ledger it
+/// upper-bounds the stream's true in-band loss, which is what lets a verdict
+/// report a worst-case unaccounted-disturbance figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestFault {
+    /// What was wrong.
+    pub kind: FaultKind,
+    /// Absolute byte offset at which the fault was detected (the start of the
+    /// structure that failed to parse).
+    pub offset: u64,
+    /// Index of the frame being decoded when the fault hit (frames decoded so
+    /// far; skipped regions do not advance it).
+    pub frame_index: u64,
+    /// Bytes skipped to reach the next parsable structure (or the end of the
+    /// stream).
+    pub bytes_skipped: u64,
+    /// Conservative upper bound on records lost in the skipped region.
+    pub records_lost: u64,
+}
+
 /// Streaming trace writer: buffers records and emits checksummed frames.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
@@ -224,25 +308,51 @@ pub struct TraceReader<S: TraceSource> {
     buf: Vec<u8>,
     /// Read cursor into `buf` (compacted lazily).
     at: usize,
+    /// Absolute stream offset of `buf[0]` (bytes consumed and compacted away).
+    base: u64,
     meta: TraceMeta,
     /// Decoded records of the current frame, yielded in order.
     frame: Vec<TraceRecord>,
     frame_at: usize,
+    /// Absolute offset of the current frame's first byte (its magic).
+    frame_start: u64,
+    /// Frames decoded successfully so far.
+    frames_decoded: u64,
     exhausted: bool,
+    mode: DecodeMode,
+    /// Corruption incidents survived so far (resync mode only).
+    faults: Vec<IngestFault>,
+    /// Set when the stream ended inside a structure (resync mode only; strict
+    /// mode reports truncation as an `UnexpectedEof` error instead).
+    truncated: bool,
 }
 
 impl<S: TraceSource> TraceReader<S> {
-    /// Reads the stream header from `source` and returns a reader.
+    /// Reads the stream header from `source` and returns a strict-mode reader.
     ///
     /// # Errors
     ///
     /// Returns `InvalidData` if the magic, version or header structure is wrong,
     /// or `UnexpectedEof` if the stream ends mid-header.
     pub fn new(source: S) -> io::Result<Self> {
+        Self::with_mode(source, DecodeMode::Strict)
+    }
+
+    /// Reads the stream header from `source` and returns a reader in `mode`.
+    ///
+    /// The header itself is always decoded strictly — without it there is no
+    /// metadata to resynchronize under — so a corrupt header errors in both
+    /// modes. Frame-level damage is where the modes diverge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceReader::new`].
+    pub fn with_mode(source: S, mode: DecodeMode) -> io::Result<Self> {
         let mut reader = Self {
             source,
             buf: Vec::new(),
             at: 0,
+            base: 0,
             meta: TraceMeta {
                 name: String::new(),
                 cores: 0,
@@ -251,7 +361,12 @@ impl<S: TraceSource> TraceReader<S> {
             },
             frame: Vec::new(),
             frame_at: 0,
+            frame_start: 0,
+            frames_decoded: 0,
             exhausted: false,
+            mode,
+            faults: Vec::new(),
+            truncated: false,
         };
         reader.read_header()?;
         Ok(reader)
@@ -260,6 +375,54 @@ impl<S: TraceSource> TraceReader<S> {
     /// Stream metadata from the header.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The decode mode this reader was built with.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
+    }
+
+    /// Absolute byte offset of the next unconsumed stream byte.
+    pub fn byte_offset(&self) -> u64 {
+        self.base + self.at as u64
+    }
+
+    /// Absolute byte offset of the next record to be yielded, at record
+    /// granularity: inside a decoded frame this points at the record's first
+    /// payload byte, between frames it equals [`TraceReader::byte_offset`].
+    /// Deterministic for a given stream, which is what checkpoint/resume
+    /// validation keys on.
+    pub fn position(&self) -> u64 {
+        if self.frame_at < self.frame.len() {
+            self.frame_start + 8 + (self.frame_at * RECORD_BYTES) as u64
+        } else {
+            self.byte_offset()
+        }
+    }
+
+    /// Frames decoded successfully so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Corruption incidents survived so far (always empty in strict mode).
+    pub fn faults(&self) -> &[IngestFault] {
+        &self.faults
+    }
+
+    /// Takes ownership of the fault ledger accumulated so far.
+    pub fn take_faults(&mut self) -> Vec<IngestFault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Whether the stream ended inside a structure (resync mode only).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Total records conservatively counted as lost across all faults so far.
+    pub fn records_lost(&self) -> u64 {
+        self.faults.iter().map(|f| f.records_lost).sum()
     }
 
     /// Yields the next record, or `None` at a clean end of stream.
@@ -294,21 +457,22 @@ impl<S: TraceSource> TraceReader<S> {
         Ok(out)
     }
 
-    /// Ensures at least `need` unconsumed bytes are buffered; returns false on a
-    /// clean end of stream with zero unconsumed bytes.
+    /// Unconsumed bytes currently buffered.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Tries to buffer at least `need` unconsumed bytes; returns false when the
+    /// stream ended first (callers distinguish a clean end of stream, where
+    /// [`TraceReader::remaining`] is zero, from a truncated structure).
     fn want(&mut self, need: usize) -> io::Result<bool> {
-        while self.buf.len() - self.at < need {
+        while self.remaining() < need {
             if self.exhausted {
-                if self.buf.len() == self.at {
-                    return Ok(false);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "trace stream truncated mid-structure",
-                ));
+                return Ok(false);
             }
             // Compact before growing so long streams don't accumulate dead bytes.
             if self.at > 0 {
+                self.base += self.at as u64;
                 self.buf.drain(..self.at);
                 self.at = 0;
             }
@@ -326,31 +490,49 @@ impl<S: TraceSource> TraceReader<S> {
         s
     }
 
+    /// Truncation error with position context (strict mode).
+    fn eof_err(&self, what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "{what} at byte {}, frame {}",
+                self.byte_offset(),
+                self.frames_decoded
+            ),
+        )
+    }
+
+    /// Corruption error with position context (strict mode). `offset` is the
+    /// absolute position of the structure that failed to decode.
+    fn corrupt_err(&self, what: &str, offset: u64) -> io::Error {
+        bad_data(&format!(
+            "{what} at byte {offset}, frame {}",
+            self.frames_decoded
+        ))
+    }
+
     fn read_header(&mut self) -> io::Result<()> {
         if !self.want(10)? {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "empty trace stream",
-            ));
+            if self.remaining() == 0 {
+                return Err(self.eof_err("empty trace stream"));
+            }
+            return Err(self.eof_err("trace header truncated"));
         }
         if self.take(4) != TRACE_MAGIC {
-            return Err(bad_data("not an impress trace (bad magic)"));
+            return Err(self.corrupt_err("not an impress trace (bad magic)", 0));
         }
         let version = u16::from_le_bytes(self.take(2).try_into().unwrap());
         if version != TRACE_VERSION {
-            return Err(bad_data("unsupported trace version"));
+            return Err(self.corrupt_err("unsupported trace version", 4));
         }
         let flags = u16::from_le_bytes(self.take(2).try_into().unwrap());
         let cores = self.take(1)[0];
         let name_len = self.take(1)[0] as usize;
         if !self.want(name_len + cores as usize * 8)? {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "trace header truncated",
-            ));
+            return Err(self.eof_err("trace header truncated"));
         }
         let name = String::from_utf8(self.take(name_len).to_vec())
-            .map_err(|_| bad_data("trace name is not UTF-8"))?;
+            .map_err(|_| self.corrupt_err("trace name is not UTF-8", 10))?;
         let mut instructions_per_miss = Vec::with_capacity(cores as usize);
         for _ in 0..cores {
             let bits = u64::from_le_bytes(self.take(8).try_into().unwrap());
@@ -365,29 +547,60 @@ impl<S: TraceSource> TraceReader<S> {
         Ok(())
     }
 
-    /// Reads and verifies the next frame; returns false at a clean end of stream.
+    /// Reads and verifies the next frame; returns false at the end of the stream.
     fn read_frame(&mut self) -> io::Result<bool> {
-        if !self.want(8)? {
-            return Ok(false);
+        match self.mode {
+            DecodeMode::Strict => self.read_frame_strict(),
+            DecodeMode::Resync => self.read_frame_resync(),
         }
+    }
+
+    fn read_frame_strict(&mut self) -> io::Result<bool> {
+        if !self.want(8)? {
+            if self.remaining() == 0 {
+                return Ok(false);
+            }
+            return Err(self.eof_err("trace frame truncated"));
+        }
+        let start = self.byte_offset();
         if self.take(4) != FRAME_MAGIC {
-            return Err(bad_data("corrupt trace frame (bad magic)"));
+            return Err(self.corrupt_err("corrupt trace frame (bad magic)", start));
         }
         let count = u32::from_le_bytes(self.take(4).try_into().unwrap()) as usize;
+        if count > FRAME_RECORDS {
+            // The writer never emits oversized frames, so the count field is
+            // corrupt; erroring here also stops a hostile count from demanding
+            // gigabytes of buffer.
+            return Err(self.corrupt_err(
+                &format!("implausible frame record count {count} (max {FRAME_RECORDS})"),
+                start + 4,
+            ));
+        }
         let payload_len = count * RECORD_BYTES;
         if !self.want(payload_len + 8)? {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "trace frame truncated",
-            ));
+            return Err(self.eof_err("trace frame truncated"));
         }
         let payload_start = self.at;
         self.at += payload_len;
         let stored = u64::from_le_bytes(self.take(8).try_into().unwrap());
         let payload = &self.buf[payload_start..payload_start + payload_len];
         if fnv1a64(payload) != stored {
-            return Err(bad_data("trace frame checksum mismatch"));
+            return Err(self.corrupt_err("trace frame checksum mismatch", start));
         }
+        self.decode_frame_payload(payload_start, payload_len, count, start);
+        Ok(true)
+    }
+
+    /// Decodes the validated payload at `buf[payload_start..]` into the frame
+    /// buffer. The payload has already been consumed (`at` points past it).
+    fn decode_frame_payload(
+        &mut self,
+        payload_start: usize,
+        payload_len: usize,
+        count: usize,
+        frame_start: u64,
+    ) {
+        let payload = &self.buf[payload_start..payload_start + payload_len];
         self.frame.clear();
         self.frame_at = 0;
         self.frame.reserve(count);
@@ -397,8 +610,131 @@ impl<S: TraceSource> TraceReader<S> {
                 .unwrap();
             self.frame.push(TraceRecord::decode(bytes));
         }
-        Ok(true)
+        self.frame_start = frame_start;
+        self.frames_decoded += 1;
     }
+
+    /// Resynchronizing frame reader: validates frames before consuming them, and
+    /// answers damage by scanning forward for the next frame magic instead of
+    /// erroring. Always terminates: every fault consumes at least one byte.
+    fn read_frame_resync(&mut self) -> io::Result<bool> {
+        loop {
+            if !self.want(8)? {
+                if self.remaining() == 0 {
+                    return Ok(false);
+                }
+                // Trailing bytes too short to even hold a frame header.
+                self.record_truncation(None)?;
+                return Ok(false);
+            }
+            let start = self.byte_offset();
+            if self.buf[self.at..self.at + 4] != FRAME_MAGIC {
+                self.resync_skip(start, FaultKind::BadFrameMagic, 0)?;
+                continue;
+            }
+            let count = u32::from_le_bytes(
+                self.buf[self.at + 4..self.at + 8]
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            if count > FRAME_RECORDS {
+                self.resync_skip(start, FaultKind::OversizedFrame, 0)?;
+                continue;
+            }
+            let payload_len = count * RECORD_BYTES;
+            if !self.want(8 + payload_len + 8)? {
+                // The stream ends inside this frame: all of its declared records
+                // are lost, along with whatever the trailing bytes held.
+                self.record_truncation(Some(count as u64))?;
+                return Ok(false);
+            }
+            let payload_start = self.at + 8;
+            let stored = u64::from_le_bytes(
+                self.buf[payload_start + payload_len..payload_start + payload_len + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            if fnv1a64(&self.buf[payload_start..payload_start + payload_len]) != stored {
+                self.resync_skip(start, FaultKind::ChecksumMismatch, count as u64)?;
+                continue;
+            }
+            // Valid frame: consume it wholesale and decode.
+            self.at += 8 + payload_len + 8;
+            self.decode_frame_payload(payload_start, payload_len, count, start);
+            return Ok(true);
+        }
+    }
+
+    /// Consumes the damaged region starting at `fault_offset` (whose first byte
+    /// has already been ruled out as a frame start) up to the next occurrence of
+    /// [`FRAME_MAGIC`] or the end of the stream, recording one [`IngestFault`].
+    ///
+    /// `declared_records` is the damaged frame's record count when it was
+    /// plausible (a failed checksum), 0 otherwise; the fault's `records_lost` is
+    /// the max of it and the byte-derived bound.
+    fn resync_skip(
+        &mut self,
+        fault_offset: u64,
+        kind: FaultKind,
+        declared_records: u64,
+    ) -> io::Result<()> {
+        // Skip the byte that cannot start a frame, then scan for the magic.
+        self.at += 1;
+        loop {
+            let window = &self.buf[self.at..];
+            if let Some(pos) = find_magic(window) {
+                self.at += pos;
+                self.push_fault(kind, fault_offset, declared_records);
+                return Ok(());
+            }
+            // No magic in the buffer: consume all but the last 3 bytes (a magic
+            // may straddle the chunk boundary) and pull more.
+            let keep = self.remaining().min(FRAME_MAGIC.len() - 1);
+            self.at = self.buf.len() - keep;
+            if !self.want(keep + 1)? {
+                // Stream ended while resynchronizing: the tail is part of the
+                // damaged region.
+                self.at = self.buf.len();
+                self.push_fault(kind, fault_offset, declared_records);
+                self.truncated = true;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Records the stream ending inside a frame, consuming the trailing bytes.
+    fn record_truncation(&mut self, declared_records: Option<u64>) -> io::Result<()> {
+        let fault_offset = self.byte_offset();
+        self.at = self.buf.len();
+        self.push_fault(
+            FaultKind::TruncatedFrame,
+            fault_offset,
+            declared_records.unwrap_or(0),
+        );
+        self.truncated = true;
+        Ok(())
+    }
+
+    /// Appends a fault for the consumed region `[fault_offset, byte_offset())`.
+    fn push_fault(&mut self, kind: FaultKind, fault_offset: u64, declared_records: u64) {
+        let bytes_skipped = self.byte_offset() - fault_offset;
+        let byte_bound = bytes_skipped.div_ceil(RECORD_BYTES as u64);
+        self.faults.push(IngestFault {
+            kind,
+            offset: fault_offset,
+            frame_index: self.frames_decoded,
+            bytes_skipped,
+            records_lost: byte_bound.max(declared_records),
+        });
+    }
+}
+
+/// Position of the first [`FRAME_MAGIC`] in `window`, if any.
+fn find_magic(window: &[u8]) -> Option<usize> {
+    if window.len() < FRAME_MAGIC.len() {
+        return None;
+    }
+    (0..=window.len() - FRAME_MAGIC.len()).find(|&i| window[i..i + 4] == FRAME_MAGIC)
 }
 
 /// Convenience: reads a whole trace (header + records) from any `Read`.
@@ -520,5 +856,125 @@ mod tests {
             ..sample_meta()
         };
         assert!(TraceWriter::new(Vec::new(), &meta).is_err());
+    }
+
+    #[test]
+    fn strict_errors_carry_position_context() {
+        let records = sample_records(10);
+        let mut bytes = write_sample(&records);
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x40;
+        let err = read_trace(&bytes[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at byte"), "no offset in: {msg}");
+        assert!(msg.contains("frame"), "no frame index in: {msg}");
+    }
+
+    #[test]
+    fn strict_rejects_implausible_frame_count_without_buffering() {
+        let records = sample_records(10);
+        let mut bytes = write_sample(&records);
+        // Frame header sits right after the trace header; blow up its count.
+        let frame_start = bytes.len() - (8 + 10 * RECORD_BYTES + 8);
+        bytes[frame_start + 4..frame_start + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_trace(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    fn resync_read(bytes: &[u8]) -> (Vec<TraceRecord>, Vec<IngestFault>, bool) {
+        let mut r =
+            TraceReader::with_mode(SliceSource::with_chunk_size(bytes, 61), DecodeMode::Resync)
+                .unwrap();
+        let records = r.read_all().unwrap();
+        let truncated = r.truncated();
+        (records, r.take_faults(), truncated)
+    }
+
+    #[test]
+    fn resync_skips_a_corrupt_frame_and_recovers_the_rest() {
+        let records = sample_records(2 * FRAME_RECORDS + 100);
+        let mut bytes = write_sample(&records);
+        let frame_len = 8 + FRAME_RECORDS * RECORD_BYTES + 8;
+        let header_len = bytes.len() - 2 * frame_len - (8 + 100 * RECORD_BYTES + 8);
+        // Flip a payload bit in the middle frame.
+        bytes[header_len + frame_len + 8 + 1000] ^= 0x01;
+
+        let (got, faults, truncated) = resync_read(&bytes);
+        let mut expect = records[..FRAME_RECORDS].to_vec();
+        expect.extend_from_slice(&records[2 * FRAME_RECORDS..]);
+        assert_eq!(got, expect);
+        assert!(!truncated);
+        assert!(!faults.is_empty());
+        assert_eq!(faults[0].kind, FaultKind::ChecksumMismatch);
+        assert_eq!(faults[0].offset, (header_len + frame_len) as u64);
+        assert_eq!(faults[0].frame_index, 1);
+        // Conservative bound: at least the frame's records are accounted lost,
+        // and the skipped regions cover the damaged frame exactly.
+        let lost: u64 = faults.iter().map(|f| f.records_lost).sum();
+        assert!(lost >= FRAME_RECORDS as u64, "lost {lost}");
+        let skipped: u64 = faults.iter().map(|f| f.bytes_skipped).sum();
+        assert_eq!(skipped, frame_len as u64);
+    }
+
+    #[test]
+    fn resync_skips_garbage_between_frames() {
+        let records = sample_records(FRAME_RECORDS + 100);
+        let bytes = write_sample(&records);
+        let tail_len = 8 + 100 * RECORD_BYTES + 8;
+        let junk_at = bytes.len() - tail_len;
+        let mut damaged = bytes[..junk_at].to_vec();
+        damaged.extend_from_slice(&[b'X'; 37]);
+        damaged.extend_from_slice(&bytes[junk_at..]);
+
+        let (got, faults, truncated) = resync_read(&damaged);
+        assert_eq!(got, records); // nothing actually lost...
+        assert!(!truncated);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::BadFrameMagic);
+        assert_eq!(faults[0].bytes_skipped, 37);
+        assert!(faults[0].records_lost >= 1); // ...but the bound stays >= 0 loss
+    }
+
+    #[test]
+    fn resync_flags_truncation_instead_of_erroring() {
+        let records = sample_records(FRAME_RECORDS + 100);
+        let bytes = write_sample(&records);
+        let (got, faults, truncated) = resync_read(&bytes[..bytes.len() - 3]);
+        assert_eq!(got, &records[..FRAME_RECORDS]);
+        assert!(truncated);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::TruncatedFrame);
+        assert!(faults[0].records_lost >= 100, "declared count bounds loss");
+    }
+
+    #[test]
+    fn resync_survives_an_oversized_count_field() {
+        let records = sample_records(FRAME_RECORDS + 100);
+        let mut bytes = write_sample(&records);
+        let frame_len = 8 + FRAME_RECORDS * RECORD_BYTES + 8;
+        let tail_len = 8 + 100 * RECORD_BYTES + 8;
+        let header_len = bytes.len() - frame_len - tail_len;
+        bytes[header_len + 4..header_len + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+
+        let (got, faults, _) = resync_read(&bytes);
+        assert_eq!(got, &records[FRAME_RECORDS..]);
+        assert_eq!(faults[0].kind, FaultKind::OversizedFrame);
+        let lost: u64 = faults.iter().map(|f| f.records_lost).sum();
+        assert!(lost >= FRAME_RECORDS as u64);
+    }
+
+    #[test]
+    fn strict_mode_decodes_bit_identically_to_resync_on_clean_input() {
+        let records = sample_records(FRAME_RECORDS + 100);
+        let bytes = write_sample(&records);
+        let (strict, ..) = {
+            let mut r = TraceReader::new(SliceSource::with_chunk_size(&bytes, 61)).unwrap();
+            (r.read_all().unwrap(),)
+        };
+        let (resync, faults, truncated) = resync_read(&bytes);
+        assert_eq!(strict, resync);
+        assert!(faults.is_empty());
+        assert!(!truncated);
     }
 }

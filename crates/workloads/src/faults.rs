@@ -1,0 +1,743 @@
+//! Deterministic fault injection for the trace-ingestion path.
+//!
+//! Degraded-mode behaviour is only trustworthy if every degraded path is
+//! reproducibly testable. This module wraps any [`TraceSource`] in a
+//! [`FaultInjector`] that applies a [`FaultPlan`] — a seeded, fully explicit
+//! list of byte- and frame-level faults — while the stream is being served:
+//!
+//! * **Bit flips** ([`FaultOp::FlipBit`]) — single-bit payload/header damage at
+//!   an absolute byte offset.
+//! * **Truncation / mid-frame EOF** ([`FaultOp::Truncate`]) — the stream ends
+//!   early, possibly inside a frame.
+//! * **Frame duplication** ([`FaultOp::RepeatRange`]) — a byte range (typically
+//!   one frame) is emitted twice back to back.
+//! * **Frame reordering** ([`FaultOp::DeferRange`]) — a byte range is withheld
+//!   and re-emitted later, so a frame arrives after its successors.
+//! * **Stalls** ([`FaultOp::Stall`]) — the source yields empty chunks before
+//!   making progress, simulating a slow or bursty producer.
+//!
+//! [`FaultPlan::seeded`] derives a plan from a seed and a [`FrameMap`] of the
+//! clean bytes, and [`FaultPlan::expected`] computes an oracle
+//! ([`ExpectedImpact`]) that tests use to check the resync decoder's ledger
+//! against ground truth: every record the plan damages must be covered by the
+//! ledger's conservative `records_lost` bound.
+
+use std::io;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{FRAME_MAGIC, FRAME_RECORDS, RECORD_BYTES, TRACE_MAGIC};
+use crate::source::TraceSource;
+
+/// Byte layout of one frame region inside an encoded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// Absolute offset of the frame's `IMPC` magic.
+    pub offset: u64,
+    /// Total encoded length (header + payload + checksum).
+    pub len: u64,
+    /// Declared record count.
+    pub records: u32,
+}
+
+impl FrameSpan {
+    /// Absolute offset one past the frame's last byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Frame-boundary map of an encoded trace, scanned from clean bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMap {
+    /// Length of the stream header (everything before the first frame).
+    pub header_len: u64,
+    /// Frames in stream order.
+    pub frames: Vec<FrameSpan>,
+}
+
+impl FrameMap {
+    /// Scans a well-formed encoded trace for its frame boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the bytes are not a structurally valid trace
+    /// (checksums are *not* verified — this is a layout scan, not a decode).
+    pub fn scan(bytes: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < 10 || bytes[..4] != TRACE_MAGIC {
+            return Err(bad("not an impress trace"));
+        }
+        let cores = bytes[8] as usize;
+        let name_len = bytes[9] as usize;
+        let header_len = 10 + name_len + cores * 8;
+        if bytes.len() < header_len {
+            return Err(bad("trace header truncated"));
+        }
+        let mut frames = Vec::new();
+        let mut at = header_len;
+        while at < bytes.len() {
+            if bytes.len() - at < 8 || bytes[at..at + 4] != FRAME_MAGIC {
+                return Err(bad("frame boundary scan lost sync"));
+            }
+            let records = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            if records as usize > FRAME_RECORDS {
+                return Err(bad("implausible frame record count"));
+            }
+            let len = 8 + records as usize * RECORD_BYTES + 8;
+            if bytes.len() - at < len {
+                return Err(bad("frame extends past end of stream"));
+            }
+            frames.push(FrameSpan {
+                offset: at as u64,
+                len: len as u64,
+                records,
+            });
+            at += len;
+        }
+        Ok(Self {
+            header_len: header_len as u64,
+            frames,
+        })
+    }
+
+    /// Total records declared across all frames.
+    pub fn total_records(&self) -> u64 {
+        self.frames.iter().map(|f| f.records as u64).sum()
+    }
+}
+
+/// One injected fault, positioned in *input-stream* byte coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Flips bit `bit` (0–7) of the byte at absolute `offset`.
+    FlipBit {
+        /// Absolute byte offset in the clean stream.
+        offset: u64,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+    /// Ends the stream after `at` bytes have been emitted.
+    Truncate {
+        /// Absolute cut position in the clean stream.
+        at: u64,
+    },
+    /// Emits the byte range `[start, end)` a second time immediately after its
+    /// first emission (frame duplication when the range is one frame).
+    RepeatRange {
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+    /// Withholds `[start, end)` and emits it only once the input position
+    /// reaches `until` (frame reordering when both are frame-aligned).
+    DeferRange {
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+        /// Input position after which the captured range is released.
+        until: u64,
+    },
+    /// Yields `polls` empty chunks once the input position reaches `at`.
+    Stall {
+        /// Position at which the stall begins.
+        at: u64,
+        /// Number of empty-chunk polls before progress resumes.
+        polls: u32,
+    },
+}
+
+/// A deterministic, seed-reproducible list of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Faults to apply, in the order they were planned.
+    pub ops: Vec<FaultOp>,
+}
+
+/// Ground-truth oracle for a seeded plan over a known [`FrameMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpectedImpact {
+    /// Records a clean decode of the faulted stream would yield if no frame
+    /// were damaged: original records, plus duplicated frames' records, minus
+    /// frames removed entirely by truncation.
+    pub baseline_records: u64,
+    /// Records in emitted frame copies left fully intact — the resync decoder
+    /// must recover exactly these.
+    pub intact_records: u64,
+    /// Records in emitted frame copies damaged by flips or a mid-frame cut —
+    /// the ledger's `records_lost` must be at least this.
+    pub damaged_records: u64,
+    /// Records lost to a cut so early in a frame (inside its 8-byte header)
+    /// that the declared count never reaches the decoder: only the `truncated`
+    /// flag can report them, not `records_lost`.
+    pub unaccounted_records: u64,
+    /// Whether the plan cuts the stream inside a frame (the decoder must set
+    /// its `truncated` flag; a frame-aligned cut is undetectable in-band).
+    pub mid_frame_cut: bool,
+}
+
+impl FaultPlan {
+    /// Derives a deterministic plan from `seed` over the frames of `map`.
+    ///
+    /// Every seed yields at least one fault. Range ops and truncation are kept
+    /// mutually exclusive and frame-aligned so [`FaultPlan::expected`] can
+    /// compute an exact oracle; bit flips land inside frame payloads.
+    pub fn seeded(seed: u64, map: &FrameMap) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        let n = map.frames.len();
+        if n == 0 {
+            return Self { ops };
+        }
+        // Structural fault: duplicate or reorder one frame (not both, so the
+        // oracle stays a simple per-frame-copy count).
+        match rng.gen_range(0u32..4) {
+            0 if n >= 1 => {
+                let f = &map.frames[rng.gen_range(0..n)];
+                ops.push(FaultOp::RepeatRange {
+                    start: f.offset,
+                    end: f.end(),
+                });
+            }
+            1 if n >= 2 => {
+                let i = rng.gen_range(0..n - 1);
+                let f = &map.frames[i];
+                ops.push(FaultOp::DeferRange {
+                    start: f.offset,
+                    end: f.end(),
+                    until: map.frames[i + 1].end(),
+                });
+            }
+            _ => {}
+        }
+        // Payload damage: flip bits in up to two distinct frames.
+        for _ in 0..rng.gen_range(0u32..3) {
+            let f = &map.frames[rng.gen_range(0..n)];
+            let offset = rng.gen_range(f.offset..f.end());
+            ops.push(FaultOp::FlipBit {
+                offset,
+                bit: rng.gen_range(0u64..8) as u8,
+            });
+        }
+        // Stall somewhere in the middle.
+        if rng.gen_bool(0.5) {
+            let last = map.frames[n - 1].end();
+            ops.push(FaultOp::Stall {
+                at: rng.gen_range(0..last),
+                polls: rng.gen_range(1u32..4),
+            });
+        }
+        // Truncation (only when no range op is in play, so positions in input
+        // coordinates equal positions in output coordinates).
+        let structural = ops
+            .iter()
+            .any(|op| matches!(op, FaultOp::RepeatRange { .. } | FaultOp::DeferRange { .. }));
+        if !structural && rng.gen_bool(0.5) {
+            let f = &map.frames[rng.gen_range(0..n)];
+            // Cut strictly inside the frame: mid-frame EOF.
+            let at = rng.gen_range(f.offset + 1..f.end());
+            ops.push(FaultOp::Truncate { at });
+        }
+        if ops.is_empty() {
+            // Guarantee at least one fault per seed.
+            let f = &map.frames[rng.gen_range(0..n)];
+            ops.push(FaultOp::FlipBit {
+                offset: rng.gen_range(f.offset..f.end()),
+                bit: rng.gen_range(0u64..8) as u8,
+            });
+        }
+        Self { ops }
+    }
+
+    /// Computes the ground-truth impact of this plan on the frames of `map`.
+    ///
+    /// Only defined for plans whose range ops are frame-aligned and that do not
+    /// combine range ops with truncation (what [`FaultPlan::seeded`] emits);
+    /// returns `None` for exotic hand-built plans.
+    pub fn expected(&self, map: &FrameMap) -> Option<ExpectedImpact> {
+        let mut copies: Vec<u64> = vec![1; map.frames.len()];
+        let mut damaged: Vec<bool> = vec![false; map.frames.len()];
+        let mut cut: Option<u64> = None;
+        let mut structural = false;
+        let frame_at = |offset: u64, end: u64| {
+            map.frames
+                .iter()
+                .position(|f| f.offset == offset && f.end() == end)
+        };
+        for op in &self.ops {
+            match *op {
+                FaultOp::FlipBit { offset, .. } => {
+                    let hit = map
+                        .frames
+                        .iter()
+                        .position(|f| offset >= f.offset && offset < f.end())?;
+                    damaged[hit] = true;
+                }
+                FaultOp::Truncate { at } => {
+                    if cut.replace(at).is_some() {
+                        return None; // one cut max
+                    }
+                }
+                FaultOp::RepeatRange { start, end } => {
+                    copies[frame_at(start, end)?] += 1; // emitted twice in total
+                    structural = true;
+                }
+                FaultOp::DeferRange { start, end, until } => {
+                    frame_at(start, end)?;
+                    if !map.frames.iter().any(|f| f.end() == until) {
+                        return None;
+                    }
+                    structural = true;
+                }
+                FaultOp::Stall { .. } => {}
+            }
+        }
+        if structural && cut.is_some() {
+            return None;
+        }
+        let mut baseline = 0u64;
+        let mut intact = 0u64;
+        let mut damaged_total = 0u64;
+        let mut unaccounted = 0u64;
+        let mut mid_frame_cut = false;
+        for (i, f) in map.frames.iter().enumerate() {
+            let (mut copies_present, mut frame_cut, mut count_lost) = (copies[i], false, false);
+            if let Some(at) = cut {
+                if at <= f.offset {
+                    copies_present = 0; // frame removed entirely
+                } else if at < f.end() {
+                    frame_cut = true;
+                    mid_frame_cut = true;
+                    // A cut inside the 8-byte frame header destroys the
+                    // declared count, so the decoder cannot bound the loss.
+                    count_lost = at < f.offset + 8;
+                }
+            }
+            let recs = f.records as u64 * copies_present;
+            baseline += recs;
+            if count_lost {
+                unaccounted += recs;
+            } else if damaged[i] || frame_cut {
+                damaged_total += recs;
+            } else {
+                intact += recs;
+            }
+        }
+        Some(ExpectedImpact {
+            baseline_records: baseline,
+            intact_records: intact,
+            damaged_records: damaged_total,
+            unaccounted_records: unaccounted,
+            mid_frame_cut,
+        })
+    }
+
+    /// True when the plan ends the stream early.
+    pub fn truncates(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, FaultOp::Truncate { .. }))
+    }
+}
+
+/// Pending re-emission of a captured byte range.
+#[derive(Debug)]
+struct Capture {
+    bytes: Vec<u8>,
+    start: u64,
+    end: u64,
+    emit_at: u64,
+    /// Whether the range is also emitted inline as it streams past
+    /// (duplication) or withheld until `emit_at` (reordering).
+    inline: bool,
+    released: bool,
+}
+
+/// A [`TraceSource`] adapter applying a [`FaultPlan`] to the wrapped stream.
+///
+/// All faults are applied deterministically by absolute input byte position, so
+/// the corrupted output is identical regardless of how the inner source chunks
+/// its bytes.
+#[derive(Debug)]
+pub struct FaultInjector<S: TraceSource> {
+    inner: S,
+    pos: u64,
+    flips: Vec<(u64, u8)>,
+    truncate_at: Option<u64>,
+    stalls: Vec<(u64, u32)>,
+    captures: Vec<Capture>,
+    out: Vec<u8>,
+    done: bool,
+}
+
+impl<S: TraceSource> FaultInjector<S> {
+    /// Wraps `inner`, applying `plan` as bytes stream through.
+    pub fn new(inner: S, plan: &FaultPlan) -> Self {
+        let mut flips = Vec::new();
+        let mut truncate_at = None;
+        let mut stalls = Vec::new();
+        let mut captures = Vec::new();
+        for op in &plan.ops {
+            match *op {
+                FaultOp::FlipBit { offset, bit } => flips.push((offset, bit & 7)),
+                FaultOp::Truncate { at } => {
+                    truncate_at = Some(truncate_at.map_or(at, |t: u64| t.min(at)));
+                }
+                FaultOp::Stall { at, polls } => stalls.push((at, polls)),
+                FaultOp::RepeatRange { start, end } => captures.push(Capture {
+                    bytes: Vec::new(),
+                    start,
+                    end,
+                    emit_at: end,
+                    inline: true,
+                    released: false,
+                }),
+                FaultOp::DeferRange { start, end, until } => captures.push(Capture {
+                    bytes: Vec::new(),
+                    start,
+                    end,
+                    emit_at: until.max(end),
+                    inline: false,
+                    released: false,
+                }),
+            }
+        }
+        flips.sort_unstable();
+        stalls.sort_unstable();
+        captures.sort_by_key(|c| c.emit_at);
+        Self {
+            inner,
+            pos: 0,
+            flips,
+            truncate_at,
+            stalls,
+            captures,
+            out: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Transforms one input chunk into `self.out`.
+    fn transform(&mut self, chunk: &[u8]) {
+        let mut chunk = chunk;
+        if let Some(t) = self.truncate_at {
+            let left = t.saturating_sub(self.pos) as usize;
+            if chunk.len() >= left {
+                chunk = &chunk[..left];
+                self.done = true;
+            }
+        }
+        let start = self.pos;
+        let end = start + chunk.len() as u64;
+        // Apply flips into a scratch copy only when one lands in this chunk.
+        let mut scratch;
+        let bytes: &[u8] = if self.flips.iter().any(|&(o, _)| o >= start && o < end) {
+            scratch = chunk.to_vec();
+            for &(o, bit) in &self.flips {
+                if o >= start && o < end {
+                    scratch[(o - start) as usize] ^= 1 << bit;
+                }
+            }
+            &scratch[..]
+        } else {
+            chunk
+        };
+        // Route bytes into capture buffers (a capture's range always ends at or
+        // before its emit position, so collecting up front is safe).
+        for c in &mut self.captures {
+            let lo = c.start.max(start).min(end);
+            let hi = c.end.max(start).min(end);
+            if lo < hi {
+                c.bytes
+                    .extend_from_slice(&bytes[(lo - start) as usize..(hi - start) as usize]);
+            }
+        }
+        // Emit in segments split at capture emit positions, so a deferred range
+        // re-enters the stream at its exact byte position even when that
+        // position falls inside a chunk.
+        while self.pos < end {
+            let mut seg_end = end;
+            for c in &self.captures {
+                if !c.released && c.emit_at > self.pos && c.emit_at < seg_end {
+                    seg_end = c.emit_at;
+                }
+            }
+            let (seg_lo, seg_hi) = ((self.pos - start) as usize, (seg_end - start) as usize);
+            for (i, &b) in bytes[seg_lo..seg_hi].iter().enumerate() {
+                let at = start + (seg_lo + i) as u64;
+                let suppressed = self
+                    .captures
+                    .iter()
+                    .any(|c| !c.inline && at >= c.start && at < c.end);
+                if !suppressed {
+                    self.out.push(b);
+                }
+            }
+            self.pos = seg_end;
+            self.release_captures();
+        }
+        self.pos = end;
+        self.release_captures();
+    }
+
+    /// Appends any captures whose emit position has been reached.
+    fn release_captures(&mut self) {
+        for i in 0..self.captures.len() {
+            if !self.captures[i].released
+                && self.pos >= self.captures[i].emit_at
+                && self.captures[i].bytes.len() as u64
+                    == self.captures[i].end - self.captures[i].start
+            {
+                self.captures[i].released = true;
+                let bytes = std::mem::take(&mut self.captures[i].bytes);
+                self.out.extend_from_slice(&bytes);
+            }
+        }
+    }
+}
+
+impl<S: TraceSource> TraceSource for FaultInjector<S> {
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+        self.out.clear();
+        // Serve a pending stall with an empty (but not end-of-stream) chunk.
+        if let Some(s) = self.stalls.iter_mut().find(|s| s.0 <= self.pos && s.1 > 0) {
+            s.1 -= 1;
+            return Ok(Some(&[]));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        match self.inner.next_chunk()? {
+            Some(chunk) => {
+                // Borrow dance: copy out of the inner borrow before self-mutation.
+                let owned = chunk.to_vec();
+                self.transform(&owned);
+            }
+            None => {
+                self.done = true;
+                // End of stream releases any still-pending full captures.
+                self.release_captures();
+            }
+        }
+        if self.out.is_empty() && self.done {
+            return Ok(None);
+        }
+        Ok(Some(&self.out))
+    }
+}
+
+/// Applies `plan` to an in-memory trace, returning the corrupted bytes.
+///
+/// Convenience wrapper running a [`FaultInjector`] over a
+/// [`SliceSource`](crate::source::SliceSource) — the exact code path the
+/// streaming adapter uses, so tests and CLI tooling corrupt identically.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the source (none for in-memory input).
+pub fn apply_plan(bytes: &[u8], plan: &FaultPlan) -> io::Result<Vec<u8>> {
+    let mut injector = FaultInjector::new(crate::source::SliceSource::new(bytes), plan);
+    let mut out = Vec::with_capacity(bytes.len());
+    while let Some(chunk) = injector.next_chunk()? {
+        out.extend_from_slice(chunk);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter};
+    use crate::source::SliceSource;
+
+    fn sample_trace(n: usize) -> Vec<u8> {
+        let meta = TraceMeta {
+            name: "faulty".to_string(),
+            cores: 1,
+            has_gaps: false,
+            instructions_per_miss: vec![50.0],
+        };
+        let mut w = TraceWriter::new(Vec::new(), &meta).unwrap();
+        for i in 0..n {
+            w.push(TraceRecord {
+                address: (i as u64) * 64,
+                gap: 0,
+                core: 0,
+                is_write: false,
+            })
+            .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn resync_decode(bytes: &[u8]) -> (u64, u64, bool) {
+        let mut r =
+            TraceReader::with_mode(SliceSource::with_chunk_size(bytes, 97), DecodeMode::Resync)
+                .unwrap();
+        let records = r.read_all().unwrap().len() as u64;
+        (records, r.records_lost(), r.truncated())
+    }
+
+    #[test]
+    fn frame_map_matches_writer_layout() {
+        let bytes = sample_trace(FRAME_RECORDS + 7);
+        let map = FrameMap::scan(&bytes).unwrap();
+        assert_eq!(map.frames.len(), 2);
+        assert_eq!(map.frames[0].records as usize, FRAME_RECORDS);
+        assert_eq!(map.frames[1].records, 7);
+        assert_eq!(map.total_records(), FRAME_RECORDS as u64 + 7);
+        assert_eq!(map.frames[1].end(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let bytes = sample_trace(FRAME_RECORDS + 7);
+        let map = FrameMap::scan(&bytes).unwrap();
+        for seed in 0..32 {
+            let a = FaultPlan::seeded(seed, &map);
+            let b = FaultPlan::seeded(seed, &map);
+            assert_eq!(a, b);
+            assert!(!a.ops.is_empty());
+            assert_eq!(
+                apply_plan(&bytes, &a).unwrap(),
+                apply_plan(&bytes, &b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn injector_is_chunking_invariant() {
+        let bytes = sample_trace(2 * FRAME_RECORDS + 11);
+        let map = FrameMap::scan(&bytes).unwrap();
+        let plan = FaultPlan::seeded(42, &map);
+        let whole = apply_plan(&bytes, &plan).unwrap();
+        for chunk in [1usize, 7, 64, 100_000] {
+            let mut inj = FaultInjector::new(SliceSource::with_chunk_size(&bytes, chunk), &plan);
+            let mut out = Vec::new();
+            while let Some(c) = inj.next_chunk().unwrap() {
+                out.extend_from_slice(c);
+            }
+            assert_eq!(out, whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn flip_bit_damages_exactly_one_frame() {
+        let bytes = sample_trace(FRAME_RECORDS + 11);
+        let map = FrameMap::scan(&bytes).unwrap();
+        let f = &map.frames[0];
+        let plan = FaultPlan {
+            ops: vec![FaultOp::FlipBit {
+                offset: f.offset + 100,
+                bit: 3,
+            }],
+        };
+        let corrupted = apply_plan(&bytes, &plan).unwrap();
+        let (recovered, lost, truncated) = resync_decode(&corrupted);
+        let expect = plan.expected(&map).unwrap();
+        assert_eq!(recovered, expect.intact_records);
+        assert!(lost >= expect.damaged_records);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn repeat_range_duplicates_a_frame() {
+        let bytes = sample_trace(FRAME_RECORDS + 11);
+        let map = FrameMap::scan(&bytes).unwrap();
+        let f = map.frames[1];
+        let plan = FaultPlan {
+            ops: vec![FaultOp::RepeatRange {
+                start: f.offset,
+                end: f.end(),
+            }],
+        };
+        let corrupted = apply_plan(&bytes, &plan).unwrap();
+        let (recovered, lost, _) = resync_decode(&corrupted);
+        let expect = plan.expected(&map).unwrap();
+        assert_eq!(expect.baseline_records, map.total_records() + 11);
+        assert_eq!(recovered, expect.intact_records);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn defer_range_reorders_frames() {
+        let bytes = sample_trace(2 * FRAME_RECORDS);
+        let map = FrameMap::scan(&bytes).unwrap();
+        let (a, b) = (map.frames[0], map.frames[1]);
+        let plan = FaultPlan {
+            ops: vec![FaultOp::DeferRange {
+                start: a.offset,
+                end: a.end(),
+                until: b.end(),
+            }],
+        };
+        let corrupted = apply_plan(&bytes, &plan).unwrap();
+        // Same bytes, different frame order: frame B then frame A.
+        assert_eq!(corrupted.len(), bytes.len());
+        let (recovered, lost, truncated) = resync_decode(&corrupted);
+        assert_eq!(recovered, 2 * FRAME_RECORDS as u64);
+        assert_eq!(lost, 0);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn truncate_mid_frame_sets_the_flag() {
+        let bytes = sample_trace(FRAME_RECORDS + 11);
+        let map = FrameMap::scan(&bytes).unwrap();
+        let plan = FaultPlan {
+            ops: vec![FaultOp::Truncate {
+                at: map.frames[1].offset + 20,
+            }],
+        };
+        let corrupted = apply_plan(&bytes, &plan).unwrap();
+        assert_eq!(corrupted.len() as u64, map.frames[1].offset + 20);
+        let (recovered, _, truncated) = resync_decode(&corrupted);
+        let expect = plan.expected(&map).unwrap();
+        assert!(expect.mid_frame_cut);
+        assert_eq!(recovered, expect.intact_records);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn stalls_do_not_change_the_bytes() {
+        let bytes = sample_trace(FRAME_RECORDS);
+        let plan = FaultPlan {
+            ops: vec![FaultOp::Stall { at: 100, polls: 3 }],
+        };
+        assert_eq!(apply_plan(&bytes, &plan).unwrap(), bytes);
+    }
+
+    #[test]
+    fn every_seeded_plan_satisfies_its_oracle() {
+        let bytes = sample_trace(3 * FRAME_RECORDS + 500);
+        let map = FrameMap::scan(&bytes).unwrap();
+        for seed in 0..64u64 {
+            let plan = FaultPlan::seeded(seed, &map);
+            let expect = plan
+                .expected(&map)
+                .expect("seeded plans always have an oracle");
+            let corrupted = apply_plan(&bytes, &plan).unwrap();
+            let (recovered, lost, truncated) = resync_decode(&corrupted);
+            assert_eq!(
+                expect.intact_records + expect.damaged_records + expect.unaccounted_records,
+                expect.baseline_records,
+                "seed {seed}: oracle buckets must partition the baseline"
+            );
+            assert_eq!(
+                recovered, expect.intact_records,
+                "seed {seed}: intact frames must decode"
+            );
+            assert!(
+                lost >= expect.damaged_records,
+                "seed {seed}: ledger bound {lost} under-counts {}",
+                expect.damaged_records
+            );
+            if expect.mid_frame_cut {
+                assert!(truncated, "seed {seed}: mid-frame cut must set the flag");
+            }
+        }
+    }
+}

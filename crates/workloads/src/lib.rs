@@ -18,6 +18,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod faults;
 pub mod generator;
 pub mod mix;
 pub mod profile;
@@ -26,9 +27,12 @@ pub mod spec;
 pub mod stream;
 pub mod trace;
 
-pub use codec::{TraceMeta, TraceReader, TraceRecord, TraceWriter};
+pub use codec::{
+    DecodeMode, FaultKind, IngestFault, TraceMeta, TraceReader, TraceRecord, TraceWriter,
+};
+pub use faults::{apply_plan, FaultInjector, FaultOp, FaultPlan, FrameMap};
 pub use generator::TraceGenerator;
 pub use mix::WorkloadMix;
 pub use profile::{LocalityClass, WorkloadProfile};
-pub use source::{AccessSource, ReadSource, SliceSource, TraceSource};
+pub use source::{AccessSource, FollowPolicy, FollowSource, ReadSource, SliceSource, TraceSource};
 pub use trace::MemoryAccess;

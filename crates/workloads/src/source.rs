@@ -11,6 +11,9 @@
 //!   later without touching the codec.
 
 use std::io::{self, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::mix::WorkloadMix;
 use crate::trace::MemoryAccess;
@@ -146,6 +149,89 @@ impl TraceSource for SliceSource<'_> {
     }
 }
 
+/// Retry/backoff policy for [`FollowSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowPolicy {
+    /// Sleep before the first retry after the inner source runs dry.
+    pub initial_backoff: Duration,
+    /// Backoff doubles per consecutive dry poll, capped here.
+    pub max_backoff: Duration,
+    /// Total consecutive idle time after which the stream is declared ended.
+    pub idle_limit: Duration,
+}
+
+impl Default for FollowPolicy {
+    fn default() -> Self {
+        Self {
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            idle_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A [`TraceSource`] that follows a growing stream (FIFO, tailed file, slow
+/// socket): when the inner source reports end-of-stream or an empty chunk, it
+/// retries with capped exponential backoff instead of giving up, and only
+/// reports end-of-stream after [`FollowPolicy::idle_limit`] of consecutive
+/// silence.
+///
+/// Stall polls are counted into a shared [`AtomicU64`] so a supervising daemon
+/// can watch ingest lag without threading state through the codec.
+#[derive(Debug)]
+pub struct FollowSource<S: TraceSource> {
+    inner: S,
+    policy: FollowPolicy,
+    stalls: Arc<AtomicU64>,
+    buf: Vec<u8>,
+}
+
+impl<S: TraceSource> FollowSource<S> {
+    /// Wraps `inner` with `policy`.
+    pub fn new(inner: S, policy: FollowPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            stalls: Arc::new(AtomicU64::new(0)),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Shared counter of stall polls (empty reads that triggered a backoff).
+    pub fn stall_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.stalls)
+    }
+}
+
+impl<S: TraceSource> TraceSource for FollowSource<S> {
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+        let mut idle = Duration::ZERO;
+        let mut backoff = self.policy.initial_backoff;
+        loop {
+            // Copy out of the inner borrow so the retry loop can keep calling
+            // the inner source.
+            let got = match self.inner.next_chunk()? {
+                Some(chunk) if !chunk.is_empty() => {
+                    self.buf.clear();
+                    self.buf.extend_from_slice(chunk);
+                    true
+                }
+                _ => false,
+            };
+            if got {
+                return Ok(Some(&self.buf));
+            }
+            if idle >= self.policy.idle_limit {
+                return Ok(None);
+            }
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff);
+            idle += backoff;
+            backoff = (backoff * 2).min(self.policy.max_backoff);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +257,46 @@ mod tests {
             total += c.len();
         }
         assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn follow_source_rides_out_a_transient_stall() {
+        // A source that stalls (empty chunks) twice mid-stream, then resumes.
+        struct Stuttering {
+            data: Vec<u8>,
+            call: usize,
+        }
+        impl TraceSource for Stuttering {
+            fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+                self.call += 1;
+                match self.call {
+                    1 => Ok(Some(&self.data[..4])),
+                    2 | 3 => Ok(Some(&[])),
+                    4 => Ok(Some(&self.data[4..])),
+                    _ => Ok(None),
+                }
+            }
+        }
+        let policy = FollowPolicy {
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+            idle_limit: Duration::from_millis(2),
+        };
+        let mut src = FollowSource::new(
+            Stuttering {
+                data: (0..10u8).collect(),
+                call: 0,
+            },
+            policy,
+        );
+        let stalls = src.stall_counter();
+        let mut out = Vec::new();
+        while let Some(c) = src.next_chunk().unwrap() {
+            out.extend_from_slice(c);
+        }
+        assert_eq!(out, (0..10u8).collect::<Vec<_>>());
+        // Two mid-stream stalls plus the trailing idle-out were all counted.
+        assert!(stalls.load(Ordering::Relaxed) >= 3);
     }
 
     #[test]

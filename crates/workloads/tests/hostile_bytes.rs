@@ -1,0 +1,185 @@
+//! Property suite: the trace reader under hostile bytes.
+//!
+//! Three guarantees, proptest-checked over seeded random damage:
+//!
+//! 1. **No panics** — arbitrary byte mutations and truncations of a valid
+//!    trace never panic either decode mode (errors yes, panics never).
+//! 2. **Strict mode always errors** when any frame byte changed — silent
+//!    acceptance of damaged frames would undermine the disturbance accounting.
+//! 3. **Resync mode always terminates** with a fault ledger whose
+//!    `records_lost` conservatively upper-bounds the true loss — checked both
+//!    against mutation ground truth (stream length is preserved, so
+//!    `recovered + records_lost >= total`) and against the fault-injection
+//!    harness's per-plan oracle.
+
+use std::io;
+use std::sync::OnceLock;
+
+use impress_workloads::codec::{
+    DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter, FRAME_RECORDS,
+};
+use impress_workloads::faults::{apply_plan, FaultOp, FaultPlan, FrameMap};
+use impress_workloads::source::SliceSource;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Total records in the shared specimen trace (three full frames + a tail).
+const TOTAL_RECORDS: u64 = 2 * FRAME_RECORDS as u64 + 700;
+
+/// The valid specimen every case damages, built once.
+fn specimen() -> &'static (Vec<u8>, FrameMap) {
+    static SPECIMEN: OnceLock<(Vec<u8>, FrameMap)> = OnceLock::new();
+    SPECIMEN.get_or_init(|| {
+        let meta = TraceMeta {
+            name: "hostile".to_string(),
+            cores: 2,
+            has_gaps: true,
+            instructions_per_miss: vec![25.0, 75.0],
+        };
+        let mut w = TraceWriter::new(Vec::new(), &meta).unwrap();
+        for i in 0..TOTAL_RECORDS {
+            w.push(TraceRecord {
+                address: i * 64 + ((i % 97) << 24),
+                gap: (i % 13) as u32,
+                core: (i % 2) as u8,
+                is_write: i % 4 == 0,
+            })
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let map = FrameMap::scan(&bytes).unwrap();
+        (bytes, map)
+    })
+}
+
+fn decode(bytes: &[u8], mode: DecodeMode, chunk: usize) -> io::Result<(u64, u64, bool)> {
+    let mut r = TraceReader::with_mode(SliceSource::with_chunk_size(bytes, chunk), mode)?;
+    let records = r.read_all()?.len() as u64;
+    Ok((records, r.records_lost(), r.truncated()))
+}
+
+proptest! {
+    #[test]
+    fn mutations_never_panic_and_resync_bounds_the_loss(
+        seed in 0u64..1 << 48,
+        mutations in 1usize..9,
+        chunk in 1usize..5000,
+    ) {
+        let (bytes, map) = specimen();
+        let mut damaged = bytes.clone();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut touched_frames_only = true;
+        for _ in 0..mutations {
+            let at = rng.gen_range(0..damaged.len());
+            // XOR with a non-zero mask guarantees the byte actually changes.
+            damaged[at] ^= rng.gen_range(1u64..256) as u8;
+            touched_frames_only &= at as u64 >= map.header_len;
+        }
+
+        // Neither mode may panic; strict must error whenever frame bytes
+        // changed (mutations confined to the header can legally alter the
+        // decoded metadata without tripping a checksum).
+        let strict = decode(&damaged, DecodeMode::Strict, chunk);
+        if touched_frames_only {
+            prop_assert!(strict.is_err(), "strict mode accepted damaged frames");
+        }
+
+        if let Ok(mut r) =
+            TraceReader::with_mode(SliceSource::with_chunk_size(&damaged, chunk), DecodeMode::Resync)
+        {
+            // Resync terminates (read_all returning is the proof) and never
+            // errors on an in-memory source.
+            let recovered = r.read_all().unwrap().len() as u64;
+            // Mutations preserve stream length, so every original record is
+            // either recovered or covered by the conservative ledger bound.
+            prop_assert!(
+                recovered + r.records_lost() >= TOTAL_RECORDS,
+                "under-accounted: {} recovered + {} lost < {}",
+                recovered,
+                r.records_lost(),
+                TOTAL_RECORDS
+            );
+            prop_assert!(recovered <= TOTAL_RECORDS);
+        } else {
+            // Only header damage may abort resync construction.
+            prop_assert!(!touched_frames_only, "resync failed on frame-only damage");
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic_and_are_flagged(
+        cut_seed in 0u64..1 << 48,
+        chunk in 1usize..5000,
+    ) {
+        let (bytes, map) = specimen();
+        let mut rng = SmallRng::seed_from_u64(cut_seed);
+        let cut = rng.gen_range(map.header_len as usize..bytes.len());
+        let damaged = &bytes[..cut];
+
+        let at_boundary = map.frames.iter().any(|f| f.end() == cut as u64)
+            || cut as u64 == map.header_len;
+        let full_frames_before: u64 = map
+            .frames
+            .iter()
+            .filter(|f| f.end() <= cut as u64)
+            .map(|f| f.records as u64)
+            .sum();
+
+        // Strict: clean EOF at a frame boundary, error otherwise. Never panics.
+        let strict = decode(damaged, DecodeMode::Strict, chunk);
+        if at_boundary {
+            prop_assert_eq!(strict.unwrap().0, full_frames_before);
+        } else {
+            prop_assert!(strict.is_err());
+        }
+
+        // Resync: always Ok, recovers exactly the full frames, flags the cut.
+        let (recovered, lost, truncated) = decode(damaged, DecodeMode::Resync, chunk).unwrap();
+        prop_assert_eq!(recovered, full_frames_before);
+        prop_assert_eq!(truncated, !at_boundary);
+        // When at least the cut frame's header survived, its declared count
+        // bounds the loss.
+        if let Some(f) = map
+            .frames
+            .iter()
+            .find(|f| f.offset < cut as u64 && (cut as u64) < f.end())
+        {
+            if cut as u64 >= f.offset + 8 {
+                prop_assert!(lost >= f.records as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_fault_plans_match_their_oracle(
+        plan_seed in 0u64..1 << 48,
+        chunk in 1usize..5000,
+    ) {
+        let (bytes, map) = specimen();
+        let plan = FaultPlan::seeded(plan_seed, map);
+        let expect = plan.expected(map).expect("seeded plans always have an oracle");
+        let damaged = apply_plan(bytes, &plan).unwrap();
+
+        let (recovered, lost, truncated) = decode(&damaged, DecodeMode::Resync, chunk).unwrap();
+        prop_assert_eq!(recovered, expect.intact_records);
+        prop_assert!(
+            lost >= expect.damaged_records,
+            "ledger bound {} under-counts the injected {}",
+            lost,
+            expect.damaged_records
+        );
+        if expect.mid_frame_cut {
+            prop_assert!(truncated, "mid-frame cut must set the truncated flag");
+        }
+        // Strict mode must refuse any stream with checksum or framing damage.
+        // Frame-aligned duplication/reordering keeps every checksum valid, so
+        // strict legitimately accepts those plans.
+        let breaks_framing = plan.ops.iter().any(|op| {
+            matches!(op, FaultOp::FlipBit { .. } | FaultOp::Truncate { .. })
+        });
+        if breaks_framing {
+            prop_assert!(decode(&damaged, DecodeMode::Strict, chunk).is_err());
+        }
+    }
+}
