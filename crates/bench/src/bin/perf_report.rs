@@ -26,13 +26,20 @@
 //!    rotating + straddling churn patterns, where the summary engine's maximum
 //!    unmitigated disturbance must not exceed the scan engine's. Both engines are
 //!    exercised explicitly, independent of the `IMPRESS_EVICTION` default.
-//! 5. **Trace ingestion and replay** — the PR 6 frontend. Times the end-to-end
-//!    open-loop ingest pipeline (frame decode → checksum → mapping → epoch loop →
-//!    window telemetry) on an in-memory recording of a streaming workload and
-//!    gates the unprotected scenario at [`TRACE_INGEST_GATE_MRPS`] million
-//!    records/s (the protected scenario is reported as data); then records a
-//!    synthetic stream and gates closed-loop **replay bit-identity** against the
-//!    in-process run at 1, 2 and 4 shard threads.
+//! 5. **Trace ingestion and replay** — the PR 6 frontend under the PR 8 batched
+//!    record kernels. Times the end-to-end open-loop ingest pipeline (frame
+//!    decode → checksum → mapping → epoch loop → window telemetry) on an
+//!    in-memory recording of a streaming workload and gates the unprotected
+//!    scenario at [`TRACE_INGEST_GATE_MRPS`] and the Graphene+ImPress-P
+//!    protected scenario at [`PROTECTED_INGEST_GATE_MRPS`] million records/s
+//!    (both best-of-[`INGEST_SAMPLES`]); then records a synthetic stream and
+//!    gates closed-loop **replay bit-identity** against the in-process run at
+//!    1, 2 and 4 shard threads.
+//! 6. **Record-batch determinism** — the PR 8 acceptance gate: open-loop ingest
+//!    with the bank-batched tracker kernels must produce a byte-identical
+//!    verdict JSON (and identical window telemetry and memory statistics) to
+//!    the per-record path at every [`REPLAY_THREAD_COUNTS`] shard thread
+//!    count.
 //!
 //! Usage:
 //!
@@ -41,11 +48,12 @@
 //! ```
 //!
 //! * `--quick`: CI-sized run (shorter simulations, fewer tracker records).
-//! * `--out PATH`: where to write the JSON report (default `BENCH_PR6.json`).
+//! * `--out PATH`: where to write the JSON report (default `BENCH_PR8.json`).
 //!
 //! Exit code is non-zero if any determinism, equivalence, security, batching,
-//! churn-throughput, sweep-wall, trace-ingest or replay-identity gate fails, so
-//! CI uses this binary as a correctness gate as well as a benchmark.
+//! churn-throughput, sweep-wall, trace-ingest, replay-identity or record-batch
+//! gate fails, so CI uses this binary as a correctness gate as well as a
+//! benchmark.
 
 use std::time::Instant;
 
@@ -124,9 +132,24 @@ const SHARDED_CHANNELS: u8 = 4;
 /// The PR 6 ingest gate: end-to-end open-loop trace ingestion (decode → route →
 /// epoch loop → telemetry) of the streaming-locality recording must sustain at
 /// least this many million records per second under the unprotected
-/// configuration. The committed full-mode snapshot measured ~12.5 on a single
-/// shared-runner CPU; the protected scenario (~8.7) is reported as data.
+/// configuration. The PR 8 snapshot measured ~15 on a single shared-runner CPU
+/// (the word-parallel frame checksum removed the codec's byte-serial multiply
+/// chain from the critical path).
 const TRACE_INGEST_GATE_MRPS: f64 = 10.0;
+
+/// The PR 8 protected-path ingest gate: the same open-loop pipeline under
+/// Graphene+ImPress-P — every record funneling through the defense engine —
+/// must sustain at least this many million records per second. PR 6 measured
+/// ~8.7 here and reported it as ungated data; the bank-batched record kernels
+/// (headroom-deferred staging, run-length aggregation, one slot-index probe
+/// per run) plus the checksum rewrite close the gap to within ~25% of
+/// unprotected on the snapshot host.
+const PROTECTED_INGEST_GATE_MRPS: f64 = 11.0;
+
+/// Samples per ingest scenario; the gates take the best. Single-sample
+/// throughput swings ±20% on shared 1-core runners, which is far more than the
+/// margin either ingest gate carries.
+const INGEST_SAMPLES: usize = 3;
 
 /// Records in the ingest-throughput trace (total, across all 8 cores). Quick
 /// mode keeps the sample large enough that the timed region runs tens of
@@ -166,7 +189,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
 
     let requests_per_core = if quick {
         QUICK_REQUESTS_PER_CORE
@@ -684,13 +707,16 @@ fn main() {
     let ingest_runner = TraceRunner::new();
     let mut ingest_gate_ok = true;
     let mut ingest_lines = Vec::new();
-    for (scenario, gated) in [("unprotected", true), ("graphene-impress-p", false)] {
+    for (scenario, gate_mrps) in [
+        ("unprotected", TRACE_INGEST_GATE_MRPS),
+        ("graphene-impress-p", PROTECTED_INGEST_GATE_MRPS),
+    ] {
         let configuration = named_configuration(scenario).expect("named configuration");
-        // Best of two samples, like the churn gate: single-sample throughput
-        // swings ~10% on shared runners, which matters near the gate.
+        // Best of INGEST_SAMPLES, like the churn gate: single-sample throughput
+        // swings ±20% on shared runners, which matters near the gate.
         let mut mrps = 0.0f64;
         let mut verdict = "";
-        for _ in 0..2 {
+        for _ in 0..INGEST_SAMPLES {
             let reader = TraceReader::new(SliceSource::new(&trace_bytes)).expect("trace header");
             let start = Instant::now();
             let report = ingest_runner
@@ -701,22 +727,49 @@ fn main() {
             mrps = mrps.max(report.records as f64 / secs.max(1e-9) / 1e6);
             verdict = report.verdict.verdict;
         }
-        if gated {
-            ingest_gate_ok &= mrps >= TRACE_INGEST_GATE_MRPS;
-        }
+        let passed = mrps >= gate_mrps;
+        ingest_gate_ok &= passed;
         eprintln!(
             "perf_report: trace ingest {ingest_workload}/{scenario}: {mrps:.1} M records/s \
-             over {} records (verdict {verdict}{})",
+             over {} records (verdict {verdict}; gate >= {gate_mrps})",
             ingest_records.len(),
-            if gated {
-                format!("; gate >= {TRACE_INGEST_GATE_MRPS}")
-            } else {
-                String::new()
-            },
         );
         ingest_lines.push(format!(
-            "      {{ \"scenario\": \"{scenario}\", \"gated\": {gated}, \
-             \"million_records_per_sec\": {mrps:.3}, \"verdict\": \"{verdict}\" }}"
+            "      {{ \"scenario\": \"{scenario}\", \"gate_mrps\": {gate_mrps}, \
+             \"million_records_per_sec\": {mrps:.3}, \"passed\": {passed}, \
+             \"verdict\": \"{verdict}\" }}"
+        ));
+    }
+
+    // ---- Axis 5 (PR 8): record-batch determinism ------------------------------
+    // The bank-batched tracker kernels must be observationally invisible: the
+    // same trace ingested with batching forced off and on yields a
+    // byte-identical verdict JSON and identical window telemetry and memory
+    // statistics, at every gated shard thread count.
+    let batch_configuration = named_configuration("graphene-impress-p").expect("named");
+    let mut record_batch_ok = true;
+    let mut record_batch_lines = Vec::new();
+    for shard_threads in REPLAY_THREAD_COUNTS {
+        let run = |batched: bool| {
+            let reader = TraceReader::new(SliceSource::new(&trace_bytes)).expect("trace header");
+            TraceRunner::new()
+                .with_shard_threads(shard_threads)
+                .with_record_batching(batched)
+                .ingest(reader, &batch_configuration)
+                .expect("trace ingest")
+        };
+        let per_record = run(false);
+        let batched = run(true);
+        let identical = batched.verdict.to_json() == per_record.verdict.to_json()
+            && batched.windows == per_record.windows
+            && batched.memory == per_record.memory;
+        record_batch_ok &= identical;
+        eprintln!(
+            "perf_report: record-batch determinism @ {shard_threads} shard threads: \
+             batched == per-record: {identical}"
+        );
+        record_batch_lines.push(format!(
+            "      {{ \"shard_threads\": {shard_threads}, \"identical\": {identical} }}"
         ));
     }
 
@@ -758,8 +811,8 @@ fn main() {
 
     let json = format!(
         "{{\n\
-         \x20 \"schema_version\": 5,\n\
-         \x20 \"pr\": 6,\n\
+         \x20 \"schema_version\": 6,\n\
+         \x20 \"pr\": 8,\n\
          \x20 \"binary\": \"perf_report\",\n\
          \x20 \"mode\": \"{mode}\",\n\
          \x20 \"host\": {{ \"available_cpus\": {cpus}, \"threads_used\": {threads} }},\n\
@@ -803,8 +856,10 @@ fn main() {
          \x20 \"trace\": {{\n\
          \x20   \"workload\": \"{ingest_workload}\",\n\
          \x20   \"records\": {n_trace_records},\n\
-         \x20   \"ingest_gate\": {{ \"min_million_records_per_sec\": {TRACE_INGEST_GATE_MRPS}, \
+         \x20   \"ingest_gate\": {{ \"samples\": {INGEST_SAMPLES}, \
          \"passed\": {ingest_gate_ok}, \"scenarios\": [\n{ingest_json}\n    ] }},\n\
+         \x20   \"record_batch_gate\": {{ \"scenario\": \"graphene-impress-p\", \
+         \"passed\": {record_batch_ok}, \"runs\": [\n{record_batch_json}\n    ] }},\n\
          \x20   \"replay_gate\": {{ \"workload\": \"{replay_workload}\", \
          \"requests_per_core\": {replay_requests_per_core}, \
          \"passed\": {replay_gate_ok}, \"runs\": [\n{replay_json}\n    ] }}\n\
@@ -823,6 +878,7 @@ fn main() {
         security_json = security_lines.join(",\n"),
         n_trace_records = ingest_records.len(),
         ingest_json = ingest_lines.join(",\n"),
+        record_batch_json = record_batch_lines.join(",\n"),
         replay_json = replay_lines.join(",\n"),
         tracker_json = tracker_lines.join(",\n"),
     );
@@ -836,6 +892,7 @@ fn main() {
          sharded {sharded_ms_total:.0} ms (x{shard_speedup:.2}, identical: {sharded_identical}, \
          batch gate: {batch_gate_ok}); churn gate: {churn_gate_ok}; \
          equivalence gate: {equivalence_ok}; trace ingest gate: {ingest_gate_ok}; \
+         record-batch gate: {record_batch_ok}; \
          replay identity gate: {replay_gate_ok} -> {out_path}"
     );
     let mut failed = false;
@@ -878,8 +935,16 @@ fn main() {
     }
     if !ingest_gate_ok {
         eprintln!(
-            "perf_report: ERROR: trace ingest throughput below \
-             {TRACE_INGEST_GATE_MRPS} M records/s on the gated scenario"
+            "perf_report: ERROR: trace ingest throughput below its gate on some \
+             scenario (unprotected >= {TRACE_INGEST_GATE_MRPS}, protected >= \
+             {PROTECTED_INGEST_GATE_MRPS} M records/s)"
+        );
+        failed = true;
+    }
+    if !record_batch_ok {
+        eprintln!(
+            "perf_report: ERROR: batched ingest diverged from the per-record \
+             path at some shard thread count"
         );
         failed = true;
     }

@@ -60,7 +60,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
-use impress_bench::{named_configuration, record_workload_trace};
+use impress_bench::{named_configuration, record_workload_trace, CONFIGURATION_NAMES};
 use impress_sim::daemon::{supervise, Checkpoint, DaemonOptions};
 use impress_sim::{Configuration, System, SystemConfig, TraceRunner, VerdictReport};
 use impress_workloads::codec::{DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter};
@@ -91,8 +91,8 @@ fn usage() -> ! {
         "usage: trace record --workload W [--seed N] [--requests-per-core N] --out FILE \
          [--config NAME] [--verdict FILE]\n\
          \x20      trace replay --in FILE [--config NAME] [--shard-threads N] [--verdict FILE]\n\
-         \x20      trace throughput (--in FILE | --workload W) [--config NAME] [--records N] \
-         [--shard-threads N] [--window N]\n\
+         \x20      trace throughput (--in FILE | --workload W) [--config NAME[,NAME...]|all] \
+         [--records N] [--shard-threads N] [--window N]\n\
          \x20      trace ingest --in FILE [--config NAME] [--resync] [--shard-threads N] \
          [--window N] [--verdict FILE] [--expect FILE]\n\
          \x20      trace corrupt --in FILE --out FILE [--seed N]\n\
@@ -240,7 +240,26 @@ fn cmd_replay(args: &Args) -> io::Result<()> {
 }
 
 fn cmd_throughput(args: &Args) -> io::Result<()> {
-    let configuration = args.configuration();
+    // `--config` takes a single name, a comma-separated list, or `all`; the
+    // same in-memory trace bytes are timed once per configuration.
+    let configurations: Vec<Configuration> = match args.get("--config").unwrap_or("unprotected") {
+        "all" => CONFIGURATION_NAMES
+            .iter()
+            .map(|name| named_configuration(name).expect("built-in configuration"))
+            .collect(),
+        list => list
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .map(|name| {
+                named_configuration(name)
+                    .unwrap_or_else(|| panic!("unknown configuration {name:?} (see --help)"))
+            })
+            .collect(),
+    };
+    if configurations.is_empty() {
+        usage();
+    }
     let shard_threads = args.get_u64("--shard-threads", 1) as usize;
     let window = args.get_u64("--window", 1 << 20);
 
@@ -270,23 +289,25 @@ fn cmd_throughput(args: &Args) -> io::Result<()> {
         (None, None) => usage(),
     };
 
-    let runner = TraceRunner::new()
-        .with_shard_threads(shard_threads)
-        .with_window_records(window);
-    let start = Instant::now();
-    let report = runner.ingest(TraceReader::new(SliceSource::new(&bytes))?, &configuration)?;
-    let secs = start.elapsed().as_secs_f64();
-    let mrps = report.records as f64 / secs / 1e6;
-    println!(
-        "ingest: {} records in {:.3} s = {mrps:.1} M records/s under {} \
-         ({} shard threads, {} windows, verdict {})",
-        report.records,
-        secs,
-        configuration.label,
-        shard_threads,
-        report.windows.len(),
-        report.verdict.verdict
-    );
+    for configuration in &configurations {
+        let runner = TraceRunner::new()
+            .with_shard_threads(shard_threads)
+            .with_window_records(window);
+        let start = Instant::now();
+        let report = runner.ingest(TraceReader::new(SliceSource::new(&bytes))?, configuration)?;
+        let secs = start.elapsed().as_secs_f64();
+        let mrps = report.records as f64 / secs / 1e6;
+        println!(
+            "ingest: {} records in {:.3} s = {mrps:.1} M records/s under {} \
+             ({} shard threads, {} windows, verdict {})",
+            report.records,
+            secs,
+            configuration.label,
+            shard_threads,
+            report.windows.len(),
+            report.verdict.verdict
+        );
+    }
     Ok(())
 }
 
@@ -389,6 +410,7 @@ fn cmd_daemon(args: &Args) -> io::Result<()> {
         shard_threads: args.get_u64("--shard-threads", 1) as usize,
         resync: args.has("--resync"),
         resume_from,
+        record_batch: None,
     };
 
     let mut on_checkpoint = |cp: &Checkpoint| match checkpoint_path.as_deref() {

@@ -91,10 +91,20 @@ pub fn defense_configurations(tracker: TrackerChoice, trh: u64) -> Vec<Configura
     out
 }
 
+/// Every name [`named_configuration`] resolves, in its match order. `trace
+/// throughput --config all` expands to this list.
+pub const CONFIGURATION_NAMES: &[&str] = &[
+    "unprotected",
+    "graphene-impress-p",
+    "para-impress-p",
+    "mithril-impress-p",
+];
+
 /// Builds one of the named configurations the `trace` binary and smoke jobs use.
 ///
 /// Names: `unprotected`, `graphene-impress-p`, `para-impress-p`,
-/// `mithril-impress-p`. Returns `None` for anything else.
+/// `mithril-impress-p` (see [`CONFIGURATION_NAMES`]). Returns `None` for
+/// anything else.
 pub fn named_configuration(name: &str) -> Option<Configuration> {
     let protected = |tracker: TrackerChoice, label: &str| {
         Some(Configuration::protected(

@@ -8,10 +8,31 @@
 use impress_dram::address::RowId;
 use impress_dram::bank::ClosedRow;
 use impress_dram::timing::{Cycle, DramTimings};
-use impress_trackers::{MitigationRequest, RowTracker};
+use impress_trackers::{Eact, MitigationRequest, RowTracker};
 
 use crate::config::ProtectionConfig;
 use crate::defense::{RowPressDefense, TrackedActivation};
+
+/// Environment variable selecting the tracker record path: unset (or any value
+/// other than `off`/`0`/`false`) uses the bank-batched kernels, `off` forces the
+/// per-record path (for A/B comparison, mirroring `IMPRESS_EVICTION`).
+pub const RECORD_BATCH_ENV: &str = "IMPRESS_RECORD_BATCH";
+
+/// Reads [`RECORD_BATCH_ENV`]: `true` (batched) unless the variable is set to
+/// `off`, `0` or `false` (case-insensitive).
+pub fn record_batching_from_env() -> bool {
+    match std::env::var(RECORD_BATCH_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    }
+}
+
+/// Capacity of the per-bank staging buffer: bounds memory (8 KB per bank) and
+/// keeps flushes in cache-friendly chunks.
+const STAGE_CAPACITY: usize = 1024;
 
 /// Counters describing the engine's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +62,37 @@ pub struct BankMitigationEngine {
     /// Reusable scratch for the defense's tracked-activation events, so the
     /// per-activation path performs no allocation in steady state.
     event_buf: Vec<TrackedActivation>,
+    /// Whether tracked events are staged and flushed through the tracker's
+    /// batched record kernel (observationally identical to per-record; see
+    /// [`BankMitigationEngine::set_record_batching`]).
+    batching: bool,
+    /// Cached [`RowTracker::mitigates_on_rfm`]: RFM/REF commands only flush
+    /// staged events (and dispatch to the tracker) when the tracker acts under
+    /// RFM. REF fires every `tREFI`, so skipping it for memory-controller
+    /// trackers is what lets staged spans grow beyond a handful of events.
+    rfm_active: bool,
+    /// Remaining tracker headroom (raw Q7 weight) provably absorbable without
+    /// any possibility of a mitigation. Staging an event decrements this by an
+    /// upper bound on its quantized weight; when it runs out the staged span is
+    /// flushed and the triggering event takes the exact per-record path.
+    headroom_left: u64,
+    /// Staged events, packed row+weight. One append stream per bank keeps the
+    /// per-event staging cost to a single cache line of data movement; the
+    /// parallel `rows`/`eacts` slices [`RowTracker::record_batch`] takes are
+    /// split off into the scratch arrays below at flush time (sequential,
+    /// amortized over the whole span).
+    staged: Vec<(RowId, Eact)>,
+    /// Timestamp of the most recently staged event. A staged span is provably
+    /// mitigation-free, so its shared flush timestamp is unobservable and the
+    /// last one staged is as good as any; no per-event timestamps are kept.
+    last_staged_now: Cycle,
+    /// Flush-time scratch for the split parallel arrays.
+    scratch_rows: Vec<RowId>,
+    scratch_eacts: Vec<Eact>,
+    /// Scratch for batch-kernel output. Staged spans are provably
+    /// mitigation-free, so this stays empty; it exists to satisfy the
+    /// `record_batch` signature (and to catch invariant violations in debug).
+    staged_out: Vec<MitigationRequest>,
 }
 
 impl std::fmt::Debug for BankMitigationEngine {
@@ -64,14 +116,11 @@ impl BankMitigationEngine {
         if let Err(msg) = config.validate() {
             panic!("invalid protection configuration: {msg}");
         }
-        Self {
-            defense: config.build_defense(timings),
-            tracker: config.build_tracker(timings),
-            t_refw: timings.t_refw,
-            next_refresh_window: timings.t_refw,
-            stats: EngineStats::default(),
-            event_buf: Vec::with_capacity(16),
-        }
+        Self::from_parts(
+            config.build_defense(timings),
+            config.build_tracker(timings),
+            timings,
+        )
     }
 
     /// Builds an engine from already-constructed parts (used by tests and by
@@ -81,13 +130,22 @@ impl BankMitigationEngine {
         tracker: Box<dyn RowTracker>,
         timings: &DramTimings,
     ) -> Self {
+        let rfm_active = tracker.mitigates_on_rfm();
         Self {
             defense,
             tracker,
+            rfm_active,
             t_refw: timings.t_refw,
             next_refresh_window: timings.t_refw,
             stats: EngineStats::default(),
             event_buf: Vec::with_capacity(16),
+            batching: false,
+            headroom_left: 0,
+            staged: Vec::new(),
+            last_staged_now: 0,
+            scratch_rows: Vec::new(),
+            scratch_eacts: Vec::new(),
+            staged_out: Vec::new(),
         }
     }
 
@@ -111,10 +169,121 @@ impl BankMitigationEngine {
         self.tracker.as_ref()
     }
 
+    /// Enables or disables the bank-batched record path.
+    ///
+    /// When enabled, tracked events whose weight provably cannot trigger a
+    /// mitigation (per the tracker's [`RowTracker::headroom`] contract) are
+    /// staged in SoA buffers and flushed through [`RowTracker::record_batch`]
+    /// at refresh-window crossings, RFM commands, headroom exhaustion or
+    /// capacity. Events that could mitigate take the exact per-record path, so
+    /// mitigation emission order, tracker state and all statistics are
+    /// identical to per-record operation.
+    ///
+    /// Disabling flushes any staged events first.
+    pub fn set_record_batching(&mut self, on: bool) {
+        if !on {
+            self.flush_staged();
+        } else if !self.batching {
+            self.headroom_left = self.tracker.headroom();
+            if self.staged.capacity() == 0 {
+                self.staged.reserve(STAGE_CAPACITY);
+            }
+        }
+        self.batching = on;
+    }
+
+    /// Whether the batched record path is enabled.
+    pub fn record_batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Flushes any staged tracked events through the tracker's batch kernel.
+    ///
+    /// Called automatically at every point where deferred state could become
+    /// observable (refresh windows, RFM, per-record fallbacks); callers only
+    /// need it at end-of-run, before inspecting the tracker or merging stats.
+    pub fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        // All staged events were admitted under the headroom budget, so the
+        // batch provably emits no mitigations and the shared `now` is
+        // unobservable; split the packed span into the parallel arrays the
+        // batch kernel takes.
+        self.scratch_rows.clear();
+        self.scratch_eacts.clear();
+        self.scratch_rows
+            .extend(self.staged.iter().map(|&(row, _)| row));
+        self.scratch_eacts
+            .extend(self.staged.iter().map(|&(_, eact)| eact));
+        self.tracker.record_batch(
+            &self.scratch_rows,
+            &self.scratch_eacts,
+            self.last_staged_now,
+            &mut self.staged_out,
+        );
+        debug_assert!(
+            self.staged_out.is_empty(),
+            "staged span emitted a mitigation despite headroom admission"
+        );
+        // Defensive (unreachable by the headroom invariant): never lose a
+        // mitigation count in release builds.
+        self.stats.direct_mitigations += self.staged_out.len() as u64;
+        self.staged_out.clear();
+        self.staged.clear();
+        self.headroom_left = self.tracker.headroom();
+    }
+
     fn advance_refresh_window(&mut self, now: Cycle) {
-        while now >= self.next_refresh_window {
-            self.tracker.on_refresh_window(self.next_refresh_window);
-            self.next_refresh_window += self.t_refw;
+        if now >= self.next_refresh_window {
+            // Staged events predate the window boundary: flush them before the
+            // window callback so the tracker sees them in the same window as
+            // the per-record path would.
+            self.flush_staged();
+            while now >= self.next_refresh_window {
+                self.tracker.on_refresh_window(self.next_refresh_window);
+                self.next_refresh_window += self.t_refw;
+            }
+            if self.batching {
+                self.headroom_left = self.tracker.headroom();
+            }
+        }
+    }
+
+    /// Routes one tracked event either into the staging buffers (when it
+    /// provably cannot mitigate) or through the exact per-record path.
+    #[inline]
+    fn record_event(
+        &mut self,
+        row: RowId,
+        eact: Eact,
+        now: Cycle,
+        out: &mut Vec<MitigationRequest>,
+    ) {
+        self.stats.tracked_events += 1;
+        if self.batching {
+            // Upper bound on the weight any tracker's quantization can add:
+            // quantized <= max(raw, ONE) for every tracker.
+            let w = u64::from(eact.raw().max(Eact::ONE.raw()));
+            if w <= self.headroom_left {
+                if self.staged.len() == STAGE_CAPACITY {
+                    self.flush_staged();
+                }
+                self.headroom_left -= w;
+                self.staged.push((row, eact));
+                self.last_staged_now = now;
+                return;
+            }
+            // Headroom exhausted: flush the (mitigation-free) staged span,
+            // then let this event take the exact per-record path below.
+            self.flush_staged();
+        }
+        if let Some(m) = self.tracker.record(row, eact, now) {
+            self.stats.direct_mitigations += 1;
+            out.push(m);
+        }
+        if self.batching {
+            self.headroom_left = self.tracker.headroom();
         }
     }
 
@@ -129,11 +298,7 @@ impl BankMitigationEngine {
         self.defense.on_activate(row, now, &mut self.event_buf);
         for i in 0..self.event_buf.len() {
             let event = self.event_buf[i];
-            self.stats.tracked_events += 1;
-            if let Some(m) = self.tracker.record(event.row, event.eact, now) {
-                self.stats.direct_mitigations += 1;
-                out.push(m);
-            }
+            self.record_event(event.row, event.eact, now, out);
         }
     }
 
@@ -145,11 +310,7 @@ impl BankMitigationEngine {
         self.defense.on_close(closed, &mut self.event_buf);
         for i in 0..self.event_buf.len() {
             let event = self.event_buf[i];
-            self.stats.tracked_events += 1;
-            if let Some(m) = self.tracker.record(event.row, event.eact, closed.closed_at) {
-                self.stats.direct_mitigations += 1;
-                out.push(m);
-            }
+            self.record_event(event.row, event.eact, closed.closed_at, out);
         }
     }
 
@@ -178,6 +339,14 @@ impl BankMitigationEngine {
     /// (if it has one pending).
     pub fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
         self.advance_refresh_window(now);
+        // Memory-controller trackers ignore RFM: their `on_rfm` is the default
+        // no-op, so there is nothing to flush for and nothing to dispatch.
+        if !self.rfm_active {
+            return None;
+        }
+        // RFM-only trackers (Mithril, MINT) mitigate from state accumulated by
+        // `record`; staged events must land before the RFM observes it.
+        self.flush_staged();
         let m = self.tracker.on_rfm(now);
         if m.is_some() {
             self.stats.rfm_mitigations += 1;

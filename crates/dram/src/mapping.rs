@@ -484,6 +484,18 @@ impl AddressMapping {
         addr: PhysicalAddress,
         org: &DramOrganization,
     ) -> Result<DramAddress, DramError> {
+        // `(x % d, x / d)`, via mask/shift when `d` is a power of two. Real
+        // geometries are pure bit routing, so the decode — one call per trace
+        // record on the ingest path — should cost shifts, not a chain of
+        // hardware divisions.
+        #[inline(always)]
+        fn rem_div(x: u64, d: u64) -> (u64, u64) {
+            if d.is_power_of_two() {
+                (x & (d - 1), x >> d.trailing_zeros())
+            } else {
+                (x % d, x / d)
+            }
+        }
         if addr.as_u64() >= org.capacity_bytes() {
             return Err(DramError::AddressOutOfRange {
                 component: "physical address",
@@ -491,7 +503,7 @@ impl AddressMapping {
                 limit: org.capacity_bytes(),
             });
         }
-        let line = addr.as_u64() / org.line_bytes as u64;
+        let (_, line) = rem_div(addr.as_u64(), org.line_bytes as u64);
         let channels = org.channels as u64;
         let banks = org.banks_per_channel() as u64;
         let cols = org.columns_per_row as u64;
@@ -500,33 +512,23 @@ impl AddressMapping {
         let (channel, bank, row, column) = match *self {
             AddressMapping::Mop { lines_per_chunk } => {
                 let chunk_lines = lines_per_chunk as u64;
-                let low_col = line % chunk_lines;
-                let rest = line / chunk_lines;
-                let channel = rest % channels;
-                let rest = rest / channels;
-                let bank = rest % banks;
-                let rest = rest / banks;
-                let chunks_per_row = cols / chunk_lines;
-                let high_col = rest % chunks_per_row;
-                let row = rest / chunks_per_row;
+                let (low_col, rest) = rem_div(line, chunk_lines);
+                let (channel, rest) = rem_div(rest, channels);
+                let (bank, rest) = rem_div(rest, banks);
+                let (_, chunks_per_row) = rem_div(cols, chunk_lines);
+                let (high_col, row) = rem_div(rest, chunks_per_row);
                 (channel, bank, row, high_col * chunk_lines + low_col)
             }
             AddressMapping::RowInterleaved => {
-                let column = line % cols;
-                let rest = line / cols;
-                let channel = rest % channels;
-                let rest = rest / channels;
-                let bank = rest % banks;
-                let row = rest / banks;
+                let (column, rest) = rem_div(line, cols);
+                let (channel, rest) = rem_div(rest, channels);
+                let (bank, row) = rem_div(rest, banks);
                 (channel, bank, row, column)
             }
             AddressMapping::CachelineInterleaved => {
-                let channel = line % channels;
-                let rest = line / channels;
-                let bank = rest % banks;
-                let rest = rest / banks;
-                let column = rest % cols;
-                let row = rest / cols;
+                let (channel, rest) = rem_div(line, channels);
+                let (bank, rest) = rem_div(rest, banks);
+                let (column, row) = rem_div(rest, cols);
                 (channel, bank, row, column)
             }
             AddressMapping::BitInterleaved(ref spec) => {
@@ -575,10 +577,8 @@ impl AddressMapping {
         let banks_per_group = org.banks_per_group as u64;
         let groups = org.bank_groups as u64;
         let per_rank = banks_per_group * groups;
-        let rank = bank / per_rank;
-        let within_rank = bank % per_rank;
-        let bank_group = within_rank / banks_per_group;
-        let bank_in_group = within_rank % banks_per_group;
+        let (within_rank, rank) = rem_div(bank, per_rank);
+        let (bank_in_group, bank_group) = rem_div(within_rank, banks_per_group);
 
         Ok(DramAddress {
             channel: channel as u8,

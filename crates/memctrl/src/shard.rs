@@ -391,6 +391,28 @@ impl ChannelShard {
         }
     }
 
+    /// Enables or disables the bank-batched tracker record path on every
+    /// protected bank (see [`BankMitigationEngine::set_record_batching`]).
+    /// Disabling flushes any staged events first.
+    pub fn set_record_batching(&mut self, on: bool) {
+        for unit in &mut self.banks {
+            if let Some(engine) = unit.engine.as_mut() {
+                engine.set_record_batching(on);
+            }
+        }
+    }
+
+    /// Flushes staged tracked events on every protected bank. Call before
+    /// reading tracker state or merging final statistics; window-boundary and
+    /// RFM flushes happen automatically inside the engines.
+    pub fn flush_staged_records(&mut self) {
+        for unit in &mut self.banks {
+            if let Some(engine) = unit.engine.as_mut() {
+                engine.flush_staged();
+            }
+        }
+    }
+
     /// This shard's statistics: the per-channel counters plus the sum of its banks'
     /// counters (ready to be merged across shards with [`ChannelStats::merged`]).
     pub fn stats(&self) -> ChannelStats {

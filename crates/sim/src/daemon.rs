@@ -131,6 +131,10 @@ pub struct DaemonOptions {
     /// Resume by re-executing the stream prefix and validating it against this
     /// checkpoint.
     pub resume_from: Option<Checkpoint>,
+    /// Whether tracked events stage through the bank-batched record kernels.
+    /// `None` defers to the `IMPRESS_RECORD_BATCH` environment variable
+    /// (default on); output is bit-identical either way.
+    pub record_batch: Option<bool>,
 }
 
 impl Default for DaemonOptions {
@@ -142,6 +146,7 @@ impl Default for DaemonOptions {
             shard_threads: 1,
             resync: false,
             resume_from: None,
+            record_batch: None,
         }
     }
 }
@@ -186,6 +191,14 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
     let min_latency = ChannelShard::min_access_latency(&cfg.timings);
     let tasks = make_tasks(shards, min_latency);
     let channels = tasks.len();
+    if options
+        .record_batch
+        .unwrap_or_else(impress_core::engine::record_batching_from_env)
+    {
+        for i in 0..channels {
+            lock_task(&tasks, i).shard.set_record_batching(true);
+        }
+    }
     let mapping = cfg.mapping;
     let organization = &cfg.organization;
     let has_gaps = reader.meta().has_gaps;
@@ -310,12 +323,12 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
                     let snap = ChannelStats::merged(
                         (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
                     );
-                    windows.push(window_delta(
+                    windows.push(WindowTelemetry::delta(
                         windows_emitted,
                         records - window_start_records,
                         now,
-                        &snap,
                         &prev,
+                        &snap,
                     ));
                     windows_emitted += 1;
                     prev = snap;
@@ -341,12 +354,12 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
                 let snap = ChannelStats::merged(
                     (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
                 );
-                windows.push(window_delta(
+                windows.push(WindowTelemetry::delta(
                     windows_emitted,
                     records - window_start_records,
                     now,
-                    &snap,
                     &prev,
+                    &snap,
                 ));
                 windows_emitted += 1;
             }
@@ -376,7 +389,13 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
         tasks
             .into_iter()
             .map(|t| t.into_inner().unwrap_or_else(|e| e.into_inner()).shard)
-            .map(|shard| shard.stats()),
+            .map(|mut shard| {
+                // End-of-run flush (see `TraceRunner::ingest`): staged spans are
+                // mitigation-free, so stats are final; this only settles the
+                // trackers into their per-record-equivalent state.
+                shard.flush_staged_records();
+                shard.stats()
+            }),
     );
     let verdict =
         VerdictReport::from_stats(&workload, configuration, records, elapsed_cycles, &memory)
@@ -388,27 +407,6 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
         windows,
         verdict,
     })
-}
-
-fn window_delta(
-    index: u64,
-    records: u64,
-    end_cycle: Cycle,
-    snap: &ChannelStats,
-    prev: &ChannelStats,
-) -> WindowTelemetry {
-    WindowTelemetry {
-        index,
-        records,
-        end_cycle,
-        activations: snap.banks.activations - prev.banks.activations,
-        row_hits: snap.banks.row_hits - prev.banks.row_hits,
-        row_misses: snap.banks.row_misses - prev.banks.row_misses,
-        row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
-        mitigative_activations: snap.banks.mitigative_activations
-            - prev.banks.mitigative_activations,
-        rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
-    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,31 @@ pub struct WindowTelemetry {
     pub rfm_commands: u64,
 }
 
+impl WindowTelemetry {
+    /// Builds one window's telemetry as the delta between two cumulative
+    /// statistics snapshots (`prev` at the window's start, `snap` at its end).
+    pub fn delta(
+        index: u64,
+        records: u64,
+        end_cycle: Cycle,
+        prev: &ChannelStats,
+        snap: &ChannelStats,
+    ) -> Self {
+        Self {
+            index,
+            records,
+            end_cycle,
+            activations: snap.banks.activations - prev.banks.activations,
+            row_hits: snap.banks.row_hits - prev.banks.row_hits,
+            row_misses: snap.banks.row_misses - prev.banks.row_misses,
+            row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
+            mitigative_activations: snap.banks.mitigative_activations
+                - prev.banks.mitigative_activations,
+            rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
+        }
+    }
+}
+
 /// One entry in a run's fault ledger.
 ///
 /// Entries derive only from stream content and driver-side events, never from
@@ -461,6 +486,10 @@ pub struct TraceRunner {
     system: crate::config::SystemConfig,
     shard_threads: usize,
     window_records: u64,
+    /// Whether ingestion stages tracked events through the bank-batched record
+    /// kernels. `None` defers to the `IMPRESS_RECORD_BATCH` environment
+    /// variable (default on); the output is bit-identical either way.
+    record_batch: Option<bool>,
 }
 
 impl Default for TraceRunner {
@@ -476,6 +505,7 @@ impl TraceRunner {
             system: crate::config::SystemConfig::baseline(),
             shard_threads: 1,
             window_records: 1 << 20,
+            record_batch: None,
         }
     }
 
@@ -498,6 +528,15 @@ impl TraceRunner {
     /// Sets the telemetry window size for [`TraceRunner::ingest`] (in records).
     pub fn with_window_records(mut self, records: u64) -> Self {
         self.window_records = records.max(1);
+        self
+    }
+
+    /// Forces the ingest record path: `true` stages tracked events through the
+    /// bank-batched kernels, `false` records per event. Unset, the
+    /// `IMPRESS_RECORD_BATCH` environment variable decides (default batched).
+    /// Both paths produce byte-identical verdicts and telemetry.
+    pub fn with_record_batching(mut self, on: bool) -> Self {
+        self.record_batch = Some(on);
         self
     }
 
@@ -546,6 +585,14 @@ impl TraceRunner {
         let min_latency = ChannelShard::min_access_latency(&cfg.timings);
         let tasks = make_tasks(shards, min_latency);
         let channels = tasks.len();
+        if self
+            .record_batch
+            .unwrap_or_else(impress_core::engine::record_batching_from_env)
+        {
+            for i in 0..channels {
+                lock_task(&tasks, i).shard.set_record_batching(true);
+            }
+        }
         let mapping = cfg.mapping;
         let organization = &cfg.organization;
         let has_gaps = reader.meta().has_gaps;
@@ -618,18 +665,13 @@ impl TraceRunner {
                         let snap = ChannelStats::merged(
                             (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
                         );
-                        windows.push(WindowTelemetry {
-                            index: windows.len() as u64,
-                            records: records - window_start_records,
-                            end_cycle: now,
-                            activations: snap.banks.activations - prev.banks.activations,
-                            row_hits: snap.banks.row_hits - prev.banks.row_hits,
-                            row_misses: snap.banks.row_misses - prev.banks.row_misses,
-                            row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
-                            mitigative_activations: snap.banks.mitigative_activations
-                                - prev.banks.mitigative_activations,
-                            rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
-                        });
+                        windows.push(WindowTelemetry::delta(
+                            windows.len() as u64,
+                            records - window_start_records,
+                            now,
+                            &prev,
+                            &snap,
+                        ));
                         prev = snap;
                         window_start_records = records;
                     }
@@ -639,18 +681,13 @@ impl TraceRunner {
                     let snap = ChannelStats::merged(
                         (0..channels).map(|i| lock_task(tasks_ref, i).shard.stats()),
                     );
-                    windows.push(WindowTelemetry {
-                        index: windows.len() as u64,
-                        records: records - window_start_records,
-                        end_cycle: now,
-                        activations: snap.banks.activations - prev.banks.activations,
-                        row_hits: snap.banks.row_hits - prev.banks.row_hits,
-                        row_misses: snap.banks.row_misses - prev.banks.row_misses,
-                        row_conflicts: snap.banks.row_conflicts - prev.banks.row_conflicts,
-                        mitigative_activations: snap.banks.mitigative_activations
-                            - prev.banks.mitigative_activations,
-                        rfm_commands: snap.banks.rfm_commands - prev.banks.rfm_commands,
-                    });
+                    windows.push(WindowTelemetry::delta(
+                        windows.len() as u64,
+                        records - window_start_records,
+                        now,
+                        &prev,
+                        &snap,
+                    ));
                 }
                 let faults = reader.take_faults();
                 let truncated_at = reader.truncated().then(|| reader.byte_offset());
@@ -665,7 +702,13 @@ impl TraceRunner {
             tasks
                 .into_iter()
                 .map(|t| t.into_inner().unwrap_or_else(|e| e.into_inner()).shard)
-                .map(|shard| shard.stats()),
+                .map(|mut shard| {
+                    // End-of-run flush: staged spans are mitigation-free so the
+                    // stats are already final, but the trackers must land in the
+                    // same state a per-record run would leave them in.
+                    shard.flush_staged_records();
+                    shard.stats()
+                }),
         );
         let verdict =
             VerdictReport::from_stats(&workload, configuration, records, elapsed_cycles, &memory)
@@ -775,6 +818,45 @@ mod tests {
             assert_eq!(out.memory, reference.memory, "threads = {threads}");
             assert_eq!(out.windows, reference.windows);
             assert_eq!(out.verdict, reference.verdict);
+        }
+    }
+
+    #[test]
+    fn batched_ingest_verdict_is_byte_identical_to_per_record() {
+        use impress_core::config::{DefenseKind, ProtectionConfig, TrackerChoice};
+        let (meta, records) = record_mix("copy", 11, 600);
+        let mut bytes = Vec::new();
+        let mut w = TraceWriter::new(&mut bytes, &meta).unwrap();
+        for &r in &records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let protected = Configuration::protected(
+            "Graphene+ImPress-P",
+            ProtectionConfig::paper_default(
+                TrackerChoice::Graphene,
+                DefenseKind::impress_p_default(),
+            ),
+        );
+        let run = |threads: usize, batched: bool| {
+            let reader = TraceReader::new(SliceSource::new(&bytes)).unwrap();
+            TraceRunner::new()
+                .with_shard_threads(threads)
+                .with_window_records(1_000)
+                .with_record_batching(batched)
+                .ingest(reader, &protected)
+                .unwrap()
+        };
+        for threads in [1usize, 2, 4] {
+            let per = run(threads, false);
+            let bat = run(threads, true);
+            assert_eq!(
+                bat.verdict.to_json(),
+                per.verdict.to_json(),
+                "threads = {threads}"
+            );
+            assert_eq!(bat.windows, per.windows, "threads = {threads}");
+            assert_eq!(bat.memory, per.memory, "threads = {threads}");
         }
     }
 

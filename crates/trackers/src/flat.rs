@@ -37,6 +37,11 @@ pub struct FlatCounterTable {
     keys: Vec<RowId>,
     counters: Vec<EactCounter>,
     len: usize,
+    /// Exact maximum raw counter value over the table. Maintained monotonically
+    /// on `add`/`set_counter_raw_at` and recomputed by scan when a counter
+    /// decreases (`reset`/`recompute_max`) — decrements only happen on the rare
+    /// mitigation path, so the scan stays off the per-record path.
+    max_raw: u64,
 }
 
 impl Default for FlatCounterTable {
@@ -62,6 +67,7 @@ impl FlatCounterTable {
             keys: vec![EMPTY; capacity],
             counters: vec![EactCounter::ZERO; capacity],
             len: 0,
+            max_raw: 0,
         }
     }
 
@@ -103,6 +109,7 @@ impl FlatCounterTable {
     pub fn add(&mut self, row: RowId, eact: Eact) -> EactCounter {
         let i = self.slot_for(row);
         self.counters[i].add(eact);
+        self.max_raw = self.max_raw.max(self.counters[i].raw());
         self.counters[i]
     }
 
@@ -112,6 +119,7 @@ impl FlatCounterTable {
     pub fn reset(&mut self, row: RowId) {
         let i = self.slot_for(row);
         self.counters[i] = EactCounter::ZERO;
+        self.recompute_max();
     }
 
     /// Removes every tracked row. Capacity is retained, so a table that has reached
@@ -120,6 +128,51 @@ impl FlatCounterTable {
         self.keys.fill(EMPTY);
         self.counters.fill(EactCounter::ZERO);
         self.len = 0;
+        self.max_raw = 0;
+    }
+
+    /// The maximum raw (Q7 fixed-point) counter value over every tracked row —
+    /// what PRAC's mitigation headroom is computed from.
+    #[inline]
+    pub fn max_raw(&self) -> u64 {
+        self.max_raw
+    }
+
+    /// Recomputes [`FlatCounterTable::max_raw`] exactly by scanning the table.
+    /// Callers that lower a counter through the raw slot API must call this
+    /// afterwards (batch kernels do it once per batch, after any reset).
+    pub fn recompute_max(&mut self) {
+        self.max_raw = self
+            .counters
+            .iter()
+            .zip(&self.keys)
+            .filter(|(_, &k)| k != EMPTY)
+            .map(|(c, _)| c.raw())
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// The slot for `row`, inserting it at zero first if absent. The returned
+    /// slot stays valid until another row is inserted (same-row operations
+    /// never move it), which is what lets a batch kernel probe once per run.
+    #[inline]
+    pub fn slot_of(&mut self, row: RowId) -> usize {
+        self.slot_for(row)
+    }
+
+    /// The raw counter value in `slot` (from [`FlatCounterTable::slot_of`]).
+    #[inline]
+    pub fn counter_raw_at(&self, slot: usize) -> u64 {
+        self.counters[slot].raw()
+    }
+
+    /// Stores `raw` into `slot`'s counter. The maximum is updated monotonically;
+    /// a caller that *lowers* a counter must follow up with
+    /// [`FlatCounterTable::recompute_max`].
+    #[inline]
+    pub fn set_counter_raw_at(&mut self, slot: usize, raw: u64) {
+        self.counters[slot] = EactCounter::from_raw(raw);
+        self.max_raw = self.max_raw.max(raw);
     }
 
     /// Iterates over the tracked `(row, counter)` pairs in unspecified order.

@@ -324,6 +324,167 @@ impl RowTracker for Graphene {
         mitigation
     }
 
+    fn record_batch(
+        &mut self,
+        rows: &[RowId],
+        eacts: &[Eact],
+        now: Cycle,
+        out: &mut Vec<MitigationRequest>,
+    ) {
+        debug_assert_eq!(rows.len(), eacts.len());
+        let threshold = self.config.internal_threshold;
+        let mut i = 0;
+        while i < rows.len() {
+            let row = rows[i];
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == row {
+                j += 1;
+            }
+            if j < rows.len() {
+                self.index.prefetch(rows[j]);
+            }
+            // Resolve one slot for the whole run: the match path probes the
+            // index once; the miss path replays the per-record claim attempts
+            // (each failed attempt spills that event's weight, exactly as
+            // `record` would, and leaves the index untouched — so under the
+            // summary engine the miss position from `locate` stays valid
+            // across attempts and the run still costs a single probe).
+            let mut k = i;
+            let slot = match self.engine {
+                EvictionEngine::Scan => match self.index.get(row) {
+                    Some(slot) => Some(slot),
+                    None => loop {
+                        if k == j {
+                            break None;
+                        }
+                        let eact = self.quantize(eacts[k]);
+                        match self.claim_slot_scan(row, eact) {
+                            Some(slot) => break Some(slot),
+                            None => k += 1,
+                        }
+                    },
+                },
+                EvictionEngine::Summary => match self.index.locate(row) {
+                    Ok(slot) => Some(slot),
+                    Err(position) => loop {
+                        if k == j {
+                            break None;
+                        }
+                        let eact = self.quantize(eacts[k]);
+                        match self.claim_slot_summary(row, eact, position) {
+                            Some(slot) => break Some(slot),
+                            None => k += 1,
+                        }
+                    },
+                },
+            };
+            let Some(slot) = slot else {
+                // The entire run went to the spillover counter.
+                i = j;
+                continue;
+            };
+
+            // Run-length aggregation: one weighted add when the run cannot
+            // cross the internal threshold, a per-event walk on the resolved
+            // slot (plain u64 arithmetic, no further probes) when it can.
+            let mut sum = 0u64;
+            for &e in &eacts[k..j] {
+                sum = sum.saturating_add(u64::from(self.quantize(e).raw()));
+            }
+            let start = self.table[slot].count.raw();
+            let end = start.saturating_add(sum);
+            // The summary's current count for the slot: equal to `start` on the
+            // match path, the evicted victim's old count on a claim (the claim
+            // defers its splice to the fold below), absent off the free list.
+            let summary_count = if self.engine == EvictionEngine::Summary {
+                self.summary.count_of(slot)
+            } else {
+                None
+            };
+            // Whether the per-record loop's splices would have moved the slot
+            // between buckets at least once. A moved slot sits at the LIFO head
+            // of its final bucket even when the final count equals the summary's
+            // current one — ties break by this order, so it must be reproduced.
+            let mut moved = false;
+            let final_raw = if (end >> CANONICAL_FRAC_BITS) < threshold {
+                // Counters only grow within a mitigation-free run, so if the
+                // end value stays below the threshold every prefix did too.
+                // Monotone counts mean a position change happens iff the final
+                // count differs from the summary's current one — exactly
+                // `set_count`'s semantics, so `moved` stays false.
+                end
+            } else {
+                // Per-event walk on the resolved slot (plain u64 arithmetic, no
+                // further probes): mitigation roll-backs make the counts
+                // non-monotonic, so several crossings can land inside one run
+                // and the slot can leave its bucket and return to it.
+                let mut raw = start;
+                let mut walk_summary = summary_count.unwrap_or(u64::MAX);
+                for &e in &eacts[k..j] {
+                    raw = raw.saturating_add(u64::from(self.quantize(e).raw()));
+                    if (raw >> CANONICAL_FRAC_BITS) >= threshold {
+                        raw = self.spillover.raw();
+                        self.mitigations += 1;
+                        out.push(MitigationRequest {
+                            aggressor: row,
+                            identified_at: now,
+                        });
+                    }
+                    if raw != walk_summary {
+                        walk_summary = raw;
+                        moved = true;
+                    }
+                }
+                raw
+            };
+            self.table[slot].count = EactCounter::from_raw(final_raw);
+            if self.engine == EvictionEngine::Summary {
+                // One splice for the whole run: intermediate counts are never
+                // observed, and the slot's final in-bucket position is the head
+                // whenever any per-record splice would have moved it.
+                if summary_count.is_some() {
+                    if moved {
+                        // Force the move-to-head even when the final count
+                        // matches the current bucket (`set_count` would
+                        // early-return and leave the slot mid-bucket).
+                        self.summary.detach(slot);
+                        self.summary.attach(slot, final_raw);
+                    } else {
+                        self.summary.set_count(slot, final_raw);
+                    }
+                } else {
+                    self.summary.attach(slot, final_raw);
+                }
+            }
+            i = j;
+        }
+    }
+
+    fn headroom(&self) -> u64 {
+        let max_raw = match self.engine {
+            EvictionEngine::Summary => self.summary.max().map_or(0, |(_, raw)| raw),
+            EvictionEngine::Scan => self
+                .table
+                .iter()
+                .filter(|e| e.valid)
+                .map(|e| e.count.raw())
+                .max()
+                .unwrap_or(0),
+        };
+        let threshold_raw = self
+            .config
+            .internal_threshold
+            .saturating_mul(u64::from(Eact::ONE.raw()));
+        // A counter mitigates on reaching `threshold_raw`. Fresh claims start
+        // at the spillover count, so the binding start point is the larger of
+        // the current maximum and the spillover; absorbing total weight W can
+        // raise any counter (and the spillover) by at most W, which makes
+        // W <= threshold_raw - 1 - max(max, spillover) provably safe.
+        threshold_raw
+            .saturating_sub(1)
+            .saturating_sub(max_raw.max(self.spillover.raw()))
+    }
+
     fn on_refresh_window(&mut self, _now: Cycle) {
         for e in &mut self.table {
             e.valid = false;

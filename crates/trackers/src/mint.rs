@@ -117,6 +117,21 @@ impl RowTracker for Mint {
         None
     }
 
+    // MINT keeps the default `record_batch` loop: `record` is already a few
+    // register updates (no table, no RNG — randomness is drawn in `on_rfm`),
+    // so there is nothing for run-length aggregation to amortize.
+
+    fn headroom(&self) -> u64 {
+        // `record` never returns a mitigation (MINT only mitigates under RFM,
+        // and batch stagers flush before every RFM), so any weight can be
+        // deferred.
+        u64::MAX
+    }
+
+    fn mitigates_on_rfm(&self) -> bool {
+        true
+    }
+
     fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
         let mitigation = self.sar.take().map(|aggressor| {
             self.mitigations += 1;

@@ -293,6 +293,148 @@ impl RowTracker for Mithril {
         None
     }
 
+    fn record_batch(
+        &mut self,
+        rows: &[RowId],
+        eacts: &[Eact],
+        _now: Cycle,
+        _out: &mut Vec<MitigationRequest>,
+    ) {
+        debug_assert_eq!(rows.len(), eacts.len());
+        let mut i = 0;
+        while i < rows.len() {
+            let row = rows[i];
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == row {
+                j += 1;
+            }
+            // Resolve one slot for the whole run. On a miss the per-record
+            // claim attempts are replayed exactly (each failed attempt spills
+            // that event's weight; the claiming attempt installs at
+            // spillover + eact, absorbing its own event) until one sticks.
+            let mut k = i;
+            let slot = match self.engine {
+                EvictionEngine::Scan => match self.index.get(row) {
+                    Some(slot) => Some(slot),
+                    None => loop {
+                        if k == j {
+                            break None;
+                        }
+                        let eact = self.quantize(eacts[k]);
+                        let mut count = self.spillover;
+                        count.add(eact);
+                        let mut first_invalid = usize::MAX;
+                        let mut min_idx = 0usize;
+                        let mut min_raw = u64::MAX;
+                        for (s, e) in self.table.iter().enumerate() {
+                            if !e.valid {
+                                first_invalid = s;
+                                break;
+                            }
+                            if e.count.raw() < min_raw {
+                                min_raw = e.count.raw();
+                                min_idx = s;
+                            }
+                        }
+                        if first_invalid != usize::MAX {
+                            self.install(first_invalid, row, count);
+                            k += 1;
+                            break Some(first_invalid);
+                        } else if min_raw <= self.spillover.raw() {
+                            self.index.remove(self.table[min_idx].row);
+                            self.install(min_idx, row, count);
+                            k += 1;
+                            break Some(min_idx);
+                        }
+                        self.spillover.add(eact);
+                        k += 1;
+                    },
+                },
+                EvictionEngine::Summary => match self.index.locate(row) {
+                    Ok(slot) => Some(slot),
+                    Err(position) => loop {
+                        // `position` stays valid across failed attempts: a
+                        // failed claim only grows the spillover counter.
+                        if k == j {
+                            break None;
+                        }
+                        let eact = self.quantize(eacts[k]);
+                        let mut count = self.spillover;
+                        count.add(eact);
+                        if let Some(free) = self.free_slots.pop() {
+                            let slot = free as usize;
+                            self.index.insert_at(position, row, slot);
+                            self.table[slot] = Entry {
+                                row,
+                                count,
+                                valid: true,
+                            };
+                            self.summary.attach(slot, count.raw());
+                            k += 1;
+                            break Some(slot);
+                        }
+                        match self
+                            .summary
+                            .evict_min_if_at_most(self.spillover.raw(), count.raw())
+                        {
+                            Some(slot) => {
+                                debug_assert!(
+                                    self.free_slots.is_empty(),
+                                    "eviction considered while invalid slots remain"
+                                );
+                                self.index.insert_at(position, row, slot);
+                                self.index.remove(self.table[slot].row);
+                                self.table[slot] = Entry {
+                                    row,
+                                    count,
+                                    valid: true,
+                                };
+                                k += 1;
+                                break Some(slot);
+                            }
+                            None => {
+                                self.spillover.add(eact);
+                                k += 1;
+                            }
+                        }
+                    },
+                },
+            };
+            let Some(slot) = slot else {
+                // The entire run went to the spillover counter.
+                i = j;
+                continue;
+            };
+
+            // Run-length aggregation of the remaining events: Mithril never
+            // mitigates in `record`, so the whole tail collapses into one
+            // weighted add and (under the summary engine) one splice.
+            let mut sum = 0u64;
+            for &e in &eacts[k..j] {
+                sum = sum.saturating_add(u64::from(self.quantize(e).raw()));
+            }
+            if sum > 0 {
+                let final_raw = self.table[slot].count.raw().saturating_add(sum);
+                self.table[slot].count = EactCounter::from_raw(final_raw);
+                if self.engine == EvictionEngine::Summary {
+                    self.summary.set_count(slot, final_raw);
+                }
+            }
+            i = j;
+        }
+    }
+
+    fn headroom(&self) -> u64 {
+        // `record` never returns a mitigation (Mithril only mitigates under
+        // RFM, and batch stagers flush before every RFM), so any weight can be
+        // deferred.
+        u64::MAX
+    }
+
+    fn mitigates_on_rfm(&self) -> bool {
+        true
+    }
+
     fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
         let (slot, max_raw) = match self.engine {
             EvictionEngine::Scan => {

@@ -115,12 +115,71 @@ pub trait RowTracker: fmt::Debug + Send {
     /// immediately (memory-controller trackers only).
     fn record(&mut self, row: RowId, eact: Eact, now: Cycle) -> Option<MitigationRequest>;
 
+    /// Records a batch of activations in stream order, appending any mitigation
+    /// requests to `out`.
+    ///
+    /// `rows` and `eacts` are parallel arrays; every event shares the single
+    /// timestamp `now` (batch callers stage events and flush them together, so
+    /// the per-event timestamps have already collapsed to one value by the time
+    /// the tracker sees them). The contract is *semantic equivalence to the
+    /// per-record loop*: the mitigation sequence appended to `out` and the
+    /// tracker state afterwards must be identical to calling
+    /// [`RowTracker::record`] once per event with the same `now`.
+    ///
+    /// Specialized implementations exploit the batch shape — run-length
+    /// aggregating consecutive same-row events into one weighted counter
+    /// update with a single row→slot probe — but may never reorder events
+    /// across distinct rows (Misra-Gries claim/eviction decisions depend on
+    /// the interleaving).
+    fn record_batch(
+        &mut self,
+        rows: &[RowId],
+        eacts: &[Eact],
+        now: Cycle,
+        out: &mut Vec<MitigationRequest>,
+    ) {
+        for (&row, &eact) in rows.iter().zip(eacts) {
+            if let Some(m) = self.record(row, eact, now) {
+                out.push(m);
+            }
+        }
+    }
+
+    /// A lower bound on the total raw [`Eact`] weight (Q7 fixed point, any row
+    /// mix) this tracker can absorb through [`RowTracker::record`] with *zero*
+    /// possibility of returning a mitigation request.
+    ///
+    /// Batch stagers use this to defer records: as long as the accumulated
+    /// staged weight stays within the headroom reported when staging began, the
+    /// deferred span is provably mitigation-free and can be flushed later as
+    /// one [`RowTracker::record_batch`] call without perturbing mitigation
+    /// emission order. Trackers whose `record` never mitigates directly
+    /// (in-DRAM trackers that only act under RFM) return `u64::MAX`; trackers
+    /// that consume randomness per record (PARA) must return 0 so every event
+    /// takes the per-record path. The default is the conservative 0.
+    fn headroom(&self) -> u64 {
+        0
+    }
+
     /// Called when an RFM command is executed; in-DRAM trackers mitigate here.
     ///
     /// The default implementation returns `None` (memory-controller trackers ignore RFM).
     fn on_rfm(&mut self, now: Cycle) -> Option<MitigationRequest> {
         let _ = now;
         None
+    }
+
+    /// Whether [`RowTracker::on_rfm`] observes tracker state (in-DRAM trackers
+    /// that mitigate under RFM).
+    ///
+    /// Batch stagers flush staged records before every RFM only when this is
+    /// `true`; memory-controller trackers whose `on_rfm` is the default no-op
+    /// keep their staged spans across RFM/REF commands, which is what lets
+    /// staging amortize (REF fires every `tREFI`, far more often than refresh
+    /// windows). Any tracker overriding [`RowTracker::on_rfm`] must override
+    /// this to return `true`. The default matches the default `on_rfm`.
+    fn mitigates_on_rfm(&self) -> bool {
+        false
     }
 
     /// Called at the end of every refresh window (`tREFW`); trackers that reset
