@@ -20,26 +20,45 @@
 //!     Open-loop ingestion benchmark: decode → route → epoch loop → telemetry,
 //!     reporting million records/s end to end.
 //!
-//! trace ingest --in FILE [--config NAME] [--resync] [--shard-threads N]
-//!              [--window N] [--verdict FILE] [--expect FILE]
+//! trace ingest --in FILE [--config NAME] [--resync] [--follow]
+//!              [--shard-threads N] [--window N] [--idle-timeout MS]
+//!              [--backoff-initial MS] [--backoff-max MS] [--verdict FILE]
+//!              [--expect FILE]
 //!     Open-loop ingestion with a verdict report. --resync survives stream
 //!     corruption (degraded verdict + fault ledger) instead of aborting.
-//!     --expect byte-compares the verdict against a reference file and exits
-//!     with EXIT_VERDICT_MISMATCH on any difference.
+//!     --follow streams a growing file/FIFO under the configurable
+//!     backoff/idle policy. --expect byte-compares the verdict against a
+//!     reference file and exits with EXIT_VERDICT_MISMATCH on any difference.
 //!
 //! trace corrupt --in FILE --out FILE [--seed N]
 //!     Applies the seeded deterministic fault plan (bit flips, truncation,
 //!     frame duplication/reorder) to a recorded trace — the reproducible
 //!     adversary for resync/daemon testing.
 //!
-//! trace daemon --in FILE [--config NAME] [--resync] [--follow] [--resume]
-//!              [--checkpoint FILE] [--checkpoint-every N] [--window N]
-//!              [--max-lag N] [--shard-threads N] [--verdict FILE] [--expect FILE]
-//!     Supervised ingestion: periodic atomic checkpoints, bounded-lag telemetry
-//!     shedding, contained shard panics (quarantine). --follow rides out a
-//!     slow/stalling source with capped exponential backoff; --resume restarts
-//!     after a crash by deterministic prefix re-execution validated against the
-//!     last checkpoint. The verdict always uses the extended (v2) schema.
+//! trace daemon (--in FILE | --listen tcp://ADDR|unix://PATH) [--config NAME]
+//!              [--resync] [--follow] [--resume] [--checkpoint FILE]
+//!              [--checkpoint-every N] [--window N] [--max-lag N]
+//!              [--shard-threads N] [--idle-timeout MS] [--backoff-initial MS]
+//!              [--backoff-max MS] [--verdict FILE] [--expect FILE]
+//!     Supervised ingestion: periodic durable checkpoints, bounded-lag
+//!     telemetry shedding, contained shard panics (quarantine). --follow rides
+//!     out a slow/stalling source with capped exponential backoff; --resume
+//!     restarts after a crash by deterministic prefix re-execution validated
+//!     against the last checkpoint. --listen accepts producers over TCP or a
+//!     Unix-domain socket instead of reading a file: sessions resume from the
+//!     daemon's acked offset across reconnects, and SIGTERM drains gracefully
+//!     (finish the in-flight batch, final checkpoint, verdict, protocol
+//!     goodbye). The verdict always uses the extended (v2) schema.
+//!
+//! trace send --in FILE --to tcp://ADDR|unix://PATH [--no-retry] [--follow]
+//!            [--chunk-bytes N] [--ack-window N] [--max-sessions N]
+//!            [--idle-timeout MS] [--backoff-initial MS] [--backoff-max MS]
+//!            [--fault-seed N]
+//!     Streams a recorded trace (or FIFO with --follow) to a listening daemon,
+//!     reconnecting with capped backoff and resuming from the daemon's acked
+//!     offset unless --no-retry. --fault-seed injects a seeded connection-fault
+//!     plan (disconnects, stalls, short writes, duplicate tails) for hostile-
+//!     network testing.
 //! ```
 //!
 //! `--config` takes a named configuration (`unprotected`, `graphene-impress-p`,
@@ -54,18 +73,29 @@
 //! them: [`EXIT_OK`] (0), [`EXIT_USAGE`] (2), [`EXIT_IO`] (3, the medium
 //! failed), [`EXIT_CORRUPT`] (4, the stream content is damaged — strict-mode
 //! decode or mapping errors, or a refused resume), [`EXIT_VERDICT_MISMATCH`]
-//! (5, `--expect` diff failed) and [`EXIT_PANIC`] (6, internal panic).
+//! (5, `--expect` diff failed), [`EXIT_PANIC`] (6, internal panic) and
+//! [`EXIT_TRANSPORT`] (7, `trace send` could not deliver the stream — the
+//! connection failed after retries).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::time::Instant;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use impress_bench::{named_configuration, record_workload_trace, CONFIGURATION_NAMES};
-use impress_sim::daemon::{supervise, Checkpoint, DaemonOptions};
+use impress_sim::daemon::{supervise, write_checkpoint_durable, Checkpoint, DaemonOptions};
 use impress_sim::{Configuration, System, SystemConfig, TraceRunner, VerdictReport};
 use impress_workloads::codec::{DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter};
-use impress_workloads::faults::{apply_plan, FaultPlan, FrameMap};
+use impress_workloads::faults::{
+    apply_plan, ConnFaultPlan, ConnFaultState, FaultPlan, FaultTransport, FrameMap,
+};
 use impress_workloads::source::{FollowPolicy, FollowSource, ReadSource, SliceSource};
+use impress_workloads::transport::{
+    send_stream, send_to, Endpoint, FileInput, Listener, ReaderInput, SendInput, SendOptions,
+    SendOutcome, SocketSource, WireLink,
+};
 use impress_workloads::WorkloadMix;
 
 /// Default seed, matching `ExperimentRunner`'s.
@@ -85,6 +115,9 @@ pub const EXIT_CORRUPT: i32 = 4;
 pub const EXIT_VERDICT_MISMATCH: i32 = 5;
 /// An internal panic was caught at the top level.
 pub const EXIT_PANIC: i32 = 6;
+/// `trace send` could not deliver the stream: the connection failed after
+/// retries (or immediately with `--no-retry`).
+pub const EXIT_TRANSPORT: i32 = 7;
 
 fn usage() -> ! {
     eprintln!(
@@ -93,12 +126,17 @@ fn usage() -> ! {
          \x20      trace replay --in FILE [--config NAME] [--shard-threads N] [--verdict FILE]\n\
          \x20      trace throughput (--in FILE | --workload W) [--config NAME[,NAME...]|all] \
          [--records N] [--shard-threads N] [--window N]\n\
-         \x20      trace ingest --in FILE [--config NAME] [--resync] [--shard-threads N] \
-         [--window N] [--verdict FILE] [--expect FILE]\n\
+         \x20      trace ingest --in FILE [--config NAME] [--resync] [--follow] \
+         [--shard-threads N] [--window N] [--idle-timeout MS] [--backoff-initial MS] \
+         [--backoff-max MS] [--verdict FILE] [--expect FILE]\n\
          \x20      trace corrupt --in FILE --out FILE [--seed N]\n\
-         \x20      trace daemon --in FILE [--config NAME] [--resync] [--follow] [--resume] \
-         [--checkpoint FILE] [--checkpoint-every N] [--window N] [--max-lag N] \
-         [--shard-threads N] [--verdict FILE] [--expect FILE]"
+         \x20      trace daemon (--in FILE | --listen tcp://ADDR|unix://PATH) [--config NAME] \
+         [--resync] [--follow] [--resume] [--checkpoint FILE] [--checkpoint-every N] \
+         [--window N] [--max-lag N] [--shard-threads N] [--idle-timeout MS] \
+         [--backoff-initial MS] [--backoff-max MS] [--verdict FILE] [--expect FILE]\n\
+         \x20      trace send --in FILE --to tcp://ADDR|unix://PATH [--no-retry] [--follow] \
+         [--chunk-bytes N] [--ack-window N] [--max-sessions N] [--idle-timeout MS] \
+         [--backoff-initial MS] [--backoff-max MS] [--fault-seed N]"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -131,6 +169,24 @@ impl Args {
         let name = self.get("--config").unwrap_or("unprotected");
         named_configuration(name)
             .unwrap_or_else(|| panic!("unknown configuration {name:?} (see --help)"))
+    }
+
+    /// Follow/reconnect policy from `--idle-timeout`, `--backoff-initial` and
+    /// `--backoff-max` (all in milliseconds), defaulting to
+    /// [`FollowPolicy::default`]'s 5 s / 5 ms / 200 ms.
+    fn follow_policy(&self) -> FollowPolicy {
+        let d = FollowPolicy::default();
+        FollowPolicy {
+            initial_backoff: Duration::from_millis(
+                self.get_u64("--backoff-initial", d.initial_backoff.as_millis() as u64),
+            ),
+            max_backoff: Duration::from_millis(
+                self.get_u64("--backoff-max", d.max_backoff.as_millis() as u64),
+            ),
+            idle_limit: Duration::from_millis(
+                self.get_u64("--idle-timeout", d.idle_limit.as_millis() as u64),
+            ),
+        }
     }
 }
 
@@ -332,14 +388,26 @@ fn cmd_ingest(args: &Args) -> io::Result<()> {
         DecodeMode::Strict
     };
 
-    let bytes = read_bytes(input)?;
     let runner = TraceRunner::new()
         .with_shard_threads(shard_threads)
         .with_window_records(window);
-    let report = runner.ingest(
-        TraceReader::with_mode(SliceSource::new(&bytes), mode)?,
-        &configuration,
-    )?;
+    let report = if args.has("--follow") {
+        // Stream a growing file or FIFO, riding out stalls under the
+        // CLI-configured backoff/idle policy instead of buffering up front.
+        let inner: Box<dyn Read> = if input == "-" {
+            Box::new(io::stdin().lock())
+        } else {
+            Box::new(BufReader::new(File::open(input)?))
+        };
+        let follow = FollowSource::new(ReadSource::new(inner), args.follow_policy());
+        runner.ingest(TraceReader::with_mode(follow, mode)?, &configuration)?
+    } else {
+        let bytes = read_bytes(input)?;
+        runner.ingest(
+            TraceReader::with_mode(SliceSource::new(&bytes), mode)?,
+            &configuration,
+        )?
+    };
     eprintln!(
         "trace: ingested {} records of {} under {}: outcome {}, {} fault entries, \
          records_lost <= {}",
@@ -384,16 +452,36 @@ fn cmd_corrupt(args: &Args) -> io::Result<()> {
     Ok(())
 }
 
-/// Writes a checkpoint atomically (temp file + rename), so a crash mid-write
-/// never leaves a torn resume point.
-fn write_checkpoint(path: &str, cp: &Checkpoint) -> io::Result<()> {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, cp.to_json())?;
-    std::fs::rename(&tmp, path)
+/// Set by the SIGTERM handler; a listening daemon polls it to drain
+/// gracefully (finish the in-flight batch, final checkpoint, verdict,
+/// protocol goodbye to the connected producer).
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Binds SIGTERM to the drain flag. Raw `signal(2)` keeps the binary free of
+/// new dependencies; the handler only stores to an atomic, and every blocking
+/// operation on the drain path uses short poll timeouts, so `SA_RESTART`
+/// semantics are irrelevant.
+fn install_sigterm_drain() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
 }
 
 fn cmd_daemon(args: &Args) -> io::Result<()> {
-    let input = args.get("--in").unwrap_or_else(|| usage());
+    let listen = args.get("--listen");
+    let input = match (args.get("--in"), listen) {
+        (Some(path), None) => Some(path),
+        (None, Some(_)) => None,
+        _ => usage(),
+    };
     let configuration = args.configuration();
     let checkpoint_path = args.get("--checkpoint").map(str::to_string);
 
@@ -406,7 +494,10 @@ fn cmd_daemon(args: &Args) -> io::Result<()> {
     let options = DaemonOptions {
         window_records: args.get_u64("--window", 1 << 16),
         checkpoint_every: args.get_u64("--checkpoint-every", 1 << 18),
-        max_lag_windows: args.get_u64("--max-lag", 0) as usize,
+        // A socket producer can outpace the simulator indefinitely, so a
+        // listening daemon bounds telemetry lag by default (shedding telemetry
+        // via the watchdog — never records).
+        max_lag_windows: args.get_u64("--max-lag", if listen.is_some() { 64 } else { 0 }) as usize,
         shard_threads: args.get_u64("--shard-threads", 1) as usize,
         resync: args.has("--resync"),
         resume_from,
@@ -414,24 +505,40 @@ fn cmd_daemon(args: &Args) -> io::Result<()> {
     };
 
     let mut on_checkpoint = |cp: &Checkpoint| match checkpoint_path.as_deref() {
-        Some(path) => write_checkpoint(path, cp),
+        Some(path) => write_checkpoint_durable(Path::new(path), cp),
         None => Ok(()),
     };
-    let reader: Box<dyn Read> = if input == "-" {
-        Box::new(io::stdin().lock())
+    let report = if let Some(listen) = listen {
+        let endpoint = Endpoint::parse(listen)?;
+        let listener = Listener::bind(&endpoint)?;
+        eprintln!("trace: daemon listening on {}", listener.local_endpoint()?);
+        install_sigterm_drain();
+        let mut policy = args.follow_policy();
+        if args.get("--idle-timeout").is_none() {
+            // A file follower's 5 s idle default is far too impatient for a
+            // network listener waiting on producers to dial in or return.
+            policy.idle_limit = Duration::from_secs(30);
+        }
+        let source = SocketSource::new(listener, policy).with_drain_flag(&DRAIN);
+        supervise(source, &configuration, &options, &mut on_checkpoint)?
     } else {
-        Box::new(BufReader::new(File::open(input)?))
-    };
-    let report = if args.has("--follow") {
-        let follow = FollowSource::new(ReadSource::new(reader), FollowPolicy::default());
-        supervise(follow, &configuration, &options, &mut on_checkpoint)?
-    } else {
-        supervise(
-            ReadSource::new(reader),
-            &configuration,
-            &options,
-            &mut on_checkpoint,
-        )?
+        let input = input.expect("checked above");
+        let reader: Box<dyn Read> = if input == "-" {
+            Box::new(io::stdin().lock())
+        } else {
+            Box::new(BufReader::new(File::open(input)?))
+        };
+        if args.has("--follow") {
+            let follow = FollowSource::new(ReadSource::new(reader), args.follow_policy());
+            supervise(follow, &configuration, &options, &mut on_checkpoint)?
+        } else {
+            supervise(
+                ReadSource::new(reader),
+                &configuration,
+                &options,
+                &mut on_checkpoint,
+            )?
+        }
     };
     eprintln!(
         "trace: daemon ingested {} records of {} under {}: outcome {}, {} windows retained, \
@@ -456,6 +563,96 @@ fn cmd_daemon(args: &Args) -> io::Result<()> {
     check_expected(args, &json)
 }
 
+/// Dials the daemon for each session, with seeded connection faults layered
+/// on when `--fault-seed` is given.
+fn run_send<I: SendInput>(
+    input: &mut I,
+    endpoint: &Endpoint,
+    options: &SendOptions,
+    fault_seed: Option<u64>,
+    payload_len: u64,
+) -> io::Result<SendOutcome> {
+    match fault_seed {
+        None => send_to(endpoint, input, options),
+        Some(seed) => {
+            let plan = ConnFaultPlan::seeded(seed, payload_len);
+            eprintln!(
+                "trace: injecting {} seeded connection fault(s) (seed {seed})",
+                plan.ops.len()
+            );
+            let state = ConnFaultState::shared(&plan);
+            let ep = endpoint.clone();
+            send_stream(
+                input,
+                move || {
+                    WireLink::connect(&ep).map(|link| FaultTransport::new(link, Arc::clone(&state)))
+                },
+                options,
+            )
+        }
+    }
+}
+
+fn cmd_send(args: &Args) -> io::Result<()> {
+    let input = args.get("--in").unwrap_or_else(|| usage());
+    let to = args.get("--to").unwrap_or_else(|| usage());
+    let endpoint = Endpoint::parse(to)?;
+    let defaults = SendOptions::default();
+    let options = SendOptions {
+        policy: args.follow_policy(),
+        retry: !args.has("--no-retry"),
+        data_bytes: args.get_u64("--chunk-bytes", defaults.data_bytes as u64) as usize,
+        ack_window: args.get_u64("--ack-window", defaults.ack_window),
+        follow: args.has("--follow"),
+        max_sessions: args.get_u64("--max-sessions", defaults.max_sessions),
+    };
+    let fault_seed = args.get("--fault-seed").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--fault-seed expects an integer, got {v:?}"))
+    });
+
+    // Input open errors are I/O failures (exit 3); everything after this
+    // point that fails is a transport failure (exit 7).
+    let result = if input == "-" {
+        let mut src = ReaderInput::new(io::stdin().lock());
+        run_send(&mut src, &endpoint, &options, fault_seed, 1 << 20)
+    } else if std::fs::metadata(input)?.is_file() {
+        let payload_len = std::fs::metadata(input)?.len();
+        let mut src = FileInput::open(Path::new(input))?;
+        run_send(&mut src, &endpoint, &options, fault_seed, payload_len)
+    } else {
+        // FIFOs and other non-seekable inputs stream forward-only; resume
+        // still works as long as the daemon never asks to rewind.
+        let mut src = ReaderInput::new(BufReader::new(File::open(input)?));
+        run_send(&mut src, &endpoint, &options, fault_seed, 1 << 20)
+    };
+    match result {
+        Ok(outcome) => {
+            eprintln!(
+                "trace: sent {} byte(s) acked over {} session(s), {} byte(s) retransmitted{}{}",
+                outcome.acked,
+                outcome.sessions,
+                outcome.retransmitted,
+                if outcome.goodbye {
+                    ", daemon drained (goodbye)"
+                } else {
+                    ""
+                },
+                if outcome.complete {
+                    ""
+                } else {
+                    " — stream NOT fully delivered"
+                },
+            );
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("trace: transport error: {e}");
+            std::process::exit(EXIT_TRANSPORT);
+        }
+    }
+}
+
 /// Maps an error to its exit code by failure class.
 fn exit_code_for(e: &io::Error) -> i32 {
     match e.kind() {
@@ -478,6 +675,7 @@ fn main() {
         "ingest" => cmd_ingest(&args),
         "corrupt" => cmd_corrupt(&args),
         "daemon" => cmd_daemon(&args),
+        "send" => cmd_send(&args),
         _ => usage(),
     });
     match outcome {

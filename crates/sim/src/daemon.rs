@@ -28,7 +28,10 @@
 //! tolerance and [`DecodeMode::Resync`] for corruption tolerance, this is the
 //! `trace daemon` CLI's engine.
 
+use std::fs::File;
 use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use impress_dram::stats::ChannelStats;
@@ -111,6 +114,37 @@ impl Checkpoint {
             elapsed_cycles: field("elapsed_cycles")?,
         })
     }
+}
+
+/// Writes `cp` to `path` durably: the JSON lands in a sibling `.tmp` file
+/// which is fsynced *before* the atomic rename, and the parent directory is
+/// fsynced *after* — so a host crash at any instant leaves either the previous
+/// checkpoint or the new one, never a torn or vanished file.
+///
+/// # Errors
+///
+/// Propagates any I/O error; on failure the temp file is removed so retries
+/// and crash-recovery never mistake it for a checkpoint.
+pub fn write_checkpoint_durable(path: &Path, cp: &Checkpoint) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let write = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(cp.to_json().as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
+    // Durability of the rename itself requires syncing the directory entry.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
 }
 
 /// Knobs for [`supervise`].
@@ -305,6 +339,7 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
                     for f in reader.take_faults() {
                         ledger.push(LedgerEntry::Decode(f));
                     }
+                    ledger.absorb_transport(reader.take_transport_events());
                     if options.checkpoint_every > 0
                         && records - last_checkpoint >= options.checkpoint_every
                     {
@@ -345,6 +380,7 @@ pub(crate) fn supervise_with_hook<S: TraceSource>(
             for f in reader.take_faults() {
                 ledger.push(LedgerEntry::Decode(f));
             }
+            ledger.absorb_transport(reader.take_transport_events());
             if reader.truncated() {
                 ledger.push(LedgerEntry::TruncatedStream {
                     offset: reader.byte_offset(),
@@ -434,6 +470,58 @@ mod tests {
             .unwrap();
         }
         w.finish().unwrap()
+    }
+
+    #[test]
+    fn durable_checkpoint_roundtrips_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("impress-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("daemon.ckpt");
+        let cp = Checkpoint {
+            records: 123_456,
+            source_offset: 7_890,
+            windows: 12,
+            records_lost: 3,
+            elapsed_cycles: 99,
+        };
+        write_checkpoint_durable(&path, &cp).unwrap();
+        // Overwrite with a later checkpoint: rename must replace atomically.
+        let cp2 = Checkpoint {
+            records: 223_456,
+            ..cp
+        };
+        write_checkpoint_durable(&path, &cp2).unwrap();
+        let back = Checkpoint::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.records, 223_456);
+        assert_eq!(back.source_offset, 7_890);
+        // The staging file must never survive a successful write.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("daemon.ckpt")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_checkpoint_failure_removes_temp_file() {
+        let dir = std::env::temp_dir().join(format!("impress-ckpt-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Target is a directory: the rename must fail, and the temp file must
+        // not be left behind to be mistaken for a checkpoint later.
+        let path = dir.join("blocked");
+        std::fs::create_dir_all(&path).unwrap();
+        let cp = Checkpoint {
+            records: 1,
+            source_offset: 2,
+            windows: 0,
+            records_lost: 0,
+            elapsed_cycles: 0,
+        };
+        assert!(write_checkpoint_durable(&path, &cp).is_err());
+        assert!(!dir.join("blocked.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn opts() -> DaemonOptions {

@@ -33,7 +33,7 @@ pub mod trace_runner;
 
 pub use config::SystemConfig;
 pub use core_model::{CoreModel, IssueBound};
-pub use daemon::{supervise, Checkpoint, DaemonOptions};
+pub use daemon::{supervise, write_checkpoint_durable, Checkpoint, DaemonOptions};
 pub use llc::{Llc, LlcConfig, LlcOutcome};
 pub use metrics::{geometric_mean, PerformanceResult};
 pub use runner::{Configuration, ExperimentRunner, NormalizedResult, SweepOptions, SweepResults};

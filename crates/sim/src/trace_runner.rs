@@ -23,7 +23,7 @@ use impress_dram::stats::ChannelStats;
 use impress_dram::timing::Cycle;
 use impress_memctrl::{ChannelShard, MemoryController};
 use impress_workloads::codec::{IngestFault, TraceMeta, TraceReader, TraceRecord};
-use impress_workloads::source::{AccessSource, TraceSource};
+use impress_workloads::source::{AccessSource, TraceSource, TransportEvent};
 use impress_workloads::MemoryAccess;
 
 use crate::runner::{Configuration, SweepOptions};
@@ -180,6 +180,13 @@ pub enum LedgerEntry {
         /// Source byte offset the checkpoint pinned.
         offset: u64,
     },
+    /// A transport-layer event from a socket source (reconnect, disconnect,
+    /// duplicate delivery, graceful drain). Informational: the protocol's
+    /// dedup-by-offset and resume guarantee no records are lost to these, so
+    /// they never degrade the verdict — but they *are* timing-dependent, so
+    /// verdict diffs filter them alongside resume markers
+    /// (`grep -v '"kind": "conn-'`).
+    Transport(TransportEvent),
 }
 
 impl LedgerEntry {
@@ -220,6 +227,31 @@ impl LedgerEntry {
             LedgerEntry::Resume { records, offset } => {
                 format!("{{\"kind\": \"resume\", \"records\": {records}, \"offset\": {offset}}}")
             }
+            LedgerEntry::Transport(event) => match event {
+                TransportEvent::SessionResumed { session, offset } => format!(
+                    "{{\"kind\": \"conn-resume\", \"session\": {session}, \"offset\": {offset}}}"
+                ),
+                TransportEvent::Disconnected {
+                    session,
+                    offset,
+                    reason,
+                } => format!(
+                    "{{\"kind\": \"conn-disconnect\", \"session\": {session}, \
+                     \"offset\": {offset}, \"reason\": \"{}\"}}",
+                    reason.label()
+                ),
+                TransportEvent::DuplicateDropped {
+                    session,
+                    offset,
+                    bytes,
+                } => format!(
+                    "{{\"kind\": \"conn-duplicate\", \"session\": {session}, \
+                     \"offset\": {offset}, \"bytes\": {bytes}}}"
+                ),
+                TransportEvent::Drained { offset } => {
+                    format!("{{\"kind\": \"conn-drain\", \"offset\": {offset}}}")
+                }
+            },
         }
     }
 }
@@ -235,12 +267,14 @@ pub struct FaultLedger {
 }
 
 impl FaultLedger {
-    /// True when nothing degraded the run (resume markers alone keep a run
-    /// clean — a validated resume is not a fault).
+    /// True when nothing degraded the run. Resume markers and transport
+    /// events alone keep a run clean — a validated resume is not a fault, and
+    /// transport events record zero-loss protocol recoveries (the socket
+    /// layer's dedup and offset-resume guarantee no records were dropped).
     pub fn is_clean(&self) -> bool {
         self.entries
             .iter()
-            .all(|e| matches!(e, LedgerEntry::Resume { .. }))
+            .all(|e| matches!(e, LedgerEntry::Resume { .. } | LedgerEntry::Transport(_)))
     }
 
     /// Conservative upper bound on records lost across the run.
@@ -287,6 +321,14 @@ impl FaultLedger {
         }
         if let Some(offset) = truncated_at {
             self.push(LedgerEntry::TruncatedStream { offset });
+        }
+    }
+
+    /// Absorbs transport-layer events drained from a socket source, in
+    /// arrival order.
+    pub fn absorb_transport(&mut self, events: Vec<TransportEvent>) {
+        for event in events {
+            self.push(LedgerEntry::Transport(event));
         }
     }
 }
@@ -604,6 +646,7 @@ impl TraceRunner {
             Cycle,
             Vec<WindowTelemetry>,
             Vec<IngestFault>,
+            Vec<TransportEvent>,
             Option<u64>,
         );
         let tasks_ref = &tasks;
@@ -690,13 +733,15 @@ impl TraceRunner {
                     ));
                 }
                 let faults = reader.take_faults();
+                let transport = reader.take_transport_events();
                 let truncated_at = reader.truncated().then(|| reader.byte_offset());
-                Ok((records, now, windows, faults, truncated_at))
+                Ok((records, now, windows, faults, transport, truncated_at))
             },
         );
-        let (records, elapsed_cycles, windows, faults, truncated_at) = result?;
+        let (records, elapsed_cycles, windows, faults, transport, truncated_at) = result?;
         let mut ledger = FaultLedger::default();
         ledger.absorb_decoder(faults, truncated_at);
+        ledger.absorb_transport(transport);
 
         let memory = ChannelStats::merged(
             tasks

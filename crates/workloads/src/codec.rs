@@ -453,6 +453,13 @@ impl<S: TraceSource> TraceReader<S> {
         std::mem::take(&mut self.faults)
     }
 
+    /// Drains transport-layer events from the underlying source (empty for
+    /// file-backed sources; socket sources report reconnects, disconnects,
+    /// deduped duplicates, and graceful drains here).
+    pub fn take_transport_events(&mut self) -> Vec<crate::source::TransportEvent> {
+        self.source.take_transport_events()
+    }
+
     /// Whether the stream ended inside a structure (resync mode only).
     pub fn truncated(&self) -> bool {
         self.truncated

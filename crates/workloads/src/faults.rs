@@ -21,14 +21,27 @@
 //! ([`ExpectedImpact`]) that tests use to check the resync decoder's ledger
 //! against ground truth: every record the plan damages must be covered by the
 //! ledger's conservative `records_lost` bound.
+//!
+//! A second family of faults targets the *network* between a `trace send`
+//! client and a socket daemon rather than the byte stream itself: a
+//! [`ConnFaultPlan`] of [`ConnFaultOp`]s (disconnects, stalls, short writes,
+//! duplicate delivery) drives a [`FaultTransport`] wrapping the real
+//! [`WireLink`](crate::transport::WireLink). Because the transport protocol
+//! dedups by offset and resumes from the server's acked position, a retrying
+//! client must deliver the byte-identical stream despite any such plan; for a
+//! non-retrying client, [`ConnFaultPlan::expected_no_retry`] reduces the first
+//! connection cut to an equivalent [`FaultOp::Truncate`] oracle.
 
 use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::codec::{FRAME_MAGIC, FRAME_RECORDS, RECORD_BYTES, TRACE_MAGIC};
-use crate::source::TraceSource;
+use crate::source::{TraceSource, TransportEvent};
+use crate::transport::{ClientLink, ServerReply, WireLink, DATA_HEADER};
 
 /// Byte layout of one frame region inside an encoded trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -527,6 +540,10 @@ impl<S: TraceSource> TraceSource for FaultInjector<S> {
         }
         Ok(Some(&self.out))
     }
+
+    fn take_transport_events(&mut self) -> Vec<TransportEvent> {
+        self.inner.take_transport_events()
+    }
 }
 
 /// Applies `plan` to an in-memory trace, returning the corrupted bytes.
@@ -545,6 +562,322 @@ pub fn apply_plan(bytes: &[u8], plan: &FaultPlan) -> io::Result<Vec<u8>> {
         out.extend_from_slice(chunk);
     }
     Ok(out)
+}
+
+/// One injected connection-level fault, positioned in *payload* byte
+/// coordinates (absolute offsets into the trace stream being sent, not wire
+/// bytes). Each op fires at most once — on the first DATA frame whose payload
+/// range covers `at` — and the fired state persists across reconnects, so a
+/// retrying client faces each fault exactly once per plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFaultOp {
+    /// Drops the connection before the covering frame is sent.
+    Disconnect {
+        /// Payload offset at which the connection dies.
+        at: u64,
+    },
+    /// Sleeps `millis` before sending the covering frame (the connection
+    /// survives; the server sees a quiet producer).
+    StallConn {
+        /// Payload offset at which the stall occurs.
+        at: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Writes only the first `keep` wire bytes of the covering frame, then
+    /// drops the connection — the server discards the incomplete frame.
+    ShortWrite {
+        /// Payload offset of the victim frame.
+        at: u64,
+        /// Wire bytes to emit before cutting (clamped below the frame length).
+        keep: u32,
+    },
+    /// Sends the covering frame twice back to back; the server's
+    /// dedup-by-offset must drop the second copy.
+    DuplicateTail {
+        /// Payload offset of the duplicated frame.
+        at: u64,
+    },
+}
+
+impl ConnFaultOp {
+    /// Payload offset at which this op fires.
+    pub fn at(&self) -> u64 {
+        match *self {
+            ConnFaultOp::Disconnect { at }
+            | ConnFaultOp::StallConn { at, .. }
+            | ConnFaultOp::ShortWrite { at, .. }
+            | ConnFaultOp::DuplicateTail { at } => at,
+        }
+    }
+
+    /// True when the op severs the connection (disconnect or short write).
+    pub fn cuts(&self) -> bool {
+        matches!(
+            self,
+            ConnFaultOp::Disconnect { .. } | ConnFaultOp::ShortWrite { .. }
+        )
+    }
+}
+
+/// A deterministic, seed-reproducible list of connection faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnFaultPlan {
+    /// Connection faults, in the order they were planned.
+    pub ops: Vec<ConnFaultOp>,
+}
+
+impl ConnFaultPlan {
+    /// Derives a deterministic plan from `seed` for a stream of `payload_len`
+    /// bytes. Every seed yields at least one op; cut positions land past the
+    /// first kilobyte (when the stream allows) so the trace header normally
+    /// survives, and stalls stay short enough for test-scale idle budgets.
+    pub fn seeded(seed: u64, payload_len: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lo = 1024.min(payload_len.saturating_sub(1)).max(1);
+        let hi = payload_len.max(lo + 1);
+        let mut ops = Vec::new();
+        if rng.gen_bool(0.6) {
+            ops.push(ConnFaultOp::DuplicateTail {
+                at: rng.gen_range(lo..hi),
+            });
+        }
+        if rng.gen_bool(0.4) {
+            ops.push(ConnFaultOp::StallConn {
+                at: rng.gen_range(lo..hi),
+                millis: rng.gen_range(1..25),
+            });
+        }
+        for _ in 0..rng.gen_range(0u32..3) {
+            let at = rng.gen_range(lo..hi);
+            if rng.gen_bool(0.5) {
+                ops.push(ConnFaultOp::Disconnect { at });
+            } else {
+                ops.push(ConnFaultOp::ShortWrite {
+                    at,
+                    keep: rng.gen_range(1..64),
+                });
+            }
+        }
+        if ops.is_empty() {
+            ops.push(ConnFaultOp::Disconnect {
+                at: rng.gen_range(lo..hi),
+            });
+        }
+        Self { ops }
+    }
+
+    /// Payload offset of the earliest connection cut, if any op severs the
+    /// stream.
+    pub fn first_cut(&self) -> Option<u64> {
+        self.ops
+            .iter()
+            .filter(|op| op.cuts())
+            .map(|op| op.at())
+            .min()
+    }
+
+    /// Exact byte prefix a *non-retrying* client delivers when the sender
+    /// chunks the stream into `data_bytes`-sized frames from offset zero: the
+    /// frame covering the first cut is never committed, so delivery stops at
+    /// the preceding frame boundary. `None` means the plan never cuts and the
+    /// whole stream arrives.
+    pub fn delivered_prefix(&self, data_bytes: usize) -> Option<u64> {
+        self.first_cut()
+            .map(|cut| cut / data_bytes as u64 * data_bytes as u64)
+    }
+
+    /// Ground-truth decode impact for a non-retrying client: the first cut is
+    /// equivalent to truncating the trace at the delivered-prefix boundary,
+    /// so the on-disk truncation oracle applies verbatim. Without a cut the
+    /// full stream arrives (dedup absorbs duplicates; stalls are invisible).
+    pub fn expected_no_retry(&self, map: &FrameMap, data_bytes: usize) -> Option<ExpectedImpact> {
+        let plan = match self.delivered_prefix(data_bytes) {
+            Some(at) => FaultPlan {
+                ops: vec![FaultOp::Truncate { at }],
+            },
+            None => FaultPlan::default(),
+        };
+        plan.expected(map)
+    }
+}
+
+/// Fired-state for a [`ConnFaultPlan`], shared across every connection a
+/// retrying client dials so each op fires exactly once per plan.
+#[derive(Debug)]
+pub struct ConnFaultState {
+    ops: Vec<(ConnFaultOp, bool)>,
+}
+
+impl ConnFaultState {
+    /// Builds fresh (nothing fired) state for `plan`.
+    pub fn new(plan: &ConnFaultPlan) -> Self {
+        Self {
+            ops: plan.ops.iter().map(|&op| (op, false)).collect(),
+        }
+    }
+
+    /// Builds shared state suitable for handing to every [`FaultTransport`]
+    /// dialed over the plan's lifetime.
+    pub fn shared(plan: &ConnFaultPlan) -> Arc<Mutex<Self>> {
+        Arc::new(Mutex::new(Self::new(plan)))
+    }
+
+    /// True once every planned op has fired.
+    pub fn all_fired(&self) -> bool {
+        self.ops.iter().all(|&(_, fired)| fired)
+    }
+
+    /// Number of cut ops that have fired so far (each costs one session).
+    pub fn cuts_fired(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|&&(op, fired)| fired && op.cuts())
+            .count()
+    }
+}
+
+/// What `FaultTransport::send_data` decided to do with the current frame.
+enum CutAction {
+    None,
+    Disconnect,
+    Short(u32),
+}
+
+/// A [`ClientLink`] wrapper injecting a [`ConnFaultPlan`] into a live
+/// [`WireLink`]. Ops fire when the DATA frame covering their payload offset is
+/// about to be sent; once a cut fires the wrapper reports the connection dead
+/// until the client dials a fresh transport (sharing the same
+/// [`ConnFaultState`], so already-fired ops stay spent).
+#[derive(Debug)]
+pub struct FaultTransport {
+    inner: WireLink,
+    state: Arc<Mutex<ConnFaultState>>,
+    dead: bool,
+}
+
+impl FaultTransport {
+    /// Wraps `inner`, injecting faults from the shared `state`.
+    pub fn new(inner: WireLink, state: Arc<Mutex<ConnFaultState>>) -> Self {
+        Self {
+            inner,
+            state,
+            dead: false,
+        }
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected fault severed the connection",
+        )
+    }
+
+    /// Decides stall/cut/duplicate actions for the frame `[offset,
+    /// offset+len)`, marking chosen ops fired. Ops are considered in payload
+    /// order; everything after a chosen cut is left unfired so it can fire in
+    /// the next session after the client resumes.
+    fn plan_frame(&mut self, offset: u64, len: u64) -> (u64, CutAction, bool) {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        let mut idx: Vec<usize> = (0..st.ops.len())
+            .filter(|&i| {
+                let (op, fired) = st.ops[i];
+                !fired && op.at() >= offset && op.at() < offset + len
+            })
+            .collect();
+        idx.sort_by_key(|&i| st.ops[i].0.at());
+        let mut stall_ms = 0u64;
+        let mut cut = CutAction::None;
+        let mut duplicate = false;
+        for i in idx {
+            match st.ops[i].0 {
+                ConnFaultOp::StallConn { millis, .. } => {
+                    st.ops[i].1 = true;
+                    stall_ms += millis;
+                }
+                ConnFaultOp::DuplicateTail { .. } => {
+                    st.ops[i].1 = true;
+                    duplicate = true;
+                }
+                ConnFaultOp::Disconnect { .. } => {
+                    st.ops[i].1 = true;
+                    cut = CutAction::Disconnect;
+                    break;
+                }
+                ConnFaultOp::ShortWrite { keep, .. } => {
+                    st.ops[i].1 = true;
+                    cut = CutAction::Short(keep);
+                    break;
+                }
+            }
+        }
+        (stall_ms, cut, duplicate)
+    }
+}
+
+impl ClientLink for FaultTransport {
+    fn handshake(&mut self, start_offset: u64, timeout: Duration) -> io::Result<u64> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        self.inner.handshake(start_offset, timeout)
+    }
+
+    fn send_data(&mut self, offset: u64, payload: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        let (stall_ms, cut, duplicate) = self.plan_frame(offset, payload.len() as u64);
+        if stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(stall_ms));
+        }
+        match cut {
+            CutAction::Disconnect => {
+                self.dead = true;
+                // Sever without resetting: frames written before the cut
+                // must still reach the server, or the delivered-prefix
+                // oracle would be racy instead of exact.
+                self.inner.sever();
+                Err(Self::dead_err())
+            }
+            CutAction::Short(keep) => {
+                self.dead = true;
+                // Keep strictly less than the full frame so the server never
+                // commits the victim — the delivered-prefix oracle depends on
+                // the cut frame being discarded.
+                let keep = (keep as usize).min(DATA_HEADER + payload.len() - 1);
+                self.inner.send_data_prefix(offset, payload, keep)
+            }
+            CutAction::None => {
+                self.inner.send_data(offset, payload)?;
+                if duplicate {
+                    self.inner.send_data(offset, payload)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn send_heartbeat(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        self.inner.send_heartbeat()
+    }
+
+    fn send_fin(&mut self, total: u64) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        self.inner.send_fin(total)
+    }
+
+    fn recv_reply(&mut self, wait: Option<Duration>) -> io::Result<Option<ServerReply>> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        self.inner.recv_reply(wait)
+    }
 }
 
 #[cfg(test)]
@@ -739,5 +1072,211 @@ mod tests {
                 assert!(truncated, "seed {seed}: mid-frame cut must set the flag");
             }
         }
+    }
+
+    // --- connection-level faults ---
+
+    use crate::transport::{
+        send_stream, Endpoint, Listener, MemInput, SendOptions, SocketSource, SocketTuning,
+        WireLink,
+    };
+    use std::thread;
+    use std::time::Duration;
+
+    fn fast_policy() -> crate::source::FollowPolicy {
+        crate::source::FollowPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            idle_limit: Duration::from_secs(2),
+        }
+    }
+
+    /// Spawns a loopback TCP server draining every canonical byte, returning
+    /// the bound endpoint and the collector handle.
+    fn byte_server(idle: Duration) -> (Endpoint, thread::JoinHandle<Vec<u8>>) {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+        let endpoint = listener.local_endpoint().unwrap();
+        let policy = crate::source::FollowPolicy {
+            idle_limit: idle,
+            ..fast_policy()
+        };
+        let handle = thread::spawn(move || {
+            let mut src = SocketSource::new(listener, policy).with_tuning(SocketTuning {
+                ack_every: 1024,
+                ..SocketTuning::default()
+            });
+            let mut out = Vec::new();
+            while let Some(chunk) = src.next_chunk().unwrap() {
+                out.extend_from_slice(chunk);
+            }
+            out
+        });
+        (endpoint, handle)
+    }
+
+    #[test]
+    fn conn_plans_are_reproducible_and_nonempty() {
+        for seed in 0..32u64 {
+            let a = ConnFaultPlan::seeded(seed, 100_000);
+            let b = ConnFaultPlan::seeded(seed, 100_000);
+            assert_eq!(a, b);
+            assert!(!a.ops.is_empty());
+            for op in &a.ops {
+                assert!(op.at() < 100_000);
+                assert!(op.at() >= 1024);
+            }
+        }
+        // Tiny payloads must still yield valid positions.
+        let tiny = ConnFaultPlan::seeded(7, 10);
+        assert!(tiny.ops.iter().all(|op| op.at() < 10));
+    }
+
+    #[test]
+    fn no_retry_oracle_buckets_partition_baseline() {
+        let bytes = sample_trace(2 * FRAME_RECORDS + 300);
+        let map = FrameMap::scan(&bytes).unwrap();
+        for seed in 0..64u64 {
+            let plan = ConnFaultPlan::seeded(seed, bytes.len() as u64);
+            let expect = plan
+                .expected_no_retry(&map, 1024)
+                .expect("single-truncation oracle always applies");
+            assert_eq!(
+                expect.intact_records + expect.damaged_records + expect.unaccounted_records,
+                expect.baseline_records,
+                "seed {seed}: oracle buckets must partition the baseline"
+            );
+            if let Some(prefix) = plan.delivered_prefix(1024) {
+                assert_eq!(prefix % 1024, 0, "prefix must land on a frame boundary");
+                assert!(prefix <= plan.first_cut().unwrap());
+            } else {
+                assert_eq!(expect.intact_records, map.total_records());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_transport_with_retry_delivers_byte_identical_stream() {
+        let payload = sample_trace(2 * FRAME_RECORDS + 500);
+        for seed in [3u64, 11, 19, 42] {
+            let plan = ConnFaultPlan::seeded(seed, payload.len() as u64);
+            let state = ConnFaultState::shared(&plan);
+            let (endpoint, server) = byte_server(Duration::from_secs(2));
+            let dial_state = Arc::clone(&state);
+            let mut input = MemInput::new(payload.clone());
+            let options = SendOptions {
+                policy: fast_policy(),
+                data_bytes: 1024,
+                ..SendOptions::default()
+            };
+            let outcome = send_stream(
+                &mut input,
+                move || {
+                    WireLink::connect(&endpoint)
+                        .map(|link| FaultTransport::new(link, Arc::clone(&dial_state)))
+                },
+                &options,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: retrying client must deliver: {e}"));
+            let delivered = server.join().unwrap();
+            assert_eq!(
+                delivered, payload,
+                "seed {seed}: stream must be byte-identical"
+            );
+            assert!(outcome.complete, "seed {seed}: FIN must be acked");
+            assert_eq!(outcome.acked, payload.len() as u64);
+            let cuts = plan.ops.iter().filter(|op| op.cuts()).count() as u64;
+            assert_eq!(
+                outcome.sessions,
+                1 + cuts,
+                "seed {seed}: each cut costs exactly one extra session"
+            );
+            assert!(
+                state.lock().unwrap().all_fired(),
+                "seed {seed}: every planned op must fire"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_transport_no_retry_delivers_exact_prefix() {
+        let payload = sample_trace(2 * FRAME_RECORDS + 500);
+        let plans = [
+            ConnFaultPlan {
+                ops: vec![ConnFaultOp::Disconnect { at: 3_000 }],
+            },
+            ConnFaultPlan {
+                ops: vec![
+                    ConnFaultOp::DuplicateTail { at: 1_500 },
+                    ConnFaultOp::ShortWrite {
+                        at: 5_000,
+                        keep: 10_000, // clamped below the frame length internally
+                    },
+                ],
+            },
+        ];
+        for plan in plans {
+            let state = ConnFaultState::shared(&plan);
+            let (endpoint, server) = byte_server(Duration::from_millis(300));
+            let mut input = MemInput::new(payload.clone());
+            let options = SendOptions {
+                policy: fast_policy(),
+                retry: false,
+                data_bytes: 1024,
+                ..SendOptions::default()
+            };
+            let err = send_stream(
+                &mut input,
+                move || {
+                    WireLink::connect(&endpoint)
+                        .map(|link| FaultTransport::new(link, Arc::clone(&state)))
+                },
+                &options,
+            )
+            .expect_err("a cut without retry must surface a transport error");
+            assert!(!err.to_string().is_empty());
+            let delivered = server.join().unwrap();
+            let prefix = plan.delivered_prefix(1024).unwrap() as usize;
+            assert_eq!(
+                delivered,
+                &payload[..prefix],
+                "non-retrying delivery must stop exactly at the frame boundary below the cut"
+            );
+        }
+    }
+
+    #[test]
+    fn stalls_and_duplicates_alone_complete_without_reconnect() {
+        let payload = sample_trace(FRAME_RECORDS + 100);
+        let plan = ConnFaultPlan {
+            ops: vec![
+                ConnFaultOp::StallConn {
+                    at: 2_000,
+                    millis: 5,
+                },
+                ConnFaultOp::DuplicateTail { at: 4_000 },
+            ],
+        };
+        let state = ConnFaultState::shared(&plan);
+        let (endpoint, server) = byte_server(Duration::from_secs(2));
+        let mut input = MemInput::new(payload.clone());
+        let options = SendOptions {
+            policy: fast_policy(),
+            data_bytes: 1024,
+            ..SendOptions::default()
+        };
+        let dial_state = Arc::clone(&state);
+        let outcome = send_stream(
+            &mut input,
+            move || {
+                WireLink::connect(&endpoint)
+                    .map(|link| FaultTransport::new(link, Arc::clone(&dial_state)))
+            },
+            &options,
+        )
+        .unwrap();
+        assert_eq!(server.join().unwrap(), payload);
+        assert_eq!(outcome.sessions, 1, "no cut means no reconnect");
+        assert!(outcome.complete);
+        assert!(state.lock().unwrap().all_fired());
     }
 }

@@ -26,13 +26,24 @@ pub mod source;
 pub mod spec;
 pub mod stream;
 pub mod trace;
+pub mod transport;
 
 pub use codec::{
     DecodeMode, FaultKind, IngestFault, TraceMeta, TraceReader, TraceRecord, TraceWriter,
 };
-pub use faults::{apply_plan, FaultInjector, FaultOp, FaultPlan, FrameMap};
+pub use faults::{
+    apply_plan, ConnFaultOp, ConnFaultPlan, ConnFaultState, FaultInjector, FaultOp, FaultPlan,
+    FaultTransport, FrameMap,
+};
 pub use generator::TraceGenerator;
 pub use mix::WorkloadMix;
 pub use profile::{LocalityClass, WorkloadProfile};
-pub use source::{AccessSource, FollowPolicy, FollowSource, ReadSource, SliceSource, TraceSource};
+pub use source::{
+    AccessSource, DisconnectReason, FollowPolicy, FollowSource, ReadSource, SliceSource,
+    TraceSource, TransportEvent,
+};
 pub use trace::MemoryAccess;
+pub use transport::{
+    send_stream, send_to, ClientLink, Endpoint, FileInput, Listener, MemInput, ReaderInput,
+    SendInput, SendOptions, SendOutcome, ServerReply, SocketSource, SocketTuning, Wire, WireLink,
+};

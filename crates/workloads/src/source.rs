@@ -57,6 +57,77 @@ impl AccessSource for WorkloadMix {
     }
 }
 
+/// Why a transport connection stopped delivering bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// The peer closed the connection (clean EOF without a protocol goodbye).
+    Eof,
+    /// No bytes or heartbeats arrived within the idle limit.
+    Stall,
+    /// The peer violated the wire protocol (bad frame, offset gap, bad
+    /// handshake).
+    Protocol,
+    /// A socket-level read or write error.
+    Io,
+}
+
+impl DisconnectReason {
+    /// Stable lowercase label used in ledger JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            DisconnectReason::Eof => "eof",
+            DisconnectReason::Stall => "stall",
+            DisconnectReason::Protocol => "protocol",
+            DisconnectReason::Io => "io",
+        }
+    }
+}
+
+/// A connection-level incident observed by a networked [`TraceSource`].
+///
+/// These are informational: none of them implies record loss (lost bytes
+/// surface through the codec's own fault ledger), so a supervising daemon
+/// records them with `records_lost = 0` and they do not degrade the verdict
+/// outcome. Offsets are absolute canonical stream bytes — the same coordinate
+/// space the codec and checkpoints use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A producer reconnected and was resumed from the server's committed
+    /// offset. `session` numbers accepted sessions from 1.
+    SessionResumed {
+        /// 1-based accepted-session number.
+        session: u64,
+        /// Committed stream offset the session resumed from.
+        offset: u64,
+    },
+    /// A connection dropped (EOF, stall, protocol violation, or I/O error)
+    /// with `offset` canonical bytes committed so far.
+    Disconnected {
+        /// 1-based accepted-session number.
+        session: u64,
+        /// Committed stream offset when the connection dropped.
+        offset: u64,
+        /// Why the connection stopped delivering.
+        reason: DisconnectReason,
+    },
+    /// Retransmitted bytes that were already committed were dropped by the
+    /// server's dedup-by-offset logic.
+    DuplicateDropped {
+        /// 1-based accepted-session number.
+        session: u64,
+        /// Committed stream offset at the time of the drop.
+        offset: u64,
+        /// How many already-committed bytes were discarded.
+        bytes: u64,
+    },
+    /// The server drained gracefully (SIGTERM): it sent a protocol goodbye
+    /// and stopped accepting bytes at `offset`.
+    Drained {
+        /// Committed stream offset at drain time.
+        offset: u64,
+    },
+}
+
 /// A producer of byte chunks feeding the trace codec.
 ///
 /// Chunk boundaries carry no meaning — the reader reassembles records and frames
@@ -71,6 +142,14 @@ pub trait TraceSource {
     ///
     /// Propagates I/O errors from the underlying medium.
     fn next_chunk(&mut self) -> io::Result<Option<&[u8]>>;
+
+    /// Drains connection-level incidents accumulated since the last call.
+    ///
+    /// Non-networked sources never produce any; wrappers forward to the inner
+    /// source so events survive composition (follow, fault injection).
+    fn take_transport_events(&mut self) -> Vec<TransportEvent> {
+        Vec::new()
+    }
 }
 
 /// Default chunk size for [`ReadSource`] (64 KiB).
@@ -229,6 +308,10 @@ impl<S: TraceSource> TraceSource for FollowSource<S> {
             idle += backoff;
             backoff = (backoff * 2).min(self.policy.max_backoff);
         }
+    }
+
+    fn take_transport_events(&mut self) -> Vec<TransportEvent> {
+        self.inner.take_transport_events()
     }
 }
 

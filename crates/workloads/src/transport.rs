@@ -1,0 +1,1823 @@
+//! Networked trace transport: supervised socket sessions with offset resume.
+//!
+//! The wire protocol is a length-delimited chunk stream over TCP or
+//! Unix-domain sockets, designed so that the canonical byte stream handed to
+//! the codec is *identical* to reading the same trace from a file, no matter
+//! how many disconnects, retries, or duplicate deliveries happened in
+//! between. Verdict identity over a flaky network is therefore structural,
+//! not probabilistic.
+//!
+//! ## Wire format (version 1)
+//!
+//! Client → server, on connect (16 bytes):
+//!
+//! ```text
+//! HELLO:  "IMPS" | version u16 LE | flags u16 LE | start_offset u64 LE
+//! ```
+//!
+//! Server → client reply (16 bytes):
+//!
+//! ```text
+//! REPLY:  "IMPA" | version u16 LE | status u8 | reserved u8 | resume_offset u64 LE
+//! ```
+//!
+//! `resume_offset` is the server's committed offset and is authoritative: the
+//! client seeks its input there and resumes, regardless of what it announced.
+//! After the handshake, tagged frames flow client → server:
+//!
+//! ```text
+//! DATA(1):      tag u8 | offset u64 LE | len u32 LE | payload[len]
+//! HEARTBEAT(2): tag u8
+//! FIN(3):       tag u8 | total u64 LE
+//! ```
+//!
+//! and server → client on the same connection:
+//!
+//! ```text
+//! ACK(5):     tag u8 | committed u64 LE     (every `ack_every` bytes + on FIN)
+//! GOODBYE(4): tag u8 | committed u64 LE     (graceful drain; not a crash)
+//! ```
+//!
+//! The server commits bytes strictly in offset order and drops (or trims)
+//! any DATA frame that overlaps what it already committed, so client
+//! retransmission after a lost ack is harmless. A DATA offset *beyond* the
+//! committed offset is a protocol violation: the server drops the connection
+//! and the client reconnects and reseeks, which heals the gap.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::source::{DisconnectReason, FollowPolicy, TraceSource, TransportEvent};
+
+/// Magic leading a client HELLO.
+pub const HELLO_MAGIC: [u8; 4] = *b"IMPS";
+/// Magic leading a server handshake reply.
+pub const REPLY_MAGIC: [u8; 4] = *b"IMPA";
+/// Wire protocol version spoken by this build.
+pub const TRANSPORT_VERSION: u16 = 1;
+/// Handshake message size (both directions).
+pub const HANDSHAKE_BYTES: usize = 16;
+/// Protocol cap on a single DATA frame payload; also bounds server staging.
+pub const MAX_DATA_BYTES: usize = 256 * 1024;
+/// Default client DATA payload size.
+pub const DEFAULT_DATA_BYTES: usize = 32 * 1024;
+/// Default server ack cadence in committed bytes.
+pub const DEFAULT_ACK_EVERY: u64 = 128 * 1024;
+/// Default client flow-control window (unacked bytes before blocking).
+pub const DEFAULT_ACK_WINDOW: u64 = 1 << 20;
+/// Default cap on sessions one `send_stream` call may open.
+pub const DEFAULT_MAX_SESSIONS: u64 = 64;
+
+const TAG_DATA: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_FIN: u8 = 3;
+const TAG_GOODBYE: u8 = 4;
+const TAG_ACK: u8 = 5;
+pub(crate) const DATA_HEADER: usize = 13;
+
+const STATUS_OK: u8 = 0;
+const STATUS_BAD_VERSION: u8 = 1;
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn transport_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, msg.into())
+}
+
+fn protocol_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn conn_closed() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        "daemon closed the connection",
+    )
+}
+
+/// A parsed transport address: `tcp://host:port` or `unix://path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP endpoint (`tcp://127.0.0.1:7700`).
+    Tcp(String),
+    /// Unix-domain stream endpoint (`unix:///run/impress.sock`).
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp://addr` / `unix://path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for unknown schemes or empty addresses.
+    pub fn parse(s: &str) -> io::Result<Self> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            if rest.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "empty tcp endpoint address",
+                ));
+            }
+            Ok(Endpoint::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("unix://") {
+            if rest.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "empty unix endpoint path",
+                ));
+            }
+            Ok(Endpoint::Unix(PathBuf::from(rest)))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("endpoint must start with tcp:// or unix://, got {s:?}"),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            Endpoint::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// One stream connection, TCP or Unix — the byte pipe both endpoints share.
+#[derive(Debug)]
+pub enum Wire {
+    /// A connected TCP stream.
+    Tcp(TcpStream),
+    /// A connected Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl Wire {
+    /// Connects to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors (refused, absent socket path, ...).
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Wire::Tcp(TcpStream::connect(addr)?)),
+            Endpoint::Unix(path) => Ok(Wire::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Wire::Tcp(s) => s.read(buf),
+            Wire::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Wire::Tcp(s) => s.write_all(buf),
+            Wire::Unix(s) => s.write_all(buf),
+        }
+    }
+
+    fn write_prefix(&mut self, buf: &[u8], keep: usize) -> io::Result<()> {
+        self.write_all(&buf[..keep.min(buf.len())])
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        let t = t.map(|d| d.max(Duration::from_millis(1)));
+        match self {
+            Wire::Tcp(s) => s.set_read_timeout(t),
+            Wire::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Wire::Tcp(s) => s.set_nonblocking(on),
+            Wire::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Wire::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Wire::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+
+    fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Wire::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            Wire::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+/// A bound, non-blocking accept socket for [`SocketSource`].
+#[derive(Debug)]
+pub enum Listener {
+    /// Bound TCP listener.
+    Tcp(TcpListener),
+    /// Bound Unix-domain listener plus its path (unlinked on drop).
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `endpoint` and switches the listener to non-blocking accepts.
+    ///
+    /// A stale Unix socket file at the path is unlinked first so daemon
+    /// restarts can rebind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            Endpoint::Unix(path) => {
+                let _ = fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+        }
+    }
+
+    /// The endpoint actually bound (resolves `tcp://…:0` to the real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` errors.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(_, p) => Ok(Endpoint::Unix(p.clone())),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Option<Wire>> {
+        let wire = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Wire::Tcp(s),
+                Err(e) if is_timeout(&e) => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => Wire::Unix(s),
+                Err(e) if is_timeout(&e) => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        wire.set_nonblocking(false)?;
+        Ok(Some(wire))
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+fn hello_bytes(start_offset: u64) -> [u8; HANDSHAKE_BYTES] {
+    let mut b = [0u8; HANDSHAKE_BYTES];
+    b[..4].copy_from_slice(&HELLO_MAGIC);
+    b[4..6].copy_from_slice(&TRANSPORT_VERSION.to_le_bytes());
+    // b[6..8]: flags, reserved (zero).
+    b[8..16].copy_from_slice(&start_offset.to_le_bytes());
+    b
+}
+
+fn reply_bytes(status: u8, committed: u64) -> [u8; HANDSHAKE_BYTES] {
+    let mut b = [0u8; HANDSHAKE_BYTES];
+    b[..4].copy_from_slice(&REPLY_MAGIC);
+    b[4..6].copy_from_slice(&TRANSPORT_VERSION.to_le_bytes());
+    b[6] = status;
+    b[8..16].copy_from_slice(&committed.to_le_bytes());
+    b
+}
+
+fn tagged_u64(tag: u8, value: u64) -> [u8; 9] {
+    let mut b = [0u8; 9];
+    b[0] = tag;
+    b[1..9].copy_from_slice(&value.to_le_bytes());
+    b
+}
+
+/// Builds the wire bytes of one DATA frame.
+fn data_frame(offset: u64, payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(DATA_HEADER + payload.len());
+    b.push(TAG_DATA);
+    b.extend_from_slice(&offset.to_le_bytes());
+    b.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    b.extend_from_slice(payload);
+    b
+}
+
+/// Tuning knobs for [`SocketSource`] beyond the reconnect policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketTuning {
+    /// Send an ACK each time this many new canonical bytes commit.
+    pub ack_every: u64,
+    /// How long a freshly accepted connection may take to complete the
+    /// handshake before it is dropped as a protocol violation.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for SocketTuning {
+    fn default() -> Self {
+        Self {
+            ack_every: DEFAULT_ACK_EVERY,
+            handshake_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+enum Frame {
+    Data {
+        offset: u64,
+        start: usize,
+        len: usize,
+    },
+    Heartbeat,
+    Fin {
+        total: u64,
+    },
+}
+
+struct ServerConn {
+    wire: Wire,
+    session: u64,
+    rbuf: Vec<u8>,
+    rat: usize,
+    idle: Duration,
+    last_ack: u64,
+}
+
+impl ServerConn {
+    fn new(wire: Wire, session: u64, committed: u64) -> Self {
+        Self {
+            wire,
+            session,
+            rbuf: Vec::with_capacity(64 * 1024),
+            rat: 0,
+            idle: Duration::ZERO,
+            last_ack: committed,
+        }
+    }
+
+    fn avail(&self) -> usize {
+        self.rbuf.len() - self.rat
+    }
+
+    /// Parses one complete frame at the cursor, if buffered. For DATA the
+    /// returned range indexes `rbuf` and stays valid until the next
+    /// `read_more` (which compacts). `Err(())` is a protocol violation.
+    fn try_frame(&mut self) -> Result<Option<Frame>, ()> {
+        if self.avail() == 0 {
+            return Ok(None);
+        }
+        let b = &self.rbuf[self.rat..];
+        match b[0] {
+            TAG_DATA => {
+                if b.len() < DATA_HEADER {
+                    return Ok(None);
+                }
+                let offset = u64::from_le_bytes(b[1..9].try_into().unwrap());
+                let len = u32::from_le_bytes(b[9..13].try_into().unwrap()) as usize;
+                if len > MAX_DATA_BYTES {
+                    return Err(());
+                }
+                if b.len() < DATA_HEADER + len {
+                    return Ok(None);
+                }
+                let start = self.rat + DATA_HEADER;
+                self.rat += DATA_HEADER + len;
+                Ok(Some(Frame::Data { offset, start, len }))
+            }
+            TAG_HEARTBEAT => {
+                self.rat += 1;
+                Ok(Some(Frame::Heartbeat))
+            }
+            TAG_FIN => {
+                if b.len() < 9 {
+                    return Ok(None);
+                }
+                let total = u64::from_le_bytes(b[1..9].try_into().unwrap());
+                self.rat += 9;
+                Ok(Some(Frame::Fin { total }))
+            }
+            _ => Err(()),
+        }
+    }
+
+    /// Compacts consumed bytes, then appends whatever arrives within
+    /// `timeout`. `Ok(0)` is EOF; timeouts surface as `WouldBlock`/`TimedOut`.
+    fn read_more(&mut self, timeout: Duration) -> io::Result<usize> {
+        if self.rat > 0 {
+            self.rbuf.drain(..self.rat);
+            self.rat = 0;
+        }
+        self.wire.set_read_timeout(Some(timeout))?;
+        let mut scratch = [0u8; 16 * 1024];
+        let n = self.wire.read(&mut scratch)?;
+        self.rbuf.extend_from_slice(&scratch[..n]);
+        Ok(n)
+    }
+
+    fn send_ack(&mut self, committed: u64) -> io::Result<()> {
+        self.last_ack = committed;
+        self.wire.write_all(&tagged_u64(TAG_ACK, committed))
+    }
+}
+
+/// A [`TraceSource`] fed by a socket accept loop with session resume.
+///
+/// The source owns a bound [`Listener`] and supervises one producer
+/// connection at a time: handshake (offset negotiation), per-read timeouts
+/// with heartbeat/idle detection, dedup-by-offset so retransmitted bytes
+/// never reach the codec twice, acks every [`SocketTuning::ack_every`]
+/// committed bytes, and accept-loop reconnect supervision driven by
+/// [`FollowPolicy`]'s capped exponential backoff. Staging is bounded by one
+/// DATA frame ([`MAX_DATA_BYTES`]).
+///
+/// Every disconnect, stall, resumed session, duplicate drop, and graceful
+/// drain is recorded as a [`TransportEvent`] and drained via
+/// [`TraceSource::take_transport_events`].
+#[derive(Debug)]
+pub struct SocketSource {
+    listener: Listener,
+    policy: FollowPolicy,
+    tuning: SocketTuning,
+    #[allow(clippy::struct_field_names)]
+    conn: Option<ServerConnBox>,
+    stage: Vec<u8>,
+    events: Vec<TransportEvent>,
+    committed: u64,
+    sessions: u64,
+    finished: bool,
+    drained: bool,
+    drain: Option<&'static AtomicBool>,
+}
+
+// Keeps SocketSource's Debug derive happy without exposing conn internals.
+struct ServerConnBox(ServerConn);
+
+impl fmt::Debug for ServerConnBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerConn")
+            .field("session", &self.0.session)
+            .field("buffered", &self.0.avail())
+            .finish()
+    }
+}
+
+impl SocketSource {
+    /// Wraps a bound listener with reconnect policy `policy`.
+    pub fn new(listener: Listener, policy: FollowPolicy) -> Self {
+        Self {
+            listener,
+            policy,
+            tuning: SocketTuning::default(),
+            conn: None,
+            stage: Vec::new(),
+            events: Vec::new(),
+            committed: 0,
+            sessions: 0,
+            finished: false,
+            drained: false,
+            drain: None,
+        }
+    }
+
+    /// Overrides ack cadence / handshake deadline.
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: SocketTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a drain flag: once it reads `true`, the source sends a
+    /// protocol GOODBYE to any connected client and reports end-of-stream,
+    /// letting the daemon finish the in-flight batch and emit its verdict.
+    /// (`&'static` so a signal handler can own the flag; leak one with
+    /// `Box::leak` in tests.)
+    #[must_use]
+    pub fn with_drain_flag(mut self, flag: &'static AtomicBool) -> Self {
+        self.drain = Some(flag);
+        self
+    }
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` errors.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        self.listener.local_endpoint()
+    }
+
+    /// Canonical bytes committed (delivered to the codec) so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of producer sessions accepted so far.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    fn drain_requested(&self) -> bool {
+        self.drain.is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    fn poll_interval(&self) -> Duration {
+        (self.policy.idle_limit / 50).clamp(Duration::from_millis(1), Duration::from_millis(25))
+    }
+
+    fn drop_conn(&mut self, reason: DisconnectReason) {
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.0.wire.shutdown();
+            self.events.push(TransportEvent::Disconnected {
+                session: conn.0.session,
+                offset: self.committed,
+                reason,
+            });
+        }
+    }
+
+    fn goodbye(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            let _ = conn
+                .0
+                .wire
+                .write_all(&tagged_u64(TAG_GOODBYE, self.committed));
+            let _ = conn.0.wire.shutdown();
+        }
+        if !self.drained {
+            self.drained = true;
+            self.events.push(TransportEvent::Drained {
+                offset: self.committed,
+            });
+        }
+        self.finished = true;
+    }
+
+    /// Waits for a producer to connect and complete the handshake. Returns
+    /// `false` on idle-out (no producer within `idle_limit`) or when a drain
+    /// was requested mid-wait.
+    fn accept_session(&mut self) -> io::Result<bool> {
+        let mut idle = Duration::ZERO;
+        let mut backoff = self.policy.initial_backoff;
+        loop {
+            if self.drain_requested() {
+                return Ok(false);
+            }
+            match self.listener.accept()? {
+                Some(wire) => {
+                    self.sessions += 1;
+                    let session = self.sessions;
+                    match self.handshake_server(wire, session) {
+                        Ok(conn) => {
+                            if session > 1 || self.committed > 0 {
+                                self.events.push(TransportEvent::SessionResumed {
+                                    session,
+                                    offset: self.committed,
+                                });
+                            }
+                            self.conn = Some(ServerConnBox(conn));
+                            return Ok(true);
+                        }
+                        Err(reason) => {
+                            self.events.push(TransportEvent::Disconnected {
+                                session,
+                                offset: self.committed,
+                                reason,
+                            });
+                            // Keep waiting for a well-behaved producer.
+                        }
+                    }
+                }
+                None => {
+                    if idle >= self.policy.idle_limit {
+                        return Ok(false);
+                    }
+                    std::thread::sleep(backoff);
+                    idle += backoff;
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+            }
+        }
+    }
+
+    /// Reads and validates the 16-byte HELLO, replies with the committed
+    /// offset. On failure returns the disconnect reason for the ledger.
+    fn handshake_server(
+        &self,
+        mut wire: Wire,
+        session: u64,
+    ) -> Result<ServerConn, DisconnectReason> {
+        let mut hello = [0u8; HANDSHAKE_BYTES];
+        let mut got = 0;
+        let deadline = Instant::now() + self.tuning.handshake_timeout;
+        let poll = self.poll_interval();
+        while got < HANDSHAKE_BYTES {
+            if wire.set_read_timeout(Some(poll)).is_err() {
+                return Err(DisconnectReason::Io);
+            }
+            match wire.read(&mut hello[got..]) {
+                Ok(0) => return Err(DisconnectReason::Eof),
+                Ok(n) => got += n,
+                Err(e) if is_timeout(&e) => {
+                    if Instant::now() >= deadline {
+                        return Err(DisconnectReason::Stall);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(DisconnectReason::Io),
+            }
+        }
+        if hello[..4] != HELLO_MAGIC {
+            return Err(DisconnectReason::Protocol);
+        }
+        let version = u16::from_le_bytes(hello[4..6].try_into().unwrap());
+        if version != TRANSPORT_VERSION {
+            let _ = wire.write_all(&reply_bytes(STATUS_BAD_VERSION, self.committed));
+            return Err(DisconnectReason::Protocol);
+        }
+        if wire
+            .write_all(&reply_bytes(STATUS_OK, self.committed))
+            .is_err()
+        {
+            return Err(DisconnectReason::Io);
+        }
+        Ok(ServerConn::new(wire, session, self.committed))
+    }
+
+    /// Commits one DATA frame: trims or drops bytes the server already
+    /// committed, stages the new suffix. Returns `true` if bytes were staged.
+    fn stage_data(&mut self, offset: u64, start: usize, len: usize) -> bool {
+        let Self {
+            conn,
+            stage,
+            events,
+            committed,
+            tuning,
+            ..
+        } = self;
+        let conn = &mut conn.as_mut().expect("connection present").0;
+        let Some(end) = offset.checked_add(len as u64) else {
+            // Offset arithmetic overflow is a protocol violation.
+            drop_conn_inline(conn, events, *committed, DisconnectReason::Protocol);
+            self.conn = None;
+            return false;
+        };
+        if offset > *committed {
+            // A gap means lost bytes we never acked: force a reconnect so the
+            // client reseeks to the committed offset.
+            drop_conn_inline(conn, events, *committed, DisconnectReason::Protocol);
+            self.conn = None;
+            return false;
+        }
+        let skip = (*committed - offset) as usize;
+        if skip >= len {
+            events.push(TransportEvent::DuplicateDropped {
+                session: conn.session,
+                offset: *committed,
+                bytes: len as u64,
+            });
+            // Re-ack so a client that missed the original ack advances.
+            if conn.send_ack(*committed).is_err() {
+                drop_conn_inline(conn, events, *committed, DisconnectReason::Io);
+                self.conn = None;
+            }
+            return false;
+        }
+        if skip > 0 {
+            events.push(TransportEvent::DuplicateDropped {
+                session: conn.session,
+                offset: *committed,
+                bytes: skip as u64,
+            });
+        }
+        stage.clear();
+        stage.extend_from_slice(&conn.rbuf[start + skip..start + len]);
+        *committed = end;
+        let ack_due = *committed - conn.last_ack >= tuning.ack_every;
+        if ack_due && conn.send_ack(*committed).is_err() {
+            drop_conn_inline(conn, events, *committed, DisconnectReason::Io);
+            self.conn = None;
+        }
+        true
+    }
+
+    fn handle_fin(&mut self, total: u64) {
+        if total == self.committed {
+            if let Some(conn) = self.conn.as_mut() {
+                let _ = conn.0.send_ack(total);
+            }
+            self.conn = None;
+            self.finished = true;
+        } else {
+            // The client believes a different amount was delivered; force a
+            // resync through reconnect.
+            self.drop_conn(DisconnectReason::Protocol);
+        }
+    }
+
+    fn pump(&mut self) -> io::Result<()> {
+        let poll = self.poll_interval();
+        let idle_limit = self.policy.idle_limit;
+        let committed = self.committed;
+        let reason = {
+            let conn = &mut self.conn.as_mut().expect("connection present").0;
+            match conn.read_more(poll) {
+                Ok(0) => Some(DisconnectReason::Eof),
+                Ok(_) => {
+                    conn.idle = Duration::ZERO;
+                    None
+                }
+                Err(e) if is_timeout(&e) => {
+                    conn.idle += poll;
+                    // A quiet producer may be blocked on flow control with a
+                    // send window smaller than our ack cadence; flush the ack
+                    // for whatever is committed so it can make progress.
+                    if committed > conn.last_ack {
+                        let _ = conn.send_ack(committed);
+                    }
+                    if conn.idle >= idle_limit {
+                        Some(DisconnectReason::Stall)
+                    } else {
+                        None
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => None,
+                Err(_) => Some(DisconnectReason::Io),
+            }
+        };
+        if let Some(reason) = reason {
+            self.drop_conn(reason);
+        }
+        Ok(())
+    }
+}
+
+fn drop_conn_inline(
+    conn: &mut ServerConn,
+    events: &mut Vec<TransportEvent>,
+    committed: u64,
+    reason: DisconnectReason,
+) {
+    let _ = conn.wire.shutdown();
+    events.push(TransportEvent::Disconnected {
+        session: conn.session,
+        offset: committed,
+        reason,
+    });
+}
+
+impl TraceSource for SocketSource {
+    fn next_chunk(&mut self) -> io::Result<Option<&[u8]>> {
+        loop {
+            if self.drain_requested() && !self.finished {
+                self.goodbye();
+                return Ok(None);
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            if self.conn.is_none() {
+                if self.accept_session()? {
+                    continue;
+                }
+                if self.drain_requested() {
+                    continue; // goodbye at loop top
+                }
+                return Ok(None); // idled out with no producer
+            }
+            let parsed = self
+                .conn
+                .as_mut()
+                .expect("connection present")
+                .0
+                .try_frame();
+            match parsed {
+                Ok(Some(Frame::Data { offset, start, len })) => {
+                    if self.stage_data(offset, start, len) {
+                        return Ok(Some(&self.stage));
+                    }
+                }
+                Ok(Some(Frame::Heartbeat)) => {}
+                Ok(Some(Frame::Fin { total })) => self.handle_fin(total),
+                Ok(None) => self.pump()?,
+                Err(()) => self.drop_conn(DisconnectReason::Protocol),
+            }
+        }
+    }
+
+    fn take_transport_events(&mut self) -> Vec<TransportEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// A server → client control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerReply {
+    /// The server committed bytes up to this offset.
+    Ack(u64),
+    /// Graceful shutdown at this committed offset — stop retrying.
+    Goodbye(u64),
+}
+
+/// Client half of one transport session: framed sends plus reply reads.
+///
+/// [`WireLink`] is the real implementation;
+/// [`FaultTransport`](crate::faults::FaultTransport) wraps it to inject
+/// connection-level faults in tests.
+pub trait ClientLink {
+    /// Sends HELLO announcing `start_offset` and returns the server's
+    /// authoritative resume offset.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, handshake timeout, or a version rejection.
+    fn handshake(&mut self, start_offset: u64, timeout: Duration) -> io::Result<u64>;
+
+    /// Sends one DATA frame carrying `payload` at stream `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    fn send_data(&mut self, offset: u64, payload: &[u8]) -> io::Result<()>;
+
+    /// Sends a HEARTBEAT keep-alive.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    fn send_heartbeat(&mut self) -> io::Result<()>;
+
+    /// Sends FIN declaring the total stream length.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors.
+    fn send_fin(&mut self, total: u64) -> io::Result<()>;
+
+    /// Reads one server reply. `wait: None` polls without blocking; with a
+    /// timeout, returns `Ok(None)` if nothing arrived in time.
+    ///
+    /// # Errors
+    ///
+    /// Socket read errors or malformed replies.
+    fn recv_reply(&mut self, wait: Option<Duration>) -> io::Result<Option<ServerReply>>;
+}
+
+/// The concrete [`ClientLink`] over a [`Wire`].
+#[derive(Debug)]
+pub struct WireLink {
+    wire: Wire,
+    rbuf: Vec<u8>,
+    rat: usize,
+}
+
+impl WireLink {
+    /// Connects a fresh link to `endpoint` (handshake not yet performed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        Ok(Self {
+            wire: Wire::connect(endpoint)?,
+            rbuf: Vec::new(),
+            rat: 0,
+        })
+    }
+
+    /// Sends only the first `keep` wire bytes of a DATA frame, then reports
+    /// the connection dead. Fault-injection hook for `ShortWrite`.
+    pub(crate) fn send_data_prefix(
+        &mut self,
+        offset: u64,
+        payload: &[u8],
+        keep: usize,
+    ) -> io::Result<()> {
+        let frame = data_frame(offset, payload);
+        self.wire.write_prefix(&frame, keep)?;
+        self.sever();
+        Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected short write",
+        ))
+    }
+
+    /// Severs the link for fault injection without destroying in-flight
+    /// data: shuts down only the write side, so everything already written
+    /// still reaches the server, then drains incoming replies until the
+    /// server closes. Closing a socket with unread bytes in its receive
+    /// queue resets the connection and can tear down data the peer has not
+    /// read yet — which would make the delivered prefix racy instead of
+    /// exact.
+    pub(crate) fn sever(&mut self) {
+        let _ = self.wire.shutdown_write();
+        let _ = self.wire.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut scratch = [0u8; 1024];
+        loop {
+            match self.wire.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    fn parse_reply(&mut self) -> io::Result<Option<ServerReply>> {
+        let avail = self.rbuf.len() - self.rat;
+        if avail == 0 {
+            return Ok(None);
+        }
+        let b = &self.rbuf[self.rat..];
+        match b[0] {
+            TAG_ACK | TAG_GOODBYE if b.len() >= 9 => {
+                let v = u64::from_le_bytes(b[1..9].try_into().unwrap());
+                let tag = b[0];
+                self.rat += 9;
+                Ok(Some(if tag == TAG_ACK {
+                    ServerReply::Ack(v)
+                } else {
+                    ServerReply::Goodbye(v)
+                }))
+            }
+            TAG_ACK | TAG_GOODBYE => Ok(None),
+            t => Err(protocol_err(format!("unexpected reply tag {t}"))),
+        }
+    }
+
+    fn read_replies(&mut self, wait: Option<Duration>) -> io::Result<usize> {
+        if self.rat > 0 {
+            self.rbuf.drain(..self.rat);
+            self.rat = 0;
+        }
+        let mut scratch = [0u8; 1024];
+        let n = match wait {
+            None => {
+                self.wire.set_nonblocking(true)?;
+                let r = self.wire.read(&mut scratch);
+                self.wire.set_nonblocking(false)?;
+                match r {
+                    // A zero-byte read is peer EOF, not "nothing available":
+                    // surface it so callers reconnect instead of spinning.
+                    Ok(0) => return Err(conn_closed()),
+                    Ok(n) => n,
+                    Err(e) if is_timeout(&e) => 0,
+                    Err(e) => return Err(e),
+                }
+            }
+            Some(t) => {
+                self.wire.set_read_timeout(Some(t))?;
+                match self.wire.read(&mut scratch) {
+                    Ok(0) => return Err(conn_closed()),
+                    Ok(n) => n,
+                    Err(e) if is_timeout(&e) => 0,
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        if n > 0 {
+            self.rbuf.extend_from_slice(&scratch[..n]);
+        }
+        Ok(n)
+    }
+}
+
+impl ClientLink for WireLink {
+    fn handshake(&mut self, start_offset: u64, timeout: Duration) -> io::Result<u64> {
+        self.wire.write_all(&hello_bytes(start_offset))?;
+        let mut reply = [0u8; HANDSHAKE_BYTES];
+        let mut got = 0;
+        let deadline = Instant::now() + timeout;
+        let poll = Duration::from_millis(10);
+        while got < HANDSHAKE_BYTES {
+            self.wire.set_read_timeout(Some(poll))?;
+            match self.wire.read(&mut reply[got..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "daemon closed the connection during handshake",
+                    ))
+                }
+                Ok(n) => got += n,
+                Err(e) if is_timeout(&e) => {
+                    if Instant::now() >= deadline {
+                        return Err(transport_err("handshake timed out"));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if reply[..4] != REPLY_MAGIC {
+            return Err(protocol_err("bad handshake reply magic"));
+        }
+        let version = u16::from_le_bytes(reply[4..6].try_into().unwrap());
+        if version != TRANSPORT_VERSION {
+            return Err(protocol_err(format!(
+                "daemon speaks transport version {version}, client speaks {TRANSPORT_VERSION}"
+            )));
+        }
+        if reply[6] != STATUS_OK {
+            return Err(protocol_err(format!(
+                "daemon rejected the session (status {})",
+                reply[6]
+            )));
+        }
+        Ok(u64::from_le_bytes(reply[8..16].try_into().unwrap()))
+    }
+
+    fn send_data(&mut self, offset: u64, payload: &[u8]) -> io::Result<()> {
+        self.wire.write_all(&data_frame(offset, payload))
+    }
+
+    fn send_heartbeat(&mut self) -> io::Result<()> {
+        self.wire.write_all(&[TAG_HEARTBEAT])
+    }
+
+    fn send_fin(&mut self, total: u64) -> io::Result<()> {
+        self.wire.write_all(&tagged_u64(TAG_FIN, total))
+    }
+
+    fn recv_reply(&mut self, wait: Option<Duration>) -> io::Result<Option<ServerReply>> {
+        if let Some(r) = self.parse_reply()? {
+            return Ok(Some(r));
+        }
+        if self.read_replies(wait)? == 0 {
+            return Ok(None);
+        }
+        self.parse_reply()
+    }
+}
+
+/// Client-side input stream for [`send_stream`].
+///
+/// Offset resume across daemon restarts needs a seekable input; FIFOs and
+/// stdin can only skip forward.
+pub trait SendInput {
+    /// Positions the cursor at absolute `offset`.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when a non-seekable input would have to rewind.
+    fn seek_to(&mut self, offset: u64) -> io::Result<()>;
+
+    /// Reads the next bytes at the cursor; `Ok(0)` means end-of-input (for
+    /// now — a growing file may return more later).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors.
+    fn read_more(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// Seekable [`SendInput`] over a [`fs::File`].
+#[derive(Debug)]
+pub struct FileInput {
+    file: fs::File,
+    at: u64,
+}
+
+impl FileInput {
+    /// Opens `path` for sending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open errors.
+    pub fn open(path: &std::path::Path) -> io::Result<Self> {
+        Ok(Self {
+            file: fs::File::open(path)?,
+            at: 0,
+        })
+    }
+}
+
+impl SendInput for FileInput {
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.at = offset;
+        Ok(())
+    }
+
+    fn read_more(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.file.read(buf)?;
+        self.at += n as u64;
+        Ok(n)
+    }
+}
+
+/// Forward-only [`SendInput`] over any reader (FIFOs, stdin).
+#[derive(Debug)]
+pub struct ReaderInput<R: Read> {
+    inner: R,
+    at: u64,
+}
+
+impl<R: Read> ReaderInput<R> {
+    /// Wraps `inner` with the cursor at 0.
+    pub fn new(inner: R) -> Self {
+        Self { inner, at: 0 }
+    }
+}
+
+impl<R: Read> SendInput for ReaderInput<R> {
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        if offset < self.at {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "daemon requested resume from byte {offset} but this input \
+                     is not seekable (cursor already at {})",
+                    self.at
+                ),
+            ));
+        }
+        let mut remaining = offset - self.at;
+        let mut scratch = [0u8; 16 * 1024];
+        while remaining > 0 {
+            let want = scratch.len().min(remaining as usize);
+            let n = self.inner.read(&mut scratch[..want])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "input ended while skipping to the daemon's resume offset",
+                ));
+            }
+            remaining -= n as u64;
+            self.at += n as u64;
+        }
+        Ok(())
+    }
+
+    fn read_more(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.at += n as u64;
+        Ok(n)
+    }
+}
+
+/// Fully seekable in-memory [`SendInput`] (tests, small traces).
+#[derive(Debug)]
+pub struct MemInput {
+    data: Vec<u8>,
+    at: u64,
+}
+
+impl MemInput {
+    /// Serves `data` from offset 0.
+    pub fn new(data: Vec<u8>) -> Self {
+        Self { data, at: 0 }
+    }
+}
+
+impl SendInput for MemInput {
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        if offset > self.data.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "resume offset beyond input length",
+            ));
+        }
+        self.at = offset;
+        Ok(())
+    }
+
+    fn read_more(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let rest = &self.data[self.at as usize..];
+        let n = buf.len().min(rest.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.at += n as u64;
+        Ok(n)
+    }
+}
+
+/// Behavior knobs for [`send_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct SendOptions {
+    /// Reconnect backoff and idle/ack-wait limits (reuses the daemon's
+    /// follow policy shape).
+    pub policy: FollowPolicy,
+    /// Reconnect and resend after transport errors instead of giving up.
+    pub retry: bool,
+    /// Payload bytes per DATA frame.
+    pub data_bytes: usize,
+    /// Unacked-byte window before the sender blocks waiting for an ack
+    /// (client-side flow control; bounds the daemon's staging backlog).
+    pub ack_window: u64,
+    /// Keep polling the input for growth at EOF (FIFO/tailed-file mode)
+    /// until it stays idle for `policy.idle_limit`, then FIN.
+    pub follow: bool,
+    /// Hard cap on sessions opened before giving up (termination backstop).
+    pub max_sessions: u64,
+}
+
+impl Default for SendOptions {
+    fn default() -> Self {
+        Self {
+            policy: FollowPolicy::default(),
+            retry: true,
+            data_bytes: DEFAULT_DATA_BYTES,
+            ack_window: DEFAULT_ACK_WINDOW,
+            follow: false,
+            max_sessions: DEFAULT_MAX_SESSIONS,
+        }
+    }
+}
+
+/// What a [`send_stream`] call accomplished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendOutcome {
+    /// Bytes the daemon acknowledged as committed.
+    pub acked: u64,
+    /// Sessions opened (1 = no reconnects).
+    pub sessions: u64,
+    /// Bytes re-sent below the high-water mark after reconnects.
+    pub retransmitted: u64,
+    /// The daemon sent a protocol GOODBYE (graceful shutdown, not a crash).
+    pub goodbye: bool,
+    /// FIN was acknowledged: the daemon committed the entire input.
+    pub complete: bool,
+}
+
+enum SessionEnd {
+    /// The stream finished (FIN acked) or the daemon said goodbye.
+    Done,
+    /// Transport failure; reconnect if retrying.
+    Lost(io::Error),
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_session<I: SendInput, L: ClientLink>(
+    link: &mut L,
+    input: &mut I,
+    options: &SendOptions,
+    offset: &mut u64,
+    last_ack: &mut u64,
+    high_water: &mut u64,
+    outcome: &mut SendOutcome,
+    chunk: &mut [u8],
+) -> io::Result<SessionEnd> {
+    macro_rules! lnk {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(e) => return Ok(SessionEnd::Lost(e)),
+            }
+        };
+    }
+    let poll = Duration::from_millis(20).min(options.policy.idle_limit);
+    let heartbeat_every = options.policy.max_backoff.max(Duration::from_millis(1));
+    let mut fin_at: Option<u64> = None;
+    let mut input_idle = Duration::ZERO;
+    let mut ack_wait = Duration::ZERO;
+    // Folds one reply into the session state; `true` means the daemon said
+    // goodbye and the session (and the whole send) is over.
+    let mut saw_goodbye = false;
+    macro_rules! apply {
+        ($reply:expr) => {
+            match $reply {
+                ServerReply::Ack(a) => {
+                    if a > *last_ack {
+                        *last_ack = a;
+                        ack_wait = Duration::ZERO;
+                    }
+                }
+                ServerReply::Goodbye(a) => {
+                    if a > *last_ack {
+                        *last_ack = a;
+                    }
+                    outcome.goodbye = true;
+                    saw_goodbye = true;
+                }
+            }
+        };
+    }
+    loop {
+        // Completion first: a FIN ack already applied must win over any
+        // subsequent EOF the daemon sends when it closes the connection.
+        if let Some(total) = fin_at {
+            if *last_ack >= total {
+                outcome.complete = true;
+                return Ok(SessionEnd::Done);
+            }
+        }
+        if saw_goodbye {
+            return Ok(SessionEnd::Done);
+        }
+        // Drain whatever replies already arrived. Stop as soon as the stream
+        // is complete: the daemon closes right after the final ack, and one
+        // more read would turn that EOF into a spurious session loss.
+        while let Some(reply) = lnk!(link.recv_reply(None)) {
+            apply!(reply);
+            if saw_goodbye || fin_at.is_some_and(|total| *last_ack >= total) {
+                break;
+            }
+        }
+        if saw_goodbye {
+            continue; // completion check at loop top
+        }
+        if fin_at.is_some() || *offset - *last_ack >= options.ack_window {
+            // FIN pending or flow-control window full: block for an ack.
+            if fin_at.is_some() && *last_ack >= fin_at.unwrap_or(0) {
+                continue; // the drain above just completed the stream
+            }
+            match lnk!(link.recv_reply(Some(poll))) {
+                Some(reply) => apply!(reply),
+                None => {
+                    ack_wait += poll;
+                    if ack_wait >= options.policy.idle_limit {
+                        return Ok(SessionEnd::Lost(transport_err(
+                            "daemon stopped acking before the stream completed",
+                        )));
+                    }
+                }
+            }
+            continue;
+        }
+        // Pump input.
+        let n = input.read_more(chunk)?;
+        if n > 0 {
+            if *offset < *high_water {
+                outcome.retransmitted += (n as u64).min(*high_water - *offset);
+            }
+            lnk!(link.send_data(*offset, &chunk[..n]));
+            *offset += n as u64;
+            *high_water = (*high_water).max(*offset);
+            input_idle = Duration::ZERO;
+            continue;
+        }
+        // EOF: in follow mode, heartbeat and poll for growth first.
+        if options.follow && input_idle < options.policy.idle_limit {
+            lnk!(link.send_heartbeat());
+            std::thread::sleep(heartbeat_every);
+            input_idle += heartbeat_every;
+            continue;
+        }
+        lnk!(link.send_fin(*offset));
+        fin_at = Some(*offset);
+        ack_wait = Duration::ZERO;
+    }
+}
+
+/// Streams `input` to a daemon with retry/backoff and offset resume.
+///
+/// `dial` opens a fresh (unhandshaken) [`ClientLink`] per session; the
+/// handshake's resume offset repositions the input, so reconnects — including
+/// across a daemon restart with `--resume` — deliver exactly the canonical
+/// byte stream. Returns once FIN is acked, the daemon says GOODBYE, or
+/// retries are exhausted.
+///
+/// # Errors
+///
+/// Input read/seek errors are returned as-is; transport failures surface as
+/// `TimedOut`-class errors once the retry budget (consecutive downtime
+/// exceeding `policy.idle_limit`, or `max_sessions`) is spent. With
+/// `retry: false` the first transport failure is returned directly.
+pub fn send_stream<I, L, D>(
+    input: &mut I,
+    mut dial: D,
+    options: &SendOptions,
+) -> io::Result<SendOutcome>
+where
+    I: SendInput,
+    L: ClientLink,
+    D: FnMut() -> io::Result<L>,
+{
+    let mut outcome = SendOutcome::default();
+    let mut chunk = vec![0u8; options.data_bytes.clamp(1, MAX_DATA_BYTES)];
+    let mut believed = 0u64;
+    let mut high_water = 0u64;
+    let mut downtime = Duration::ZERO;
+    let mut backoff = options.policy.initial_backoff.max(Duration::from_millis(1));
+    loop {
+        if outcome.sessions >= options.max_sessions {
+            return Err(transport_err(format!(
+                "gave up after {} sessions without completing the stream",
+                outcome.sessions
+            )));
+        }
+        let dialed = dial().and_then(|mut link| {
+            let resume = link.handshake(believed, options.policy.idle_limit)?;
+            Ok((link, resume))
+        });
+        let (mut link, resume) = match dialed {
+            Ok(ok) => ok,
+            Err(e) => {
+                if !options.retry {
+                    return Err(e);
+                }
+                if downtime >= options.policy.idle_limit {
+                    return Err(transport_err(format!(
+                        "connection failed after retries ({e})"
+                    )));
+                }
+                std::thread::sleep(backoff);
+                downtime += backoff;
+                backoff = (backoff * 2).min(options.policy.max_backoff.max(backoff));
+                continue;
+            }
+        };
+        outcome.sessions += 1;
+        downtime = Duration::ZERO;
+        backoff = options.policy.initial_backoff.max(Duration::from_millis(1));
+        input.seek_to(resume)?;
+        let mut offset = resume;
+        let mut last_ack = resume;
+        match run_session(
+            &mut link,
+            input,
+            options,
+            &mut offset,
+            &mut last_ack,
+            &mut high_water,
+            &mut outcome,
+            &mut chunk,
+        )? {
+            SessionEnd::Done => {
+                outcome.acked = last_ack;
+                return Ok(outcome);
+            }
+            SessionEnd::Lost(e) => {
+                if !options.retry {
+                    return Err(e);
+                }
+                believed = last_ack;
+            }
+        }
+    }
+}
+
+/// [`send_stream`] over real sockets: dials `endpoint` with [`WireLink`].
+///
+/// # Errors
+///
+/// See [`send_stream`].
+pub fn send_to(
+    endpoint: &Endpoint,
+    input: &mut impl SendInput,
+    options: &SendOptions,
+) -> io::Result<SendOutcome> {
+    let ep = endpoint.clone();
+    send_stream(input, move || WireLink::connect(&ep), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    fn fast_policy() -> FollowPolicy {
+        FollowPolicy {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            idle_limit: Duration::from_secs(5),
+        }
+    }
+
+    fn drain_all(src: &mut SocketSource) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(c) = src.next_chunk().unwrap() {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    fn unix_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("impress-transport-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn endpoint_parse_roundtrip() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:7700").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7700".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///run/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/run/x.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp://10.0.0.1:9").unwrap().to_string(),
+            "tcp://10.0.0.1:9"
+        );
+        assert!(Endpoint::parse("udp://x").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(Endpoint::parse("unix://").is_err());
+    }
+
+    #[test]
+    fn loopback_tcp_roundtrip_with_fin() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut src = SocketSource::new(listener, fast_policy());
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let client = thread::spawn(move || {
+            let mut input = MemInput::new(payload);
+            let options = SendOptions {
+                policy: fast_policy(),
+                data_bytes: 4096,
+                ..SendOptions::default()
+            };
+            send_to(&ep, &mut input, &options).unwrap()
+        });
+        let got = drain_all(&mut src);
+        let outcome = client.join().unwrap();
+        assert_eq!(got, expect);
+        assert!(outcome.complete);
+        assert_eq!(outcome.sessions, 1);
+        assert_eq!(outcome.acked, expect.len() as u64);
+        assert!(src.take_transport_events().is_empty());
+    }
+
+    #[test]
+    fn loopback_unix_roundtrip_with_fin() {
+        let path = unix_path("unix-roundtrip");
+        let listener = Listener::bind(&Endpoint::Unix(path.clone())).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut src = SocketSource::new(listener, fast_policy());
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 241) as u8).collect();
+        let expect = payload.clone();
+        let client = thread::spawn(move || {
+            let mut input = MemInput::new(payload);
+            send_to(
+                &ep,
+                &mut input,
+                &SendOptions {
+                    policy: fast_policy(),
+                    data_bytes: 1000,
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap()
+        });
+        let got = drain_all(&mut src);
+        assert!(client.join().unwrap().complete);
+        assert_eq!(got, expect);
+        assert!(
+            !path.exists() || {
+                drop(src);
+                !path.exists()
+            }
+        );
+    }
+
+    #[test]
+    fn server_dedups_retransmitted_bytes() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut src = SocketSource::new(listener, fast_policy());
+        let client = thread::spawn(move || {
+            let mut link = WireLink::connect(&ep).unwrap();
+            let resume = link.handshake(0, Duration::from_secs(5)).unwrap();
+            assert_eq!(resume, 0);
+            link.send_data(0, &[1u8; 100]).unwrap();
+            // Full duplicate, then an overlapping frame with a fresh suffix.
+            link.send_data(0, &[1u8; 100]).unwrap();
+            let mut mixed = vec![1u8; 50];
+            mixed.extend_from_slice(&[2u8; 60]);
+            link.send_data(50, &mixed).unwrap();
+            link.send_fin(160).unwrap();
+            loop {
+                match link.recv_reply(Some(Duration::from_secs(5))).unwrap() {
+                    Some(ServerReply::Ack(a)) if a >= 160 => break,
+                    Some(_) | None => {}
+                }
+            }
+        });
+        let got = drain_all(&mut src);
+        client.join().unwrap();
+        let mut expect = vec![1u8; 100];
+        expect.extend_from_slice(&[2u8; 60]);
+        assert_eq!(got, expect);
+        let events = src.take_transport_events();
+        let dup_bytes: u64 = events
+            .iter()
+            .map(|e| match e {
+                TransportEvent::DuplicateDropped { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(dup_bytes, 150, "events: {events:?}");
+    }
+
+    #[test]
+    fn reconnect_resumes_from_committed_offset() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        // Tight ack cadence so session 1 can observe its prefix committing.
+        let mut src = SocketSource::new(listener, fast_policy()).with_tuning(SocketTuning {
+            ack_every: 1024,
+            ..SocketTuning::default()
+        });
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 239) as u8).collect();
+        let expect = payload.clone();
+        let client = thread::spawn(move || {
+            // Session 1: deliver a prefix, then vanish without FIN.
+            let mut link = WireLink::connect(&ep).unwrap();
+            link.handshake(0, Duration::from_secs(5)).unwrap();
+            link.send_data(0, &payload[..10_000]).unwrap();
+            loop {
+                // Wait until the prefix is committed (acked) so the resume
+                // offset is deterministic.
+                match link.recv_reply(Some(Duration::from_secs(5))).unwrap() {
+                    Some(ServerReply::Ack(a)) if a >= 10_000 => break,
+                    _ => {}
+                }
+            }
+            drop(link);
+            // Session 2: announce a stale offset; the server's reply wins.
+            let mut input = MemInput::new(payload);
+            send_to(
+                &ep,
+                &mut input,
+                &SendOptions {
+                    policy: fast_policy(),
+                    data_bytes: 4096,
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap()
+        });
+        let got = drain_all(&mut src);
+        let outcome = client.join().unwrap();
+        assert_eq!(got, expect);
+        assert!(outcome.complete);
+        let events = src.take_transport_events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TransportEvent::Disconnected {
+                    reason: DisconnectReason::Eof,
+                    ..
+                }
+            )),
+            "events: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::SessionResumed { offset: 10_000, .. })),
+            "events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn idle_listener_times_out_cleanly() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let mut src = SocketSource::new(
+            listener,
+            FollowPolicy {
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(5),
+                idle_limit: Duration::from_millis(40),
+            },
+        );
+        assert!(src.next_chunk().unwrap().is_none());
+        assert!(src.take_transport_events().is_empty());
+    }
+
+    #[test]
+    fn drain_flag_sends_goodbye_and_ends_stream() {
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut src = SocketSource::new(listener, fast_policy()).with_drain_flag(flag);
+        let client = thread::spawn(move || {
+            let mut link = WireLink::connect(&ep).unwrap();
+            link.handshake(0, Duration::from_secs(5)).unwrap();
+            link.send_data(0, &[7u8; 500]).unwrap();
+            // Heartbeat-idle until the goodbye arrives.
+            loop {
+                match link.recv_reply(Some(Duration::from_millis(20))).unwrap() {
+                    Some(ServerReply::Goodbye(g)) => return g,
+                    Some(ServerReply::Ack(_)) => {}
+                    None => link.send_heartbeat().unwrap(),
+                }
+            }
+        });
+        let first = src.next_chunk().unwrap().unwrap().to_vec();
+        assert_eq!(first, vec![7u8; 500]);
+        flag.store(true, Ordering::SeqCst);
+        assert!(src.next_chunk().unwrap().is_none());
+        let committed = client.join().unwrap();
+        assert_eq!(committed, 500);
+        let events = src.take_transport_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::Drained { offset: 500 })),
+            "events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn follow_mode_sender_fins_after_input_goes_idle() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut src = SocketSource::new(listener, fast_policy());
+        let client = thread::spawn(move || {
+            let mut input = MemInput::new(vec![3u8; 2000]);
+            send_to(
+                &ep,
+                &mut input,
+                &SendOptions {
+                    policy: FollowPolicy {
+                        initial_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(5),
+                        idle_limit: Duration::from_millis(50),
+                    },
+                    follow: true,
+                    data_bytes: 512,
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap()
+        });
+        let got = drain_all(&mut src);
+        let outcome = client.join().unwrap();
+        assert_eq!(got.len(), 2000);
+        assert!(outcome.complete);
+    }
+
+    #[test]
+    fn reader_input_skips_forward_but_never_rewinds() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut input = ReaderInput::new(&data[..]);
+        input.seek_to(10).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(input.read_more(&mut buf).unwrap(), 4);
+        assert_eq!(&buf, &[10, 11, 12, 13]);
+        let err = input.seek_to(0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn no_retry_client_reports_connect_failure() {
+        // Nothing is listening on this endpoint (bound then dropped).
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        drop(listener);
+        let mut input = MemInput::new(vec![0u8; 16]);
+        let err = send_to(
+            &ep,
+            &mut input,
+            &SendOptions {
+                retry: false,
+                ..SendOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.kind() == io::ErrorKind::ConnectionRefused || is_timeout(&err));
+    }
+
+    #[test]
+    fn retry_client_gives_up_after_idle_budget() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        drop(listener);
+        let mut input = MemInput::new(vec![0u8; 16]);
+        let err = send_to(
+            &ep,
+            &mut input,
+            &SendOptions {
+                retry: true,
+                policy: FollowPolicy {
+                    initial_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(5),
+                    idle_limit: Duration::from_millis(30),
+                },
+                ..SendOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(is_timeout(&err), "got {err:?}");
+    }
+}
