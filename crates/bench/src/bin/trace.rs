@@ -39,26 +39,40 @@
 //!              [--resync] [--follow] [--resume] [--checkpoint FILE]
 //!              [--checkpoint-every N] [--window N] [--max-lag N]
 //!              [--shard-threads N] [--idle-timeout MS] [--backoff-initial MS]
-//!              [--backoff-max MS] [--verdict FILE] [--expect FILE]
+//!              [--backoff-max MS] [--max-clients N] [--stage-budget BYTES]
+//!              [--stall-limit MS] [--quarantine-after N] [--verdict FILE]
+//!              [--verdict-dir DIR] [--expect FILE]
 //!     Supervised ingestion: periodic durable checkpoints, bounded-lag
 //!     telemetry shedding, contained shard panics (quarantine). --follow rides
 //!     out a slow/stalling source with capped exponential backoff; --resume
 //!     restarts after a crash by deterministic prefix re-execution validated
-//!     against the last checkpoint. --listen accepts producers over TCP or a
-//!     Unix-domain socket instead of reading a file: sessions resume from the
-//!     daemon's acked offset across reconnects, and SIGTERM drains gracefully
-//!     (finish the in-flight batch, final checkpoint, verdict, protocol
-//!     goodbye). The verdict always uses the extended (v2) schema.
+//!     against the last checkpoint. --listen runs the multi-tenant supervisor:
+//!     every admitted producer gets its own isolated ingest pipeline (own
+//!     simulator state, fault ledger, checkpoint, verdict) under shared
+//!     admission (--max-clients) and staging-memory (--stage-budget) budgets;
+//!     slow-loris sessions are stall-evicted after --stall-limit, and a tenant
+//!     accumulating --quarantine-after protocol violations or stall evictions
+//!     is banned for the daemon's lifetime — without disturbing other tenants.
+//!     Sessions resume from the daemon's acked offset across reconnects, and
+//!     SIGTERM drains every live session gracefully. The first tenant's
+//!     verdict goes to --verdict (or stdout); --verdict-dir writes every
+//!     tenant's verdict as DIR/tenant-<id>.json. Listen-mode defaults follow
+//!     the library's `DaemonOptions::listening()` (bounded lag of 64 windows,
+//!     30 s idle). All verdicts use the extended (v2) schema.
 //!
 //! trace send --in FILE --to tcp://ADDR|unix://PATH [--no-retry] [--follow]
 //!            [--chunk-bytes N] [--ack-window N] [--max-sessions N]
-//!            [--idle-timeout MS] [--backoff-initial MS] [--backoff-max MS]
-//!            [--fault-seed N]
+//!            [--heartbeat MS] [--idle-limit MS] [--idle-timeout MS]
+//!            [--backoff-initial MS] [--backoff-max MS] [--fault-seed N]
+//!            [--hostile-seed N]
 //!     Streams a recorded trace (or FIFO with --follow) to a listening daemon,
 //!     reconnecting with capped backoff and resuming from the daemon's acked
-//!     offset unless --no-retry. --fault-seed injects a seeded connection-fault
-//!     plan (disconnects, stalls, short writes, duplicate tails) for hostile-
-//!     network testing.
+//!     offset unless --no-retry. --heartbeat sets the keepalive cadence and
+//!     --idle-limit (synonym --idle-timeout) the per-session reply budget.
+//!     --fault-seed injects a seeded connection-fault plan (disconnects,
+//!     stalls, short writes, duplicate tails) for hostile-network testing.
+//!     --hostile-seed instead runs a deliberately protocol-violating producer
+//!     that expects to be quarantined (exits 0 only if the daemon bans it).
 //! ```
 //!
 //! `--config` takes a named configuration (`unprotected`, `graphene-impress-p`,
@@ -73,9 +87,12 @@
 //! them: [`EXIT_OK`] (0), [`EXIT_USAGE`] (2), [`EXIT_IO`] (3, the medium
 //! failed), [`EXIT_CORRUPT`] (4, the stream content is damaged — strict-mode
 //! decode or mapping errors, or a refused resume), [`EXIT_VERDICT_MISMATCH`]
-//! (5, `--expect` diff failed), [`EXIT_PANIC`] (6, internal panic) and
+//! (5, `--expect` diff failed), [`EXIT_PANIC`] (6, internal panic),
 //! [`EXIT_TRANSPORT`] (7, `trace send` could not deliver the stream — the
-//! connection failed after retries).
+//! connection failed after retries, or the daemon quarantined this producer)
+//! and [`EXIT_RESUME_UNSUPPORTED`] (8, the daemon asked a forward-only input
+//! — stdin or a FIFO — to rewind to an offset it already consumed; delivery
+//! stopped rather than silently skipping or duplicating bytes).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -86,15 +103,18 @@ use std::time::{Duration, Instant};
 
 use impress_bench::{named_configuration, record_workload_trace, CONFIGURATION_NAMES};
 use impress_sim::daemon::{supervise, write_checkpoint_durable, Checkpoint, DaemonOptions};
-use impress_sim::{Configuration, System, SystemConfig, TraceRunner, VerdictReport};
+use impress_sim::{
+    serve_tenants, Configuration, MultiReport, System, SystemConfig, TraceRunner, VerdictReport,
+};
 use impress_workloads::codec::{DecodeMode, TraceMeta, TraceReader, TraceRecord, TraceWriter};
 use impress_workloads::faults::{
-    apply_plan, ConnFaultPlan, ConnFaultState, FaultPlan, FaultTransport, FrameMap,
+    apply_plan, run_hostile_producer, ConnFaultPlan, ConnFaultState, FaultPlan, FaultTransport,
+    FrameMap,
 };
 use impress_workloads::source::{FollowPolicy, FollowSource, ReadSource, SliceSource};
 use impress_workloads::transport::{
     send_stream, send_to, Endpoint, FileInput, Listener, ReaderInput, SendInput, SendOptions,
-    SendOutcome, SocketSource, WireLink,
+    SendOutcome, TenantLimits, TenantServer, WireLink,
 };
 use impress_workloads::WorkloadMix;
 
@@ -116,8 +136,15 @@ pub const EXIT_VERDICT_MISMATCH: i32 = 5;
 /// An internal panic was caught at the top level.
 pub const EXIT_PANIC: i32 = 6;
 /// `trace send` could not deliver the stream: the connection failed after
-/// retries (or immediately with `--no-retry`).
+/// retries (or immediately with `--no-retry`), or the daemon quarantined
+/// this producer.
 pub const EXIT_TRANSPORT: i32 = 7;
+/// `trace send` was asked to resume from an offset its forward-only input
+/// (stdin or a FIFO) already consumed. Rewinding is impossible, so the send
+/// stops with this typed failure instead of silently skipping or duplicating
+/// bytes. Restart the producer from a seekable file, or rerun the pipeline
+/// that feeds the FIFO.
+pub const EXIT_RESUME_UNSUPPORTED: i32 = 8;
 
 fn usage() -> ! {
     eprintln!(
@@ -133,10 +160,13 @@ fn usage() -> ! {
          \x20      trace daemon (--in FILE | --listen tcp://ADDR|unix://PATH) [--config NAME] \
          [--resync] [--follow] [--resume] [--checkpoint FILE] [--checkpoint-every N] \
          [--window N] [--max-lag N] [--shard-threads N] [--idle-timeout MS] \
-         [--backoff-initial MS] [--backoff-max MS] [--verdict FILE] [--expect FILE]\n\
+         [--backoff-initial MS] [--backoff-max MS] [--max-clients N] [--stage-budget BYTES] \
+         [--stall-limit MS] [--quarantine-after N] [--verdict FILE] [--verdict-dir DIR] \
+         [--expect FILE]\n\
          \x20      trace send --in FILE --to tcp://ADDR|unix://PATH [--no-retry] [--follow] \
-         [--chunk-bytes N] [--ack-window N] [--max-sessions N] [--idle-timeout MS] \
-         [--backoff-initial MS] [--backoff-max MS] [--fault-seed N]"
+         [--chunk-bytes N] [--ack-window N] [--max-sessions N] [--heartbeat MS] \
+         [--idle-limit MS] [--backoff-initial MS] [--backoff-max MS] [--fault-seed N] \
+         [--hostile-seed N]"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -171,21 +201,28 @@ impl Args {
             .unwrap_or_else(|| panic!("unknown configuration {name:?} (see --help)"))
     }
 
-    /// Follow/reconnect policy from `--idle-timeout`, `--backoff-initial` and
-    /// `--backoff-max` (all in milliseconds), defaulting to
-    /// [`FollowPolicy::default`]'s 5 s / 5 ms / 200 ms.
+    /// Follow/reconnect policy from `--idle-limit` (synonym `--idle-timeout`),
+    /// `--backoff-initial` and `--backoff-max` (all in milliseconds),
+    /// defaulting to [`FollowPolicy::default`]'s 5 s / 5 ms / 200 ms.
     fn follow_policy(&self) -> FollowPolicy {
-        let d = FollowPolicy::default();
+        self.follow_policy_over(FollowPolicy::default())
+    }
+
+    /// Like [`Args::follow_policy`], but with explicit defaults — the listen
+    /// path passes [`FollowPolicy::listening`] so CLI and library defaults
+    /// agree by construction.
+    fn follow_policy_over(&self, base: FollowPolicy) -> FollowPolicy {
         FollowPolicy {
             initial_backoff: Duration::from_millis(
-                self.get_u64("--backoff-initial", d.initial_backoff.as_millis() as u64),
+                self.get_u64("--backoff-initial", base.initial_backoff.as_millis() as u64),
             ),
             max_backoff: Duration::from_millis(
-                self.get_u64("--backoff-max", d.max_backoff.as_millis() as u64),
+                self.get_u64("--backoff-max", base.max_backoff.as_millis() as u64),
             ),
-            idle_limit: Duration::from_millis(
-                self.get_u64("--idle-timeout", d.idle_limit.as_millis() as u64),
-            ),
+            idle_limit: Duration::from_millis(self.get_u64(
+                "--idle-limit",
+                self.get_u64("--idle-timeout", base.idle_limit.as_millis() as u64),
+            )),
         }
     }
 }
@@ -475,6 +512,64 @@ fn install_sigterm_drain() {
     }
 }
 
+/// Reports a multi-tenant serving run: a summary line per tenant, the first
+/// tenant's verdict to `--verdict`/stdout (with `--expect` checking), and
+/// every tenant's verdict to `--verdict-dir/tenant-<id>.json`.
+///
+/// Per-tenant pipeline failures are isolated failures the daemon already
+/// survived, so they are reported on stderr but do not fail the process.
+fn report_tenants(
+    args: &Args,
+    configuration: &Configuration,
+    multi: &MultiReport,
+) -> io::Result<()> {
+    let verdict_dir = args.get("--verdict-dir");
+    if let Some(dir) = verdict_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut failed = 0usize;
+    for tenant in &multi.tenants {
+        match &tenant.result {
+            Ok(report) => {
+                eprintln!(
+                    "trace: tenant {}: ingested {} records of {} under {}: outcome {}, \
+                     {} fault entries, records_lost <= {}",
+                    tenant.tenant,
+                    report.records,
+                    report.verdict.workload,
+                    configuration.label,
+                    report.verdict.outcome(),
+                    report.verdict.faults.entries.len(),
+                    report.verdict.faults.records_lost()
+                );
+                let json = report.verdict.to_json_extended();
+                if let Some(dir) = verdict_dir {
+                    std::fs::write(
+                        Path::new(dir).join(format!("tenant-{}.json", tenant.tenant)),
+                        &json,
+                    )?;
+                }
+                if tenant.tenant == 1 {
+                    write_verdict_json(args.get("--verdict"), &json)?;
+                    check_expected(args, &json)?;
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!(
+                    "trace: tenant {}: pipeline failed (isolated, daemon kept serving): {e}",
+                    tenant.tenant
+                );
+            }
+        }
+    }
+    eprintln!(
+        "trace: daemon served {} tenant(s), {failed} failed",
+        multi.tenants.len()
+    );
+    Ok(())
+}
+
 fn cmd_daemon(args: &Args) -> io::Result<()> {
     let listen = args.get("--listen");
     let input = match (args.get("--in"), listen) {
@@ -491,37 +586,57 @@ fn cmd_daemon(args: &Args) -> io::Result<()> {
     } else {
         None
     };
+    // Listen mode inherits the library's listening defaults: a socket
+    // producer can outpace the simulator indefinitely, so lag is bounded
+    // (shedding telemetry via the watchdog — never records), and the idle
+    // limit is a patient 30 s instead of the file follower's 5 s.
+    let base = if listen.is_some() {
+        DaemonOptions::listening()
+    } else {
+        DaemonOptions::default()
+    };
     let options = DaemonOptions {
         window_records: args.get_u64("--window", 1 << 16),
         checkpoint_every: args.get_u64("--checkpoint-every", 1 << 18),
-        // A socket producer can outpace the simulator indefinitely, so a
-        // listening daemon bounds telemetry lag by default (shedding telemetry
-        // via the watchdog — never records).
-        max_lag_windows: args.get_u64("--max-lag", if listen.is_some() { 64 } else { 0 }) as usize,
+        max_lag_windows: args.get_u64("--max-lag", base.max_lag_windows as u64) as usize,
         shard_threads: args.get_u64("--shard-threads", 1) as usize,
         resync: args.has("--resync"),
         resume_from,
         record_batch: None,
     };
 
-    let mut on_checkpoint = |cp: &Checkpoint| match checkpoint_path.as_deref() {
-        Some(path) => write_checkpoint_durable(Path::new(path), cp),
-        None => Ok(()),
-    };
-    let report = if let Some(listen) = listen {
+    if let Some(listen) = listen {
         let endpoint = Endpoint::parse(listen)?;
         let listener = Listener::bind(&endpoint)?;
         eprintln!("trace: daemon listening on {}", listener.local_endpoint()?);
         install_sigterm_drain();
-        let mut policy = args.follow_policy();
-        if args.get("--idle-timeout").is_none() {
-            // A file follower's 5 s idle default is far too impatient for a
-            // network listener waiting on producers to dial in or return.
-            policy.idle_limit = Duration::from_secs(30);
-        }
-        let source = SocketSource::new(listener, policy).with_drain_flag(&DRAIN);
-        supervise(source, &configuration, &options, &mut on_checkpoint)?
-    } else {
+        let policy = args.follow_policy_over(FollowPolicy::listening());
+        let d = TenantLimits::default();
+        let limits = TenantLimits {
+            max_clients: args.get_u64("--max-clients", d.max_clients as u64) as usize,
+            stage_budget: args.get_u64("--stage-budget", d.stage_budget),
+            stall_limit: Duration::from_millis(
+                args.get_u64("--stall-limit", d.stall_limit.as_millis() as u64),
+            ),
+            quarantine_after: args.get_u64("--quarantine-after", u64::from(d.quarantine_after))
+                as u32,
+            ..d
+        };
+        let mut server = TenantServer::new(listener, policy, limits).with_drain_flag(&DRAIN);
+        let multi = serve_tenants(
+            &mut server,
+            &configuration,
+            &options,
+            checkpoint_path.as_deref().map(Path::new),
+        )?;
+        return report_tenants(args, &configuration, &multi);
+    }
+
+    let mut on_checkpoint = |cp: &Checkpoint| match checkpoint_path.as_deref() {
+        Some(path) => write_checkpoint_durable(Path::new(path), cp),
+        None => Ok(()),
+    };
+    let report = {
         let input = input.expect("checked above");
         let reader: Box<dyn Read> = if input == "-" {
             Box::new(io::stdin().lock())
@@ -593,10 +708,38 @@ fn run_send<I: SendInput>(
     }
 }
 
+/// Runs the deliberately protocol-violating producer behind
+/// `trace send --hostile-seed`: streams a clean prefix of the input, then
+/// commits seeded offset-gap violations until the daemon quarantines it.
+/// Succeeds only if the quarantine actually lands — this mode exists to prove
+/// a daemon under test bans hostile tenants without dying.
+fn run_hostile(args: &Args, input: &str, endpoint: &Endpoint, seed: u64) -> io::Result<()> {
+    let bytes = read_bytes(input)?;
+    let prefix_len = bytes.len().min(8192);
+    let max_sessions = args.get_u64("--max-sessions", 32);
+    let outcome = run_hostile_producer(endpoint, seed, &bytes[..prefix_len], max_sessions)?;
+    eprintln!(
+        "trace: hostile producer (seed {seed}): tenant {}, {} session(s), {} byte(s) \
+         delivered, quarantined: {}",
+        outcome.tenant, outcome.sessions, outcome.delivered, outcome.quarantined
+    );
+    if outcome.quarantined {
+        return Ok(());
+    }
+    eprintln!("trace: hostile producer was NOT quarantined");
+    std::process::exit(EXIT_TRANSPORT);
+}
+
 fn cmd_send(args: &Args) -> io::Result<()> {
     let input = args.get("--in").unwrap_or_else(|| usage());
     let to = args.get("--to").unwrap_or_else(|| usage());
     let endpoint = Endpoint::parse(to)?;
+    if let Some(seed) = args.get("--hostile-seed") {
+        let seed = seed
+            .parse()
+            .unwrap_or_else(|_| panic!("--hostile-seed expects an integer, got {seed:?}"));
+        return run_hostile(args, input, &endpoint, seed);
+    }
     let defaults = SendOptions::default();
     let options = SendOptions {
         policy: args.follow_policy(),
@@ -605,6 +748,10 @@ fn cmd_send(args: &Args) -> io::Result<()> {
         ack_window: args.get_u64("--ack-window", defaults.ack_window),
         follow: args.has("--follow"),
         max_sessions: args.get_u64("--max-sessions", defaults.max_sessions),
+        heartbeat: args
+            .get("--heartbeat")
+            .map(|_| Duration::from_millis(args.get_u64("--heartbeat", 0))),
+        tenant: defaults.tenant,
     };
     let fault_seed = args.get("--fault-seed").map(|v| {
         v.parse()
@@ -645,6 +792,13 @@ fn cmd_send(args: &Args) -> io::Result<()> {
                 },
             );
             Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+            // The daemon's resume offset is behind what this forward-only
+            // input (stdin/FIFO) already consumed; rewinding is impossible
+            // and skipping would silently corrupt the stream.
+            eprintln!("trace: cannot resume: {e}");
+            std::process::exit(EXIT_RESUME_UNSUPPORTED);
         }
         Err(e) => {
             eprintln!("trace: transport error: {e}");

@@ -185,6 +185,26 @@ impl Default for DaemonOptions {
     }
 }
 
+/// Telemetry windows a listen-mode daemon retains before the bounded-lag
+/// watchdog sheds the oldest. Network producers can outpace the simulator
+/// indefinitely, so listen mode must bound lag by default — unlike file
+/// ingest, where the stream is finite and `0` (unbounded) is safe.
+pub const LISTEN_MAX_LAG: usize = 64;
+
+impl DaemonOptions {
+    /// Listen-mode defaults for a network daemon: identical to
+    /// [`DaemonOptions::default`] except the bounded-lag watchdog is armed at
+    /// [`LISTEN_MAX_LAG`] windows. The `trace daemon --listen` CLI builds its
+    /// options from this, so the library defaults and the CLI's documented
+    /// defaults agree by construction.
+    pub fn listening() -> Self {
+        Self {
+            max_lag_windows: LISTEN_MAX_LAG,
+            ..Self::default()
+        }
+    }
+}
+
 /// Runs supervised daemon-mode ingestion over `source`.
 ///
 /// `on_checkpoint` is invoked with each periodic [`Checkpoint`] plus one final

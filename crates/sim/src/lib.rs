@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod runner;
 pub mod sharded;
 pub mod system;
+pub mod tenants;
 pub mod trace_runner;
 
 pub use config::SystemConfig;
@@ -39,6 +40,7 @@ pub use metrics::{geometric_mean, PerformanceResult};
 pub use runner::{Configuration, ExperimentRunner, NormalizedResult, SweepOptions, SweepResults};
 pub use sharded::{EpochStats, HorizonMode};
 pub use system::{RunOutput, System};
+pub use tenants::{serve_tenants, MultiReport, TenantReport};
 pub use trace_runner::{
     FaultLedger, IngestReport, LedgerEntry, ReplaySource, TraceRunner, VerdictReport,
     WindowTelemetry,

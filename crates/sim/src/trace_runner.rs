@@ -181,11 +181,14 @@ pub enum LedgerEntry {
         offset: u64,
     },
     /// A transport-layer event from a socket source (reconnect, disconnect,
-    /// duplicate delivery, graceful drain). Informational: the protocol's
-    /// dedup-by-offset and resume guarantee no records are lost to these, so
-    /// they never degrade the verdict — but they *are* timing-dependent, so
-    /// verdict diffs filter them alongside resume markers
-    /// (`grep -v '"kind": "conn-'`).
+    /// duplicate delivery, graceful drain, quarantine). Mostly informational:
+    /// the protocol's dedup-by-offset and resume guarantee no records are
+    /// lost to these, so they never degrade the verdict — but they *are*
+    /// timing-dependent, so verdict diffs filter them alongside resume
+    /// markers (`grep -v '"kind": "conn-'`). The exception is
+    /// [`TransportEvent::Quarantined`], which records that the server banned
+    /// the producer for repeated protocol violations and forces the verdict
+    /// outcome to `"quarantined"`.
     Transport(TransportEvent),
 }
 
@@ -251,6 +254,14 @@ impl LedgerEntry {
                 TransportEvent::Drained { offset } => {
                     format!("{{\"kind\": \"conn-drain\", \"offset\": {offset}}}")
                 }
+                TransportEvent::Quarantined {
+                    session,
+                    offset,
+                    violations,
+                } => format!(
+                    "{{\"kind\": \"conn-quarantine\", \"session\": {session}, \
+                     \"offset\": {offset}, \"violations\": {violations}}}"
+                ),
             },
         }
     }
@@ -267,14 +278,19 @@ pub struct FaultLedger {
 }
 
 impl FaultLedger {
-    /// True when nothing degraded the run. Resume markers and transport
-    /// events alone keep a run clean — a validated resume is not a fault, and
+    /// True when nothing degraded the run. Resume markers and most transport
+    /// events keep a run clean — a validated resume is not a fault, and
     /// transport events record zero-loss protocol recoveries (the socket
     /// layer's dedup and offset-resume guarantee no records were dropped).
+    /// A [`TransportEvent::Quarantined`] entry is the exception: the server
+    /// banned the producer, so the stream is untrustworthy past the ban.
     pub fn is_clean(&self) -> bool {
-        self.entries
-            .iter()
-            .all(|e| matches!(e, LedgerEntry::Resume { .. } | LedgerEntry::Transport(_)))
+        self.entries.iter().all(|e| match e {
+            LedgerEntry::Resume { .. } => true,
+            LedgerEntry::Transport(TransportEvent::Quarantined { .. }) => false,
+            LedgerEntry::Transport(_) => true,
+            _ => false,
+        })
     }
 
     /// Conservative upper bound on records lost across the run.
@@ -283,13 +299,16 @@ impl FaultLedger {
     }
 
     /// Run outcome: `"clean"`, `"degraded"` (stream damage survived) or
-    /// `"quarantined"` (at least one window's execution was contained).
+    /// `"quarantined"` (at least one window's execution was contained, or the
+    /// serving daemon banned this producer for protocol violations).
     pub fn outcome(&self) -> &'static str {
-        if self
-            .entries
-            .iter()
-            .any(|e| matches!(e, LedgerEntry::QuarantinedWindow { .. }))
-        {
+        if self.entries.iter().any(|e| {
+            matches!(
+                e,
+                LedgerEntry::QuarantinedWindow { .. }
+                    | LedgerEntry::Transport(TransportEvent::Quarantined { .. })
+            )
+        }) {
             "quarantined"
         } else if self.is_clean() {
             "clean"
@@ -330,6 +349,44 @@ impl FaultLedger {
         for event in events {
             self.push(LedgerEntry::Transport(event));
         }
+    }
+
+    /// Canonical single-line JSON summary of transport health — session,
+    /// disconnect, dedup, drain and quarantine counters aggregated from the
+    /// ledger's transport entries. `None` when the run saw no transport
+    /// events at all, so file-ingest verdicts carry no transport block and
+    /// stay byte-identical to their pre-socket form.
+    pub fn transport_summary(&self) -> Option<String> {
+        let mut any = false;
+        let mut resumed = 0u64;
+        let mut disconnects = 0u64;
+        let mut duplicates = 0u64;
+        let mut dup_bytes = 0u64;
+        let mut drains = 0u64;
+        let mut quarantines = 0u64;
+        for e in &self.entries {
+            if let LedgerEntry::Transport(event) = e {
+                any = true;
+                match *event {
+                    TransportEvent::SessionResumed { .. } => resumed += 1,
+                    TransportEvent::Disconnected { .. } => disconnects += 1,
+                    TransportEvent::DuplicateDropped { bytes, .. } => {
+                        duplicates += 1;
+                        dup_bytes += bytes;
+                    }
+                    TransportEvent::Drained { .. } => drains += 1,
+                    TransportEvent::Quarantined { .. } => quarantines += 1,
+                }
+            }
+        }
+        any.then(|| {
+            format!(
+                "{{\"sessions\": {}, \"disconnects\": {disconnects}, \
+                 \"duplicates_dropped\": {duplicates}, \"bytes_retransmitted\": {dup_bytes}, \
+                 \"drains\": {drains}, \"quarantines\": {quarantines}}}",
+                1 + resumed,
+            )
+        })
     }
 }
 
@@ -468,9 +525,12 @@ impl VerdictReport {
         }
     }
 
-    /// Extended (v2) canonical JSON: v1 fields plus `outcome` and a `faults`
-    /// section. Ledger entries are one per line, resume markers first, so two
-    /// runs differing only by a validated resume diff only in resume lines.
+    /// Extended (v2) canonical JSON: v1 fields plus `outcome`, an optional
+    /// single-line `transport` health summary (present only when the ledger
+    /// holds transport events, so file-ingest verdicts are unchanged) and a
+    /// `faults` section. Ledger entries are one per line, resume markers
+    /// first, so two runs differing only by a validated resume diff only in
+    /// resume lines.
     pub fn to_json_extended(&self) -> String {
         let mut entries = String::new();
         for (i, e) in self.faults.entries.iter().enumerate() {
@@ -481,11 +541,17 @@ impl VerdictReport {
             };
             entries.push_str(&format!("      {}{}\n", e.to_json_line(), comma));
         }
+        let transport = self
+            .faults
+            .transport_summary()
+            .map(|s| format!("  \"transport\": {s},\n"))
+            .unwrap_or_default();
         format!(
-            "{{\n  \"schema\": \"impress-trace-verdict-v2\",\n{},\n  \"outcome\": {:?},\n  \
+            "{{\n  \"schema\": \"impress-trace-verdict-v2\",\n{},\n  \"outcome\": {:?},\n{}  \
              \"faults\": {{\n    \"records_lost\": {},\n    \"entries\": [\n{}    ]\n  }}\n}}\n",
             self.json_core_fields(),
             self.outcome(),
+            transport,
             self.faults.records_lost(),
             entries,
         )

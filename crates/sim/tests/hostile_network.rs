@@ -79,7 +79,11 @@ fn unix_path(tag: &str) -> PathBuf {
 
 fn modulo_markers(json: &str) -> String {
     json.lines()
-        .filter(|l| !l.contains("\"kind\": \"resume\"") && !l.contains("\"kind\": \"conn-"))
+        .filter(|l| {
+            !l.contains("\"kind\": \"resume\"")
+                && !l.contains("\"kind\": \"conn-")
+                && !l.contains("\"transport\":")
+        })
         .collect::<Vec<_>>()
         .join("\n")
         + "\n"

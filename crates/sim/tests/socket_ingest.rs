@@ -69,11 +69,16 @@ fn unix_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("impress-sock-{}-{tag}.sock", std::process::id()))
 }
 
-/// Drops the timing-dependent ledger lines (`resume` markers and `conn-*`
-/// transport events), leaving every deterministic line untouched.
+/// Drops the timing-dependent ledger lines (`resume` markers, `conn-*`
+/// transport events and the aggregate `transport` summary block), leaving
+/// every deterministic line untouched.
 fn modulo_markers(json: &str) -> String {
     json.lines()
-        .filter(|l| !l.contains("\"kind\": \"resume\"") && !l.contains("\"kind\": \"conn-"))
+        .filter(|l| {
+            !l.contains("\"kind\": \"resume\"")
+                && !l.contains("\"kind\": \"conn-")
+                && !l.contains("\"transport\":")
+        })
         .collect::<Vec<_>>()
         .join("\n")
         + "\n"

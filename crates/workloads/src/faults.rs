@@ -31,17 +31,25 @@
 //! client must deliver the byte-identical stream despite any such plan; for a
 //! non-retrying client, [`ConnFaultPlan::expected_no_retry`] reduces the first
 //! connection cut to an equivalent [`FaultOp::Truncate`] oracle.
+//!
+//! A third family targets the *multi-tenant* daemon: a [`ChaosPlan`] assigns
+//! each of N concurrent producers a [`ChaosRole`] (clean, flaky, slow-loris,
+//! or hostile), and the scripted misbehaving producers
+//! ([`run_hostile_producer`], [`run_slow_loris`], [`connect_flood`]) let
+//! tests drive a daemon with connect floods, protocol violations, and
+//! no-progress stalls while asserting that well-behaved tenants are
+//! unaffected.
 
 use std::io;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::codec::{FRAME_MAGIC, FRAME_RECORDS, RECORD_BYTES, TRACE_MAGIC};
 use crate::source::{TraceSource, TransportEvent};
-use crate::transport::{ClientLink, ServerReply, WireLink, DATA_HEADER};
+use crate::transport::{ClientLink, Endpoint, Handshake, ServerReply, WireLink, DATA_HEADER};
 
 /// Byte layout of one frame region inside an encoded trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -816,11 +824,16 @@ impl FaultTransport {
 }
 
 impl ClientLink for FaultTransport {
-    fn handshake(&mut self, start_offset: u64, timeout: Duration) -> io::Result<u64> {
+    fn handshake(
+        &mut self,
+        start_offset: u64,
+        tenant: u64,
+        timeout: Duration,
+    ) -> io::Result<Handshake> {
         if self.dead {
             return Err(Self::dead_err());
         }
-        self.inner.handshake(start_offset, timeout)
+        self.inner.handshake(start_offset, tenant, timeout)
     }
 
     fn send_data(&mut self, offset: u64, payload: &[u8]) -> io::Result<()> {
@@ -878,6 +891,269 @@ impl ClientLink for FaultTransport {
         }
         self.inner.recv_reply(wait)
     }
+}
+
+/// Role a producer plays in a multi-client chaos plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosRole {
+    /// Streams its payload cleanly with retry enabled.
+    Clean,
+    /// Streams through a seeded [`ConnFaultPlan`] (disconnects, stalls,
+    /// short writes, duplicate delivery) with retry — flaky but honest, so
+    /// its bytes must still arrive intact.
+    Flaky {
+        /// Seed for [`ConnFaultPlan::seeded`].
+        seed: u64,
+    },
+    /// Opens sessions that start a DATA frame and never finish it, holding
+    /// the connection without progress until the server stall-evicts it.
+    SlowLoris,
+    /// Violates the protocol (offset-gap DATA frames) on every session until
+    /// the server quarantines the tenant.
+    Hostile {
+        /// Seed controlling the violation gap sizes.
+        seed: u64,
+    },
+}
+
+/// A deterministic multi-client chaos plan: one [`ChaosRole`] per concurrent
+/// producer — the one-hostile-among-N isolation scenario. Seeded plans mix
+/// clean and flaky producers around exactly one hostile client; slow-loris
+/// roles are assigned by hand because their eviction time is the server's
+/// stall budget, which a test wants to pick explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Role per producer, in spawn order.
+    pub roles: Vec<ChaosRole>,
+}
+
+impl ChaosPlan {
+    /// Derives a deterministic plan for `clients` producers: with two or
+    /// more clients, exactly one is hostile and at least one stays strictly
+    /// clean, the rest splitting between clean and flaky by seed. A single
+    /// client is always clean.
+    pub fn seeded(seed: u64, clients: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut roles = vec![ChaosRole::Clean; clients];
+        if clients >= 2 {
+            let hostile = rng.gen_range(0..clients);
+            for (i, role) in roles.iter_mut().enumerate() {
+                if i == hostile {
+                    *role = ChaosRole::Hostile {
+                        seed: rng.gen_range(0..u64::MAX),
+                    };
+                } else if rng.gen_bool(0.5) {
+                    *role = ChaosRole::Flaky {
+                        seed: rng.gen_range(0..u64::MAX),
+                    };
+                }
+            }
+            if !roles.contains(&ChaosRole::Clean) {
+                roles[(hostile + 1) % clients] = ChaosRole::Clean;
+            }
+        }
+        Self { roles }
+    }
+
+    /// Number of hostile roles in the plan.
+    pub fn hostiles(&self) -> usize {
+        self.roles
+            .iter()
+            .filter(|r| matches!(r, ChaosRole::Hostile { .. }))
+            .count()
+    }
+}
+
+/// What a scripted misbehaving producer ([`run_hostile_producer`],
+/// [`run_slow_loris`]) observed from the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosOutcome {
+    /// Tenant token the server assigned (0 if no session was ever admitted).
+    pub tenant: u64,
+    /// Sessions the server admitted before banning the tenant or the
+    /// session budget ran out.
+    pub sessions: u64,
+    /// Whether a reconnect was refused permanently (quarantined reply).
+    pub quarantined: bool,
+    /// Clean payload bytes believed delivered before hostilities began
+    /// (hostile producers only; always 0 for a slow loris).
+    pub delivered: u64,
+}
+
+/// Reads replies until the server severs the connection or `budget` elapses.
+fn wait_for_cut(link: &mut WireLink, budget: Duration) {
+    let deadline = Instant::now() + budget;
+    loop {
+        match link.recv_reply(Some(Duration::from_millis(20))) {
+            Ok(Some(_)) => {}
+            Ok(None) if Instant::now() >= deadline => return,
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drives one hostile producer against a live daemon: each admitted session
+/// first streams any not-yet-committed part of `prefix` honestly, then sends
+/// a DATA frame whose offset gaps past everything committed — a protocol
+/// violation the server must answer by cutting the session. The producer
+/// reconnects with its assigned tenant token until the server bans it
+/// outright (quarantine) or `max_sessions` sessions have been spent.
+///
+/// # Errors
+///
+/// Returns an error only when the endpoint never accepts a connection;
+/// violation-triggered cuts are the expected outcome, not errors.
+pub fn run_hostile_producer(
+    endpoint: &Endpoint,
+    seed: u64,
+    prefix: &[u8],
+    max_sessions: u64,
+) -> io::Result<ChaosOutcome> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = ChaosOutcome::default();
+    let mut setbacks = 0u32;
+    while out.sessions < max_sessions {
+        let dialed = match dial_as(endpoint, &mut out, &mut setbacks)? {
+            Some(d) => d,
+            None => return Ok(out), // quarantined or out of patience
+        };
+        let Dialed { mut link, hs } = dialed;
+        out.tenant = hs.tenant;
+        out.sessions += 1;
+        let mut at = hs.resume_offset;
+        while (at as usize) < prefix.len() {
+            let end = prefix.len().min(at as usize + 1024);
+            if link.send_data(at, &prefix[at as usize..end]).is_err() {
+                break;
+            }
+            at = end as u64;
+        }
+        out.delivered = out.delivered.max(at);
+        let gap = rng.gen_range(1u64..4096);
+        let _ = link.send_data(at + gap, &[0xA5u8; 64]);
+        wait_for_cut(&mut link, Duration::from_secs(5));
+    }
+    Ok(out)
+}
+
+/// Drives one slow-loris producer: each admitted session performs a valid
+/// handshake, writes the header and first byte of a DATA frame it never
+/// finishes, then holds the connection open without progress — the server's
+/// stall budget must evict it. The producer reconnects with its assigned
+/// token until the server bans the tenant or `max_sessions` sessions have
+/// been spent, holding each session at most `hold` past admission.
+///
+/// # Errors
+///
+/// Returns an error only when the endpoint never accepts a connection;
+/// stall evictions are the expected outcome, not errors.
+pub fn run_slow_loris(
+    endpoint: &Endpoint,
+    max_sessions: u64,
+    hold: Duration,
+) -> io::Result<ChaosOutcome> {
+    let mut out = ChaosOutcome::default();
+    let mut setbacks = 0u32;
+    while out.sessions < max_sessions {
+        let dialed = match dial_as(endpoint, &mut out, &mut setbacks)? {
+            Some(d) => d,
+            None => return Ok(out),
+        };
+        let Dialed { mut link, hs } = dialed;
+        out.tenant = hs.tenant;
+        out.sessions += 1;
+        // Start a 4 KiB frame, deliver exactly one payload byte of it, and
+        // hold the connection open: the session stays live, commit progress
+        // does not — until the server's stall eviction cuts it.
+        let payload = [0x5Au8; 4096];
+        let _ = link.send_data_stall(hs.resume_offset, &payload, DATA_HEADER + 1);
+        wait_for_cut(&mut link, hold);
+    }
+    Ok(out)
+}
+
+/// One admitted connection plus its handshake.
+struct Dialed {
+    link: WireLink,
+    hs: Handshake,
+}
+
+/// Dials and handshakes one session for a misbehaving producer, reusing the
+/// tenant token in `out`. `Ok(None)` means stop: the tenant was quarantined
+/// (recorded in `out`) or transient setbacks exhausted the retry budget.
+fn dial_as(
+    endpoint: &Endpoint,
+    out: &mut ChaosOutcome,
+    setbacks: &mut u32,
+) -> io::Result<Option<Dialed>> {
+    loop {
+        let mut link = match WireLink::connect(endpoint) {
+            Ok(link) => link,
+            Err(e) => {
+                *setbacks += 1;
+                if *setbacks > 200 {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        match link.handshake(out.delivered, out.tenant, Duration::from_secs(5)) {
+            Ok(hs) => return Ok(Some(Dialed { link, hs })),
+            Err(e) if e.kind() == io::ErrorKind::PermissionDenied => {
+                out.quarantined = true;
+                return Ok(None);
+            }
+            Err(_) => {
+                // Busy (admission reject) or a transient cut: back off briefly.
+                *setbacks += 1;
+                if *setbacks > 200 {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Classification of a burst of raw connection attempts against a daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FloodReport {
+    /// Sessions the server admitted (each closed again with a clean
+    /// zero-byte FIN so it never lingers as an idle tenant).
+    pub admitted: u64,
+    /// Sessions the server refused with the typed busy reply.
+    pub busy: u64,
+    /// Attempts that failed any other way (connect error, timeout, cut).
+    pub failed: u64,
+}
+
+/// Connect-flood helper: dials `count` connections up front so they all sit
+/// in the daemon's accept/pending queue at once, then completes each
+/// handshake and classifies the reply. Admitted sessions are closed with a
+/// zero-byte FIN.
+pub fn connect_flood(endpoint: &Endpoint, count: usize, timeout: Duration) -> FloodReport {
+    let mut report = FloodReport::default();
+    let mut links = Vec::new();
+    for _ in 0..count {
+        match WireLink::connect(endpoint) {
+            Ok(link) => links.push(link),
+            Err(_) => report.failed += 1,
+        }
+    }
+    for mut link in links {
+        match link.handshake(0, 0, timeout) {
+            Ok(_) => {
+                report.admitted += 1;
+                let _ = link.send_fin(0);
+                let _ = link.recv_reply(Some(timeout));
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => report.busy += 1,
+            Err(_) => report.failed += 1,
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -1112,6 +1388,22 @@ mod tests {
             out
         });
         (endpoint, handle)
+    }
+
+    #[test]
+    fn chaos_plans_have_one_hostile_and_one_clean() {
+        for seed in 0..32u64 {
+            let plan = ChaosPlan::seeded(seed, 6);
+            assert_eq!(plan, ChaosPlan::seeded(seed, 6), "seed {seed}");
+            assert_eq!(plan.roles.len(), 6);
+            assert_eq!(plan.hostiles(), 1, "seed {seed}: exactly one hostile");
+            assert!(
+                plan.roles.contains(&ChaosRole::Clean),
+                "seed {seed}: at least one strictly clean producer"
+            );
+        }
+        assert_eq!(ChaosPlan::seeded(9, 1).roles, vec![ChaosRole::Clean]);
+        assert_eq!(ChaosPlan::seeded(9, 0).roles, Vec::<ChaosRole>::new());
     }
 
     #[test]

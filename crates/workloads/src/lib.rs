@@ -32,8 +32,9 @@ pub use codec::{
     DecodeMode, FaultKind, IngestFault, TraceMeta, TraceReader, TraceRecord, TraceWriter,
 };
 pub use faults::{
-    apply_plan, ConnFaultOp, ConnFaultPlan, ConnFaultState, FaultInjector, FaultOp, FaultPlan,
-    FaultTransport, FrameMap,
+    apply_plan, connect_flood, run_hostile_producer, run_slow_loris, ChaosOutcome, ChaosPlan,
+    ChaosRole, ConnFaultOp, ConnFaultPlan, ConnFaultState, FaultInjector, FaultOp, FaultPlan,
+    FaultTransport, FloodReport, FrameMap,
 };
 pub use generator::TraceGenerator;
 pub use mix::WorkloadMix;
@@ -44,6 +45,7 @@ pub use source::{
 };
 pub use trace::MemoryAccess;
 pub use transport::{
-    send_stream, send_to, ClientLink, Endpoint, FileInput, Listener, MemInput, ReaderInput,
-    SendInput, SendOptions, SendOutcome, ServerReply, SocketSource, SocketTuning, Wire, WireLink,
+    send_stream, send_to, ClientLink, Endpoint, FileInput, Handshake, Listener, MemInput,
+    ReaderInput, SendInput, SendOptions, SendOutcome, ServerPoll, ServerReply, SocketSource,
+    SocketTuning, TenantLimits, TenantServer, TenantSink, Wire, WireLink,
 };

@@ -85,11 +85,13 @@ impl DisconnectReason {
 
 /// A connection-level incident observed by a networked [`TraceSource`].
 ///
-/// These are informational: none of them implies record loss (lost bytes
-/// surface through the codec's own fault ledger), so a supervising daemon
-/// records them with `records_lost = 0` and they do not degrade the verdict
-/// outcome. Offsets are absolute canonical stream bytes — the same coordinate
-/// space the codec and checkpoints use.
+/// Most are informational: they imply no record loss (lost bytes surface
+/// through the codec's own fault ledger), so a supervising daemon records
+/// them with `records_lost = 0` and they do not degrade the verdict outcome.
+/// The exception is [`TransportEvent::Quarantined`], which marks a producer
+/// the server banned for repeated protocol violations and forces the verdict
+/// outcome to `"quarantined"`. Offsets are absolute canonical stream bytes —
+/// the same coordinate space the codec and checkpoints use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportEvent {
     /// A producer reconnected and was resumed from the server's committed
@@ -125,6 +127,17 @@ pub enum TransportEvent {
     Drained {
         /// Committed stream offset at drain time.
         offset: u64,
+    },
+    /// The server quarantined this producer for repeated protocol
+    /// violations: its tenant token is banned for the rest of the daemon's
+    /// life and its pipeline was finalized at `offset`.
+    Quarantined {
+        /// 1-based accepted-session number of the offending session.
+        session: u64,
+        /// Committed stream offset when the quarantine fired.
+        offset: u64,
+        /// Protocol violations accumulated before the ban.
+        violations: u64,
     },
 }
 
@@ -245,6 +258,19 @@ impl Default for FollowPolicy {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
             idle_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+impl FollowPolicy {
+    /// Listen-mode defaults for a network daemon: same backoff as
+    /// [`FollowPolicy::default`], but a 30 s idle limit — a file follower's
+    /// 5 s default is far too impatient for producers dialing in (or
+    /// returning after a network partition) over a socket.
+    pub fn listening() -> Self {
+        Self {
+            idle_limit: Duration::from_secs(30),
+            ..Self::default()
         }
     }
 }
